@@ -1,0 +1,75 @@
+#ifndef YUKTA_BENCH_BENCH_COMMON_H_
+#define YUKTA_BENCH_BENCH_COMMON_H_
+
+/**
+ * @file
+ * Shared plumbing for the experiment-reproduction benches: default
+ * artifact construction (cached on disk after the first bench runs),
+ * scheme execution, and normalized-table printing.
+ */
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/yukta.h"
+
+namespace yukta::bench {
+
+/** Time budget per run; generous relative to paper run times. */
+inline constexpr double kMaxSeconds = 1200.0;
+
+/** Builds (or loads from ./yukta_cache) the paper-default artifacts. */
+inline core::Artifacts
+defaultArtifacts()
+{
+    core::ArtifactOptions options;
+    options.cache_tag = "paper";
+    return core::buildArtifacts(platform::BoardConfig::odroidXu3(),
+                                options);
+}
+
+/** Runs one scheme on one workload and returns the metrics. */
+inline controllers::RunMetrics
+runScheme(const core::Artifacts& artifacts, core::Scheme scheme,
+          platform::Workload workload, std::uint32_t seed = 1,
+          double trace_interval = 0.0)
+{
+    auto system =
+        core::makeSystem(scheme, artifacts, std::move(workload), seed);
+    if (trace_interval > 0.0) {
+        system.enableTrace(trace_interval);
+    }
+    return system.run(kMaxSeconds);
+}
+
+/** Prints one normalized row: values divided by the baseline column. */
+inline void
+printNormalizedRow(const std::string& label,
+                   const std::vector<double>& values, double baseline)
+{
+    std::printf("%-16s", label.c_str());
+    for (double v : values) {
+        std::printf("  %6.2f", baseline > 0.0 ? v / baseline : 0.0);
+    }
+    std::printf("\n");
+}
+
+/** Geometric-mean-free average (the paper uses arithmetic averages). */
+inline double
+average(const std::vector<double>& v)
+{
+    if (v.empty()) {
+        return 0.0;
+    }
+    double s = 0.0;
+    for (double x : v) {
+        s += x;
+    }
+    return s / static_cast<double>(v.size());
+}
+
+}  // namespace yukta::bench
+
+#endif  // YUKTA_BENCH_BENCH_COMMON_H_

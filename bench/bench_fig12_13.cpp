@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figures 12 and 13: comparing Yukta against LQG-based designs
+ * (Sec. VI-B) -- Coordinated heuristic, Decoupled HW LQG + OS LQG,
+ * Monolithic LQG, and Yukta HW SSV + OS SSV -- on E x D (Fig. 12) and
+ * execution time (Fig. 13), normalized to Coordinated heuristic.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace yukta;
+    auto artifacts = bench::defaultArtifacts();
+
+    const std::vector<core::Scheme> schemes = {
+        core::Scheme::kCoordinatedHeuristic,
+        core::Scheme::kDecoupledLqg,
+        core::Scheme::kMonolithicLqg,
+        core::Scheme::kYuktaFull,
+    };
+    std::printf("Fig. 12/13: (a) Coordinated heuristic, (b) Decoupled HW "
+                "LQG+OS LQG, (c) Monolithic LQG, (d) Yukta HW SSV+OS "
+                "SSV.\n\n");
+    std::printf("%-14s %9s %9s %9s %9s   %7s %7s %7s %7s\n", "app",
+                "ExD(a)", "ExD(b)", "ExD(c)", "ExD(d)", "T(a)", "T(b)",
+                "T(c)", "T(d)");
+
+    std::vector<std::vector<double>> rel_exd(schemes.size());
+    std::vector<std::vector<double>> rel_time(schemes.size());
+    for (const std::string& app : platform::AppCatalog::evaluationApps()) {
+        std::vector<double> exd(schemes.size());
+        std::vector<double> time(schemes.size());
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            auto m = bench::runScheme(
+                artifacts, schemes[s],
+                platform::Workload(platform::AppCatalog::get(app)));
+            exd[s] = m.exd;
+            time[s] = m.exec_time;
+        }
+        std::printf("%-14s", platform::AppCatalog::shortLabel(app).c_str());
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            std::printf(" %9.2f", exd[s] / exd[0]);
+            rel_exd[s].push_back(exd[s] / exd[0]);
+        }
+        std::printf("  ");
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            std::printf(" %7.2f", time[s] / time[0]);
+            rel_time[s].push_back(time[s] / time[0]);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    std::printf("%-14s", "Avg");
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        std::printf(" %9.2f", bench::average(rel_exd[s]));
+    }
+    std::printf("  ");
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        std::printf(" %7.2f", bench::average(rel_time[s]));
+    }
+    std::printf("\n\nPaper (Avg): ExD (a)=1.00 (b)~1.00 (c)=0.80 "
+                "(d)=0.50; time (c)=0.89 (d)=0.62.\n");
+    return 0;
+}

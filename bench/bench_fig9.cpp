@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 9: Energy x Delay (a) and execution time (b) of the four
+ * two-layer schemes over the evaluation applications -- 6 SPEC06
+ * programs (8 copies each), 8 PARSEC programs (8 threads each) --
+ * with SPEC average (SAv), PARSEC average (PAv), and overall average
+ * (Avg). All bars are normalized to Coordinated heuristic.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace yukta;
+    auto artifacts = bench::defaultArtifacts();
+
+    const std::vector<core::Scheme> schemes = {
+        core::Scheme::kCoordinatedHeuristic,
+        core::Scheme::kDecoupledHeuristic,
+        core::Scheme::kYuktaHwSsvOsHeuristic,
+        core::Scheme::kYuktaFull,
+    };
+
+    auto spec_apps = platform::AppCatalog::specApps();
+    auto parsec_apps = platform::AppCatalog::parsecApps();
+    std::vector<std::string> apps = spec_apps;
+    apps.insert(apps.end(), parsec_apps.begin(), parsec_apps.end());
+
+    // rel_exd[scheme][app], rel_time[scheme][app].
+    std::vector<std::vector<double>> rel_exd(schemes.size());
+    std::vector<std::vector<double>> rel_time(schemes.size());
+
+    std::printf("Fig. 9: schemes = (a) Coordinated heuristic, "
+                "(b) Decoupled heuristic, (c) Yukta HW SSV+OS heuristic, "
+                "(d) Yukta HW SSV+OS SSV\n\n");
+    std::printf("%-14s %10s %10s %10s %10s   %8s %8s %8s %8s\n", "app",
+                "ExD(a)", "ExD(b)", "ExD(c)", "ExD(d)", "T(a)", "T(b)",
+                "T(c)", "T(d)");
+
+    for (const std::string& app : apps) {
+        std::vector<double> exd(schemes.size());
+        std::vector<double> time(schemes.size());
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            auto m = bench::runScheme(
+                artifacts, schemes[s],
+                platform::Workload(platform::AppCatalog::get(app)));
+            exd[s] = m.exd;
+            time[s] = m.exec_time;
+        }
+        std::printf("%-14s", platform::AppCatalog::shortLabel(app).c_str());
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            std::printf(" %10.2f", exd[s] / exd[0]);
+            rel_exd[s].push_back(exd[s] / exd[0]);
+        }
+        std::printf("  ");
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            std::printf(" %8.2f", time[s] / time[0]);
+            rel_time[s].push_back(time[s] / time[0]);
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    auto printAvg = [&](const char* label, std::size_t begin,
+                        std::size_t end) {
+        std::printf("%-14s", label);
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            std::vector<double> slice(rel_exd[s].begin() + begin,
+                                      rel_exd[s].begin() + end);
+            std::printf(" %10.2f", bench::average(slice));
+        }
+        std::printf("  ");
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            std::vector<double> slice(rel_time[s].begin() + begin,
+                                      rel_time[s].begin() + end);
+            std::printf(" %8.2f", bench::average(slice));
+        }
+        std::printf("\n");
+    };
+
+    std::size_t nspec = spec_apps.size();
+    std::size_t nall = apps.size();
+    printAvg("SAv", 0, nspec);
+    printAvg("PAv", nspec, nall);
+    printAvg("Avg", 0, nall);
+
+    std::printf("\nPaper (Avg): ExD (a)=1.00 (b)=1.52 (c)=0.63 (d)=0.50; "
+                "time (a)=1.00 (b)=1.30 (c)=0.71 (d)=0.62\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Section VI-D: the cost of a hardware implementation of the SSV
+ * controller. The paper reports, for N=20 states, I=4 inputs, O=4
+ * outputs, E=3 external signals: ~700 32-bit fixed-point operations
+ * and ~2.6 KB of storage per ms-level invocation, taking ~28 us on a
+ * Cortex-A7 at 20-25 mW.
+ *
+ * This google-benchmark binary measures the Q16.16 fixed-point state
+ * machine at the paper's dimensions (and a sweep of orders), and
+ * prints the static op/storage counts.
+ */
+
+#include <cstdio>
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "control/state_space.h"
+#include "controllers/fixed_point.h"
+#include "linalg/matrix.h"
+
+using namespace yukta;
+using controllers::FixedPointSsv;
+using linalg::Matrix;
+
+namespace {
+
+control::StateSpace
+randomController(std::size_t n, std::size_t dy, std::size_t u,
+                 unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-0.2, 0.2);
+    auto rnd = [&](std::size_t r, std::size_t c) {
+        Matrix m(r, c);
+        for (std::size_t i = 0; i < r; ++i) {
+            for (std::size_t j = 0; j < c; ++j) {
+                m(i, j) = dist(rng);
+            }
+        }
+        return m;
+    };
+    return control::StateSpace(rnd(n, n), rnd(n, dy), rnd(u, n),
+                               rnd(u, dy), 0.5);
+}
+
+void
+BM_FixedPointInvocation(benchmark::State& state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    // Paper port counts: I=4, O=4, E=3 -> dy = 7.
+    FixedPointSsv fx(randomController(n, 7, 4, 42));
+    std::vector<std::int32_t> dy(7);
+    for (std::size_t i = 0; i < 7; ++i) {
+        dy[i] = FixedPointSsv::toFixed(0.1 * static_cast<double>(i) - 0.3);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fx.step(dy));
+    }
+    state.counters["macs/invocation"] =
+        static_cast<double>(fx.macsPerInvocation());
+    state.counters["storage_bytes"] =
+        static_cast<double>(fx.storageBytes());
+}
+
+void
+BM_DoublePrecisionInvocation(benchmark::State& state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    auto k = randomController(n, 7, 4, 42);
+    linalg::Vector x = linalg::Vector::zeros(n);
+    linalg::Vector dy{0.1, -0.2, 0.3, 0.0, 0.1, -0.1, 0.2};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(control::stepOnce(k, x, dy));
+    }
+}
+
+BENCHMARK(BM_FixedPointInvocation)->Arg(8)->Arg(12)->Arg(20)->Arg(32);
+BENCHMARK(BM_DoublePrecisionInvocation)->Arg(20);
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    FixedPointSsv fx(randomController(20, 7, 4, 42));
+    std::printf("Sec. VI-D hardware-cost summary (N=20, I=4, O=4, E=3):\n");
+    std::printf("  MACs / invocation : %zu (paper: ~700 fixed-point "
+                "operations)\n",
+                fx.macsPerInvocation());
+    std::printf("  storage           : %zu bytes (paper: ~2.6 KB)\n",
+                fx.storageBytes());
+    std::printf("  (paper: ~28 us per invocation on a Cortex-A7, "
+                "~20-25 mW)\n\n");
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extension experiment: the classic SISO baseline. Secs. I-II position
+ * PID/SISO collections as the popular formal approach that "can only
+ * monitor one goal and change one parameter" and "cannot manage the
+ * interaction between the goals". This bench runs a hardware layer
+ * made of four independent PID loops (one output -> one actuator)
+ * under the coordinated scheduler, against the MIMO SSV hardware
+ * controller, on E x D and limit violations.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "controllers/heuristics.h"
+#include "controllers/pid.h"
+
+using namespace yukta;
+
+int
+main()
+{
+    auto cfg = platform::BoardConfig::odroidXu3();
+    auto artifacts = bench::defaultArtifacts();
+
+    std::printf("SISO-PID hardware layer vs MIMO SSV hardware layer "
+                "(both under the coordinated scheduler).\n\n");
+    std::printf("%-14s %12s %12s %10s %10s\n", "app", "PID ExD",
+                "SSV ExD", "PID emerg", "SSV emerg");
+
+    std::vector<double> rel;
+    for (const std::string& app : platform::AppCatalog::evaluationApps()) {
+        controllers::MultilayerSystem pid_sys(
+            platform::Board(
+                cfg, platform::Workload(platform::AppCatalog::get(app)),
+                1),
+            std::make_unique<controllers::SisoPidHwController>(
+                cfg, controllers::makeHwOptimizer(cfg)),
+            std::make_unique<controllers::CoordinatedOsHeuristic>(cfg));
+        auto pid = pid_sys.run(bench::kMaxSeconds);
+
+        auto ssv = bench::runScheme(
+            artifacts, core::Scheme::kYuktaHwSsvOsHeuristic,
+            platform::Workload(platform::AppCatalog::get(app)));
+
+        std::printf("%-14s %12.0f %12.0f %9.1fs %9.1fs\n",
+                    platform::AppCatalog::shortLabel(app).c_str(), pid.exd,
+                    ssv.exd, pid.emergency_time, ssv.emergency_time);
+        rel.push_back(ssv.exd / std::max(pid.exd, 1.0));
+        std::fflush(stdout);
+    }
+    std::printf("\nSSV/PID E x D ratio (average): %.2f -- the MIMO SSV "
+                "design coordinates the coupled goals the SISO loops "
+                "fight over.\n",
+                bench::average(rel));
+    return 0;
+}

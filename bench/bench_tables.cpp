@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Regenerates the paper's configuration tables:
+ *  - Table II: hardware controller parameters (+ synthesis results),
+ *  - Table III: software controller parameters,
+ *  - Table IV: the four two-layer schemes,
+ * plus the interface-exchange records of Fig. 3.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/report.h"
+
+int
+main()
+{
+    using namespace yukta;
+    auto artifacts = bench::defaultArtifacts();
+
+    std::printf("==============================================\n");
+    std::printf(" Table II: hardware controller (as synthesized)\n");
+    std::printf("==============================================\n");
+    core::printLayerReport(std::cout, artifacts.hw_ssv);
+
+    std::printf("\n==============================================\n");
+    std::printf(" Table III: software controller (as synthesized)\n");
+    std::printf("==============================================\n");
+    core::printLayerReport(std::cout, artifacts.os_ssv);
+
+    std::printf("\n");
+    core::printSchemeTable(std::cout);
+
+    std::printf("\n=== Fig. 3 interface exchange ===\n");
+    core::printInterfaceExchange(
+        std::cout, core::publishInterface(artifacts.hw_ssv.spec));
+    core::printInterfaceExchange(
+        std::cout, core::publishInterface(artifacts.os_ssv.spec));
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Command-line runner: execute any scheme on any application (or
+ * mix), print the metrics, and optionally dump the board trace as
+ * CSV for plotting.
+ *
+ * Usage:
+ *   run_scheme [scheme] [app] [seed] [trace.csv]
+ *
+ *   scheme: coordinated | decoupled | yukta-hw | yukta | lqg | mono
+ *           (default: yukta)
+ *   app:    any catalog name (blackscholes, mcf, ...) or mix
+ *           (blmc, stga, blst, mcga); default blackscholes
+ *   seed:   sensor-noise seed (default 1)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/yukta.h"
+#include "platform/trace_io.h"
+
+using namespace yukta;
+
+namespace {
+
+core::Scheme
+parseScheme(const std::string& name)
+{
+    if (name == "coordinated") {
+        return core::Scheme::kCoordinatedHeuristic;
+    }
+    if (name == "decoupled") {
+        return core::Scheme::kDecoupledHeuristic;
+    }
+    if (name == "yukta-hw") {
+        return core::Scheme::kYuktaHwSsvOsHeuristic;
+    }
+    if (name == "yukta") {
+        return core::Scheme::kYuktaFull;
+    }
+    if (name == "lqg") {
+        return core::Scheme::kDecoupledLqg;
+    }
+    if (name == "mono") {
+        return core::Scheme::kMonolithicLqg;
+    }
+    std::fprintf(stderr, "unknown scheme '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+platform::Workload
+parseWorkload(const std::string& name)
+{
+    for (const std::string& mix : platform::AppCatalog::mixNames()) {
+        if (name == mix) {
+            return platform::AppCatalog::getMix(name);
+        }
+    }
+    return platform::Workload(platform::AppCatalog::get(name));
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string scheme_name = argc > 1 ? argv[1] : "yukta";
+    std::string app = argc > 2 ? argv[2] : "blackscholes";
+    std::uint32_t seed =
+        argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 1;
+    std::string trace_path = argc > 4 ? argv[4] : "";
+
+    core::Scheme scheme = parseScheme(scheme_name);
+    auto cfg = platform::BoardConfig::odroidXu3();
+
+    core::ArtifactOptions options;
+    options.cache_tag = "paper";
+    auto artifacts = core::buildArtifacts(cfg, options);
+
+    auto system =
+        core::makeSystem(scheme, artifacts, parseWorkload(app), seed);
+    if (!trace_path.empty()) {
+        system.enableTrace(0.5);
+    }
+    auto m = system.run(1200.0);
+
+    std::printf("%s on %s (seed %u)\n", core::schemeName(scheme).c_str(),
+                app.c_str(), seed);
+    std::printf("  completed   : %s\n", m.completed ? "yes" : "no");
+    std::printf("  time        : %.1f s\n", m.exec_time);
+    std::printf("  energy      : %.1f J\n", m.energy);
+    std::printf("  E x D       : %.0f J*s\n", m.exd);
+    std::printf("  emergencies : %.1f s\n", m.emergency_time);
+
+    if (!trace_path.empty()) {
+        if (platform::saveTraceCsv(trace_path, m.trace)) {
+            std::printf("  trace       : %s (%zu samples)\n",
+                        trace_path.c_str(), m.trace.size());
+        } else {
+            std::fprintf(stderr, "failed to write %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+    }
+    return 0;
+}

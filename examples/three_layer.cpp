@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Scalability to several layers (Sec. III-D): "the controller of a
+ * given layer communicates mostly or only with the controllers of its
+ * two neighboring layers ... as layer i passes signals to layer i+1,
+ * such signals already implicitly include the contribution of layers
+ * i-1, i-2, etc."
+ *
+ * This example builds a synthetic three-layer system (think
+ * hardware / OS / cluster-manager) as a chain of coupled MIMO plants,
+ * designs one SSV controller per layer, and wires each controller's
+ * external signals to its *neighbors only*. The middle layer relays:
+ * layer 0 and layer 2 never exchange signals directly, yet the
+ * combined system tracks all six outputs.
+ */
+
+#include <cstdio>
+
+#include "control/state_space.h"
+#include "controllers/ssv_runtime.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "robust/ssv_design.h"
+
+using namespace yukta;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+/**
+ * One synthetic layer: 2 actuated inputs, 2 outputs, plus one
+ * external channel that couples it to each declared neighbor.
+ */
+robust::SsvSpec
+layerSpec(unsigned seed, std::size_t num_neighbors)
+{
+    double s1 = 0.1 * static_cast<double>(seed % 3);
+    double s2 = 0.05 * static_cast<double>(seed % 5);
+    Matrix a{{0.55 + s2, 0.1}, {0.05, 0.65 - s2}};
+    // Columns: [u1, u2, e_1..e_k].
+    Matrix b(2, 2 + num_neighbors);
+    b.setBlock(0, 0, Matrix{{0.5 + s1, 0.1}, {0.1, 0.45 - s1}});
+    for (std::size_t k = 0; k < num_neighbors; ++k) {
+        b(0, 2 + k) = 0.12;
+        b(1, 2 + k) = 0.08;
+    }
+    Matrix c{{1.0, 0.2}, {0.15, 1.0}};
+    Matrix d(2, 2 + num_neighbors);
+
+    robust::SsvSpec spec;
+    spec.model = control::StateSpace(a, b, c, d, 0.5);
+    spec.num_inputs = 2;
+    spec.num_external = num_neighbors;
+    spec.in_min = {0.0, 0.0};
+    spec.in_max = {4.0, 4.0};
+    spec.in_step = {0.25, 0.25};
+    spec.in_weight = {1.0, 1.0};
+    spec.out_bound = {0.4, 0.4};
+    spec.out_range = {2.0, 2.0};
+    spec.guardband = 0.4;
+    spec.max_order = 10;
+    spec.dk.max_iterations = 1;
+    spec.dk.bisection_steps = 10;
+    spec.dk.mu_grid = 12;
+    return spec;
+}
+
+}  // namespace
+
+int
+main()
+{
+    // Layer 0 and layer 2 have one neighbor (the middle layer); the
+    // middle layer has two.
+    robust::SsvSpec specs[3] = {layerSpec(1, 1), layerSpec(2, 2),
+                                layerSpec(3, 1)};
+
+    std::printf("Designing three SSV layer controllers "
+                "(neighbor-only coordination)...\n");
+    std::vector<controllers::SsvRuntime> runtimes;
+    for (int i = 0; i < 3; ++i) {
+        auto ctrl = robust::ssvSynthesize(specs[i]);
+        if (!ctrl) {
+            std::printf("layer %d synthesis failed\n", i);
+            return 1;
+        }
+        std::printf("  layer %d: mu %.2f, gamma %.2f, order %zu\n", i,
+                    ctrl->mu_peak, ctrl->gamma, ctrl->k.numStates());
+        std::vector<controllers::InputGrid> grids = {
+            {0.0, 4.0, 0.25}, {0.0, 4.0, 0.25}};
+        runtimes.emplace_back(
+            *ctrl, grids, Vector{2.0, 2.0},
+            Vector::zeros(specs[i].num_external));
+    }
+
+    // Closed loop of the three true plants. The coupling: each
+    // layer's external input is the *first actuated input* of its
+    // neighbor(s) -- the neighbor "publishes" what it is doing.
+    control::StateSpace plants[3] = {specs[0].model, specs[1].model,
+                                     specs[2].model};
+    Vector x[3];
+    Vector y[3];
+    Vector u[3];
+    for (int i = 0; i < 3; ++i) {
+        x[i] = Vector::zeros(plants[i].numStates());
+        y[i] = Vector::zeros(2);
+        u[i] = Vector{2.0, 2.0};
+    }
+    // Feasible targets: the steady state of a grid-representable
+    // input pattern (u = [2.5, 2.0] on every layer), found by letting
+    // the coupled true plants settle open loop.
+    Vector targets[3];
+    {
+        Vector xs[3];
+        Vector ys[3];
+        Vector us{2.5, 2.0};
+        for (int i = 0; i < 3; ++i) {
+            xs[i] = Vector::zeros(plants[i].numStates());
+            ys[i] = Vector::zeros(2);
+        }
+        for (int t = 0; t < 400; ++t) {
+            Vector e0{us[0] - 2.0};
+            Vector e1{us[0] - 2.0, us[0] - 2.0};
+            ys[0] = control::stepOnce(plants[0], xs[0],
+                                      concat(us - Vector{2.0, 2.0}, e0));
+            ys[1] = control::stepOnce(plants[1], xs[1],
+                                      concat(us - Vector{2.0, 2.0}, e1));
+            ys[2] = control::stepOnce(plants[2], xs[2],
+                                      concat(us - Vector{2.0, 2.0}, e0));
+        }
+        for (int i = 0; i < 3; ++i) {
+            targets[i] = ys[i];
+        }
+    }
+
+    std::printf("\n t   y0           y1           y2\n");
+    for (int t = 0; t < 200; ++t) {
+        // Controllers run with neighbor-published signals (centered
+        // around the shared operating point 2.0).
+        Vector e0{u[1][0] - 2.0};
+        Vector e1{u[0][0] - 2.0, u[2][0] - 2.0};
+        Vector e2{u[1][0] - 2.0};
+        u[0] = runtimes[0].invoke(targets[0] - y[0], e0);
+        u[1] = runtimes[1].invoke(targets[1] - y[1], e1);
+        u[2] = runtimes[2].invoke(targets[2] - y[2], e2);
+
+        // True plants evolve with the same couplings.
+        Vector ue0 = concat(u[0] - Vector{2.0, 2.0}, e0);
+        Vector ue1 = concat(u[1] - Vector{2.0, 2.0}, e1);
+        Vector ue2 = concat(u[2] - Vector{2.0, 2.0}, e2);
+        y[0] = control::stepOnce(plants[0], x[0], ue0);
+        y[1] = control::stepOnce(plants[1], x[1], ue1);
+        y[2] = control::stepOnce(plants[2], x[2], ue2);
+
+        if (t % 25 == 0) {
+            std::printf("%3d  %.2f %.2f    %.2f %.2f    %.2f %.2f\n", t,
+                        y[0][0], y[0][1], y[1][0], y[1][1], y[2][0],
+                        y[2][1]);
+        }
+    }
+    std::printf("\nfinal |deviations| per layer:");
+    for (int i = 0; i < 3; ++i) {
+        Vector d = targets[i] - y[i];
+        std::printf("  [%.2f %.2f]", std::abs(d[0]), std::abs(d[1]));
+    }
+    std::printf("\nAll three loops are stable with neighbor-only "
+                "signal exchange -- layer 0 and layer 2 coordinate "
+                "through layer 1's published inputs alone. (Residual "
+                "offsets reflect the finite DC gain of bound-based "
+                "SSV tracking on a quantized 0.25-step grid.)\n");
+    return 0;
+}

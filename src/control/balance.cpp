@@ -1,0 +1,68 @@
+#include "control/balance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "control/lyapunov.h"
+#include "linalg/lu.h"
+#include "linalg/svd.h"
+
+namespace yukta::control {
+
+using linalg::Matrix;
+
+BalancedReduction
+balancedTruncate(const StateSpace& sys, std::size_t max_order)
+{
+    if (!sys.isDiscrete()) {
+        throw std::invalid_argument("balancedTruncate: discrete systems only");
+    }
+    std::size_t n = sys.numStates();
+    if (n == 0) {
+        return {sys, {}};
+    }
+
+    // Gramians: P (controllability), Q (observability).
+    Matrix p = dlyap(sys.a, sys.b * sys.b.transpose());
+    Matrix q = dlyap(sys.a.transpose(), sys.c.transpose() * sys.c);
+
+    // Square roots (jittered Cholesky tolerates semidefiniteness).
+    Matrix lp = linalg::cholesky(p, 1e-12);
+    Matrix lq = linalg::cholesky(q, 1e-12);
+
+    // Hankel SVD: Lq' Lp = U S V'.
+    linalg::Svd d = linalg::svd(lq.transpose() * lp);
+
+    std::size_t r = std::min(max_order, n);
+    // Do not keep numerically-zero Hankel directions.
+    double cutoff = 1e-12 * (d.s.empty() ? 0.0 : d.s.front());
+    while (r > 1 && d.s[r - 1] <= cutoff) {
+        --r;
+    }
+
+    // Balancing transforms restricted to the kept directions:
+    // T = Lp V S^{-1/2}, Tinv = S^{-1/2} U' Lq'.
+    Matrix v_r(n, r);
+    Matrix u_r(n, r);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < r; ++j) {
+            v_r(i, j) = d.v(i, j);
+            u_r(i, j) = d.u(i, j);
+        }
+    }
+    std::vector<double> s_isqrt(r);
+    for (std::size_t j = 0; j < r; ++j) {
+        s_isqrt[j] = 1.0 / std::sqrt(std::max(d.s[j], 1e-300));
+    }
+    Matrix t = lp * v_r * Matrix::diag(s_isqrt);
+    Matrix tinv = Matrix::diag(s_isqrt) * u_r.transpose() * lq.transpose();
+
+    BalancedReduction out;
+    out.hsv = d.s;
+    out.sys = StateSpace(tinv * sys.a * t, tinv * sys.b, sys.c * t, sys.d,
+                         sys.ts);
+    return out;
+}
+
+}  // namespace yukta::control

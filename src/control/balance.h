@@ -1,0 +1,41 @@
+#ifndef YUKTA_CONTROL_BALANCE_H_
+#define YUKTA_CONTROL_BALANCE_H_
+
+/**
+ * @file
+ * Balanced realization and truncation of stable discrete systems.
+ * Used to reduce synthesized SSV controllers to the paper's runtime
+ * order (N = 20).
+ */
+
+#include <vector>
+
+#include "control/state_space.h"
+
+namespace yukta::control {
+
+/** Balanced truncation outcome. */
+struct BalancedReduction
+{
+    StateSpace sys;             ///< Reduced system.
+    std::vector<double> hsv;    ///< All Hankel singular values, descending.
+};
+
+/**
+ * Reduces a stable discrete system to at most @p max_order states by
+ * balanced truncation (discarding states with the smallest Hankel
+ * singular values).
+ *
+ * @param sys stable discrete system.
+ * @param max_order target order; the result keeps
+ *   min(max_order, numStates) states.
+ * @throws std::invalid_argument for continuous systems.
+ * @throws std::runtime_error when @p sys is unstable (gramians
+ *   undefined).
+ */
+BalancedReduction balancedTruncate(const StateSpace& sys,
+                                   std::size_t max_order);
+
+}  // namespace yukta::control
+
+#endif  // YUKTA_CONTROL_BALANCE_H_

@@ -1,0 +1,84 @@
+#include "control/lqg.h"
+
+#include <stdexcept>
+
+#include "control/riccati.h"
+#include "linalg/lu.h"
+
+namespace yukta::control {
+
+using linalg::Matrix;
+
+std::optional<Matrix>
+dlqr(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r)
+{
+    auto res = dare(a, b, q, r);
+    if (!res || !res->stabilizing) {
+        return std::nullopt;
+    }
+    const Matrix& x = res->x;
+    Matrix btxb = r + b.transpose() * x * b;
+    try {
+        return linalg::solve(btxb, b.transpose() * x * a);
+    } catch (const std::runtime_error&) {
+        return std::nullopt;
+    }
+}
+
+std::optional<KalmanGains>
+kalman(const Matrix& a, const Matrix& c, const Matrix& qn, const Matrix& rn)
+{
+    // Dual problem: dare on (A', C').
+    auto res = dare(a.transpose(), c.transpose(), qn, rn);
+    if (!res || !res->stabilizing) {
+        return std::nullopt;
+    }
+    const Matrix& p = res->x;
+    Matrix s = rn + c * p * c.transpose();
+    KalmanGains out;
+    try {
+        // L = A P C' S^{-1}: solve S' X' = (A P C')'.
+        Matrix apct = a * p * c.transpose();
+        out.l_pred =
+            linalg::solve(s.transpose(), apct.transpose()).transpose();
+    } catch (const std::runtime_error&) {
+        return std::nullopt;
+    }
+    out.p = p;
+    return out;
+}
+
+std::optional<StateSpace>
+lqgSynthesize(const StateSpace& plant, const LqgWeights& weights)
+{
+    if (!plant.isDiscrete()) {
+        throw std::invalid_argument("lqgSynthesize: plant must be discrete");
+    }
+    std::size_t n = plant.numStates();
+    std::size_t m = plant.numInputs();
+    std::size_t p = plant.numOutputs();
+
+    Matrix q = weights.q.empty() ? plant.c.transpose() * plant.c : weights.q;
+    Matrix r = weights.r.empty() ? Matrix::identity(m) : weights.r;
+    Matrix qn = weights.qn.empty() ? Matrix::identity(n) : weights.qn;
+    Matrix rn = weights.rn.empty() ? Matrix::identity(p) : weights.rn;
+
+    auto k = dlqr(plant.a, plant.b, q, r);
+    if (!k) {
+        return std::nullopt;
+    }
+    auto kal = kalman(plant.a, plant.c, qn, rn);
+    if (!kal) {
+        return std::nullopt;
+    }
+    const Matrix& kg = *k;
+    const Matrix& l = kal->l_pred;
+
+    Matrix ak = plant.a - plant.b * kg - l * plant.c + l * plant.d * kg;
+    Matrix bk = l;
+    Matrix ck = -1.0 * kg;
+    Matrix dk(m, p);
+    return StateSpace(ak, bk, ck, dk, plant.ts);
+}
+
+}  // namespace yukta::control

@@ -1,0 +1,73 @@
+#ifndef YUKTA_CONTROL_LQG_H_
+#define YUKTA_CONTROL_LQG_H_
+
+/**
+ * @file
+ * Discrete LQR, steady-state Kalman filtering, and LQG controller
+ * assembly. This implements the MIMO LQG baseline of Pothukuchi et
+ * al. (ISCA 2016) that the paper compares Yukta against (Sec. VI-B).
+ */
+
+#include <optional>
+
+#include "control/state_space.h"
+#include "linalg/matrix.h"
+
+namespace yukta::control {
+
+/**
+ * Discrete LQR gain: minimizes sum x'Qx + u'Ru for x(T+1)=Ax+Bu.
+ *
+ * @return K such that u = -K x, or std::nullopt when the Riccati
+ *   solve fails (non-stabilizable pair).
+ */
+std::optional<linalg::Matrix> dlqr(const linalg::Matrix& a,
+                                   const linalg::Matrix& b,
+                                   const linalg::Matrix& q,
+                                   const linalg::Matrix& r);
+
+/** Steady-state Kalman gains for x(T+1)=Ax+Bu+w, y=Cx+Du+v. */
+struct KalmanGains
+{
+    linalg::Matrix l_pred;  ///< Predictor gain: xhat+ includes L(y - yhat).
+    linalg::Matrix p;       ///< Steady-state error covariance.
+};
+
+/**
+ * Steady-state Kalman predictor for process noise covariance @p qn
+ * (n x n) and measurement noise covariance @p rn (p x p).
+ *
+ * @return std::nullopt when the dual Riccati solve fails.
+ */
+std::optional<KalmanGains> kalman(const linalg::Matrix& a,
+                                  const linalg::Matrix& c,
+                                  const linalg::Matrix& qn,
+                                  const linalg::Matrix& rn);
+
+/** Weights for an LQG design on a given plant. */
+struct LqgWeights
+{
+    linalg::Matrix q;   ///< State cost (defaults to C'C when empty).
+    linalg::Matrix r;   ///< Input cost.
+    linalg::Matrix qn;  ///< Process noise covariance (default I).
+    linalg::Matrix rn;  ///< Measurement noise covariance (default I).
+};
+
+/**
+ * Synthesizes a discrete LQG output-feedback controller (predictor
+ * form). The returned controller maps plant outputs y to plant
+ * inputs u:
+ *
+ *   xhat(T+1) = (A - B K - L C + L D K) xhat + L y
+ *   u(T)      = -K xhat
+ *
+ * @param plant discrete plant.
+ * @param weights design weights; empty members get defaults.
+ * @return controller system, or std::nullopt on Riccati failure.
+ */
+std::optional<StateSpace> lqgSynthesize(const StateSpace& plant,
+                                        const LqgWeights& weights);
+
+}  // namespace yukta::control
+
+#endif  // YUKTA_CONTROL_LQG_H_

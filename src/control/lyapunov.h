@@ -1,0 +1,36 @@
+#ifndef YUKTA_CONTROL_LYAPUNOV_H_
+#define YUKTA_CONTROL_LYAPUNOV_H_
+
+/**
+ * @file
+ * Lyapunov equation solvers. The discrete solver (Smith doubling)
+ * computes the gramians used by balanced truncation; the continuous
+ * solver (Kronecker) backs validation and tests.
+ */
+
+#include "linalg/matrix.h"
+
+namespace yukta::control {
+
+/**
+ * Solves the discrete Lyapunov equation A X A^T - X + Q = 0 by Smith
+ * doubling iteration.
+ *
+ * @param a square matrix with spectral radius < 1.
+ * @param q symmetric right-hand side.
+ * @throws std::runtime_error when the iteration diverges (unstable A).
+ */
+linalg::Matrix dlyap(const linalg::Matrix& a, const linalg::Matrix& q);
+
+/**
+ * Solves the continuous Lyapunov equation A X + X A^T + Q = 0 via the
+ * Kronecker-product linear system (suitable for the moderate orders
+ * used in controller synthesis).
+ *
+ * @throws std::runtime_error when A and -A share an eigenvalue.
+ */
+linalg::Matrix clyap(const linalg::Matrix& a, const linalg::Matrix& q);
+
+}  // namespace yukta::control
+
+#endif  // YUKTA_CONTROL_LYAPUNOV_H_

@@ -1,0 +1,102 @@
+#include "control/realization.h"
+
+#include <stdexcept>
+
+#include "control/balance.h"
+#include "linalg/svd.h"
+
+namespace yukta::control {
+
+using linalg::Matrix;
+
+Matrix
+controllabilityMatrix(const StateSpace& sys)
+{
+    std::size_t n = sys.numStates();
+    Matrix block = sys.b;
+    Matrix ctrb = block;
+    for (std::size_t k = 1; k < n; ++k) {
+        block = sys.a * block;
+        ctrb = hstack(ctrb, block);
+    }
+    return ctrb;
+}
+
+Matrix
+observabilityMatrix(const StateSpace& sys)
+{
+    std::size_t n = sys.numStates();
+    Matrix block = sys.c;
+    Matrix obsv = block;
+    for (std::size_t k = 1; k < n; ++k) {
+        block = block * sys.a;
+        obsv = vstack(obsv, block);
+    }
+    return obsv;
+}
+
+std::size_t
+numericalRank(const Matrix& m, double rtol)
+{
+    if (m.empty()) {
+        return 0;
+    }
+    linalg::Svd d = linalg::svd(m);
+    if (d.s.empty() || d.s.front() <= 0.0) {
+        return 0;
+    }
+    std::size_t rank = 0;
+    for (double s : d.s) {
+        if (s > rtol * d.s.front()) {
+            ++rank;
+        }
+    }
+    return rank;
+}
+
+bool
+isControllable(const StateSpace& sys, double rtol)
+{
+    if (sys.numStates() == 0) {
+        return true;
+    }
+    return numericalRank(controllabilityMatrix(sys), rtol) ==
+           sys.numStates();
+}
+
+bool
+isObservable(const StateSpace& sys, double rtol)
+{
+    if (sys.numStates() == 0) {
+        return true;
+    }
+    return numericalRank(observabilityMatrix(sys), rtol) == sys.numStates();
+}
+
+StateSpace
+minimalRealization(const StateSpace& sys, double rtol)
+{
+    if (!sys.isDiscrete()) {
+        throw std::invalid_argument(
+            "minimalRealization: discrete systems only");
+    }
+    if (!sys.isStable()) {
+        throw std::runtime_error("minimalRealization: unstable system");
+    }
+    if (sys.numStates() == 0) {
+        return sys;
+    }
+    // Balanced truncation keeping directions above the Hankel cutoff.
+    BalancedReduction full = balancedTruncate(sys, sys.numStates());
+    std::size_t keep = 0;
+    double top = full.hsv.empty() ? 0.0 : full.hsv.front();
+    for (double h : full.hsv) {
+        if (h > rtol * top) {
+            ++keep;
+        }
+    }
+    keep = std::max<std::size_t>(keep, 1);
+    return balancedTruncate(sys, keep).sys;
+}
+
+}  // namespace yukta::control

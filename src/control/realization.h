@@ -1,0 +1,50 @@
+#ifndef YUKTA_CONTROL_REALIZATION_H_
+#define YUKTA_CONTROL_REALIZATION_H_
+
+/**
+ * @file
+ * Realization analysis: controllability / observability matrices and
+ * rank tests, gramian-based degree estimates, and minimal realization
+ * via balanced truncation of the numerically unreachable/unobservable
+ * directions. The design flow uses these to sanity-check identified
+ * models before synthesis.
+ */
+
+#include <cstddef>
+
+#include "control/state_space.h"
+#include "linalg/matrix.h"
+
+namespace yukta::control {
+
+/** @return the controllability matrix [B, AB, ..., A^{n-1}B]. */
+linalg::Matrix controllabilityMatrix(const StateSpace& sys);
+
+/** @return the observability matrix [C; CA; ...; CA^{n-1}]. */
+linalg::Matrix observabilityMatrix(const StateSpace& sys);
+
+/**
+ * Numerical rank: number of singular values above
+ * rtol * sigma_max.
+ */
+std::size_t numericalRank(const linalg::Matrix& m, double rtol = 1e-9);
+
+/** @return true when (A, B) is controllable (full numerical rank). */
+bool isControllable(const StateSpace& sys, double rtol = 1e-9);
+
+/** @return true when (A, C) is observable. */
+bool isObservable(const StateSpace& sys, double rtol = 1e-9);
+
+/**
+ * Minimal realization of a *stable discrete* system: balanced
+ * truncation discarding Hankel directions below
+ * @p rtol * hsv_max.
+ *
+ * @throws std::invalid_argument for continuous systems,
+ *         std::runtime_error for unstable systems.
+ */
+StateSpace minimalRealization(const StateSpace& sys, double rtol = 1e-9);
+
+}  // namespace yukta::control
+
+#endif  // YUKTA_CONTROL_REALIZATION_H_

@@ -1,0 +1,164 @@
+#include "control/riccati.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/eig.h"
+#include "linalg/lu.h"
+#include "linalg/qr.h"
+
+namespace yukta::control {
+
+using linalg::Matrix;
+
+std::optional<RiccatiResult>
+care(const Matrix& a, const Matrix& g, const Matrix& q)
+{
+    std::size_t n = a.rows();
+    if (!a.isSquare() || g.rows() != n || g.cols() != n || q.rows() != n ||
+        q.cols() != n) {
+        throw std::invalid_argument("care: shape mismatch");
+    }
+
+    // Hamiltonian H = [A, -G; -Q, -A'].
+    Matrix h(2 * n, 2 * n);
+    h.setBlock(0, 0, a);
+    h.setBlock(0, n, -g);
+    h.setBlock(n, 0, -q);
+    h.setBlock(n, n, -a.transpose());
+
+    // Matrix sign iteration with determinant scaling.
+    Matrix z = h;
+    const int max_iter = 120;
+    bool converged = false;
+    for (int i = 0; i < max_iter; ++i) {
+        linalg::Lu lu(z);
+        if (!lu.invertible()) {
+            return std::nullopt;  // eigenvalue at/near the imaginary axis
+        }
+        double det = std::abs(lu.determinant());
+        double c = 1.0;
+        if (det > 0.0 && std::isfinite(det)) {
+            c = std::pow(det, -1.0 / static_cast<double>(2 * n));
+            if (!std::isfinite(c) || c <= 0.0) {
+                c = 1.0;
+            }
+        }
+        Matrix zc = c * z;
+        Matrix zc_inv = (1.0 / c) * lu.inverse();
+        Matrix next = 0.5 * (zc + zc_inv);
+        double delta = (next - z).maxAbs();
+        z = next;
+        if (delta <= 1e-12 * (1.0 + z.maxAbs())) {
+            converged = true;
+            break;
+        }
+    }
+    if (!converged) {
+        return std::nullopt;
+    }
+
+    // Stable subspace: (sign(H) + I) [I; X] = 0.
+    Matrix s = z + Matrix::identity(2 * n);
+    Matrix m12 = s.block(0, n, n, n);
+    Matrix m22 = s.block(n, n, n, n);
+    Matrix m11 = s.block(0, 0, n, n);
+    Matrix m21 = s.block(n, 0, n, n);
+
+    Matrix lhs = vstack(m12, m22);
+    Matrix rhs = -vstack(m11, m21);
+    Matrix x;
+    try {
+        x = linalg::lstsq(lhs, rhs);
+    } catch (const std::runtime_error&) {
+        return std::nullopt;
+    }
+
+    // The stabilizing solution is symmetric; large asymmetry signals a
+    // failed extraction.
+    double asym = (x - x.transpose()).maxAbs();
+    if (asym > 1e-5 * (1.0 + x.maxAbs())) {
+        return std::nullopt;
+    }
+    x = 0.5 * (x + x.transpose());
+
+    RiccatiResult out;
+    out.x = x;
+    Matrix resid =
+        a.transpose() * x + x * a - x * g * x + q;
+    out.residual = resid.maxAbs();
+    Matrix acl = a - g * x;
+    out.stabilizing = linalg::spectralAbscissa(acl) < 1e-7;
+    return out;
+}
+
+std::optional<RiccatiResult>
+dare(const Matrix& a, const Matrix& b, const Matrix& q, const Matrix& r)
+{
+    std::size_t n = a.rows();
+    std::size_t m = b.cols();
+    if (!a.isSquare() || b.rows() != n || q.rows() != n || q.cols() != n ||
+        r.rows() != m || r.cols() != m) {
+        throw std::invalid_argument("dare: shape mismatch");
+    }
+
+    // Structure-preserving doubling (SDA).
+    Matrix g0;
+    try {
+        g0 = b * linalg::inverse(r) * b.transpose();
+    } catch (const std::runtime_error&) {
+        return std::nullopt;
+    }
+    Matrix ak = a;
+    Matrix gk = g0;
+    Matrix hk = q;
+    const int max_iter = 100;
+    bool converged = false;
+    for (int i = 0; i < max_iter; ++i) {
+        Matrix w = Matrix::identity(n) + gk * hk;
+        linalg::Lu lu(w);
+        if (!lu.invertible()) {
+            return std::nullopt;
+        }
+        Matrix winv_a = lu.solve(ak);
+        Matrix winv_g = lu.solve(gk);
+
+        Matrix a_next = ak * winv_a;
+        Matrix g_next = gk + ak * winv_g * ak.transpose();
+        Matrix h_next =
+            hk + ak.transpose() * hk * winv_a;
+        double delta = (h_next - hk).maxAbs();
+        ak = a_next;
+        gk = 0.5 * (g_next + g_next.transpose());
+        hk = 0.5 * (h_next + h_next.transpose());
+        if (delta <= 1e-13 * (1.0 + hk.maxAbs())) {
+            converged = true;
+            break;
+        }
+        if (hk.maxAbs() > 1e100) {
+            break;
+        }
+    }
+    if (!converged) {
+        return std::nullopt;
+    }
+
+    RiccatiResult out;
+    out.x = hk;
+    // Residual of the standard DARE.
+    Matrix btxb = r + b.transpose() * hk * b;
+    Matrix gain;
+    try {
+        gain = linalg::solve(btxb, b.transpose() * hk * a);
+    } catch (const std::runtime_error&) {
+        return std::nullopt;
+    }
+    Matrix resid = a.transpose() * hk * a - hk -
+                   a.transpose() * hk * b * gain + q;
+    out.residual = resid.maxAbs();
+    Matrix acl = a - b * gain;
+    out.stabilizing = linalg::spectralRadius(acl) < 1.0 + 1e-7;
+    return out;
+}
+
+}  // namespace yukta::control

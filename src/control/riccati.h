@@ -1,0 +1,59 @@
+#ifndef YUKTA_CONTROL_RICCATI_H_
+#define YUKTA_CONTROL_RICCATI_H_
+
+/**
+ * @file
+ * Algebraic Riccati equation solvers:
+ *
+ *  - care(): continuous-time, A'X + XA - X G X + Q = 0, solved via the
+ *    matrix-sign-function iteration on the Hamiltonian. G may be
+ *    indefinite, which is what the H-infinity central controller
+ *    needs (G = B2 B2' - gamma^-2 B1 B1').
+ *  - dare(): discrete-time standard LQR Riccati, solved with the
+ *    structure-preserving doubling algorithm (SDA).
+ */
+
+#include <optional>
+
+#include "linalg/matrix.h"
+
+namespace yukta::control {
+
+/** Outcome of a Riccati solve. */
+struct RiccatiResult
+{
+    linalg::Matrix x;       ///< Stabilizing solution (symmetric).
+    double residual = 0.0;  ///< Max-abs residual of the equation.
+    bool stabilizing = true;  ///< Closed-loop matrix is stable.
+};
+
+/**
+ * Solves A'X + XA - X G X + Q = 0 for the stabilizing X.
+ *
+ * @param a n x n.
+ * @param g n x n symmetric (possibly indefinite).
+ * @param q n x n symmetric.
+ * @return std::nullopt when the Hamiltonian has eigenvalues on the
+ *   imaginary axis or the sign iteration fails (no stabilizing
+ *   solution exists) or the extracted solution is not symmetric
+ *   within tolerance.
+ */
+std::optional<RiccatiResult> care(const linalg::Matrix& a,
+                                  const linalg::Matrix& g,
+                                  const linalg::Matrix& q);
+
+/**
+ * Solves the discrete LQR Riccati equation
+ * A'XA - X - A'XB (R + B'XB)^{-1} B'XA + Q = 0.
+ *
+ * @param a n x n, @p b n x m, @p q n x n PSD, @p r m x m PD.
+ * @return std::nullopt when the doubling iteration fails to converge.
+ */
+std::optional<RiccatiResult> dare(const linalg::Matrix& a,
+                                  const linalg::Matrix& b,
+                                  const linalg::Matrix& q,
+                                  const linalg::Matrix& r);
+
+}  // namespace yukta::control
+
+#endif  // YUKTA_CONTROL_RICCATI_H_

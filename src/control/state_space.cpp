@@ -1,0 +1,152 @@
+#include "control/state_space.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/cmatrix.h"
+#include "linalg/eig.h"
+#include "linalg/lu.h"
+
+namespace yukta::control {
+
+using linalg::CMatrix;
+using linalg::Complex;
+using linalg::Matrix;
+using linalg::Vector;
+
+StateSpace::StateSpace(Matrix a_in, Matrix b_in, Matrix c_in, Matrix d_in,
+                       double ts_in)
+    : a(std::move(a_in)), b(std::move(b_in)), c(std::move(c_in)),
+      d(std::move(d_in)), ts(ts_in)
+{
+    if (!a.isSquare()) {
+        throw std::invalid_argument("StateSpace: A must be square");
+    }
+    if (b.rows() != a.rows()) {
+        throw std::invalid_argument("StateSpace: B row count != states");
+    }
+    if (c.cols() != a.rows()) {
+        throw std::invalid_argument("StateSpace: C col count != states");
+    }
+    if (d.rows() != c.rows() || d.cols() != b.cols()) {
+        throw std::invalid_argument("StateSpace: D shape mismatch");
+    }
+    if (ts < 0.0) {
+        throw std::invalid_argument("StateSpace: negative sample time");
+    }
+}
+
+StateSpace
+StateSpace::gain(const Matrix& g, double ts)
+{
+    return StateSpace(Matrix(0, 0), Matrix(0, g.cols()),
+                      Matrix(g.rows(), 0), g, ts);
+}
+
+std::vector<Complex>
+StateSpace::poles() const
+{
+    return linalg::eigenvalues(a);
+}
+
+bool
+StateSpace::isStable(double margin) const
+{
+    if (numStates() == 0) {
+        return true;
+    }
+    if (isDiscrete()) {
+        return linalg::spectralRadius(a) < 1.0 - margin;
+    }
+    return linalg::spectralAbscissa(a) < -margin;
+}
+
+CMatrix
+StateSpace::evalAt(Complex s) const
+{
+    std::size_t n = numStates();
+    if (n == 0) {
+        return CMatrix(d);
+    }
+    // (sI - A)
+    CMatrix si_a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            si_a(i, j) = Complex(-a(i, j), 0.0);
+        }
+        si_a(i, i) += s;
+    }
+    CMatrix x = csolve(si_a, CMatrix(b));
+    return CMatrix(c) * x + CMatrix(d);
+}
+
+CMatrix
+StateSpace::freqResponse(double w) const
+{
+    if (isDiscrete()) {
+        return evalAt(std::exp(Complex(0.0, w * ts)));
+    }
+    return evalAt(Complex(0.0, w));
+}
+
+Matrix
+StateSpace::dcGain() const
+{
+    Complex s = isDiscrete() ? Complex(1.0, 0.0) : Complex(0.0, 0.0);
+    return evalAt(s).realPart();
+}
+
+StateSpace
+StateSpace::dual() const
+{
+    return StateSpace(a.transpose(), c.transpose(), b.transpose(),
+                      d.transpose(), ts);
+}
+
+StateSpace
+StateSpace::scaled(const Matrix& out_scale, const Matrix& in_scale) const
+{
+    return StateSpace(a, b * in_scale, out_scale * c,
+                      out_scale * d * in_scale, ts);
+}
+
+Vector
+stepOnce(const StateSpace& sys, Vector& x, const Vector& u)
+{
+    if (x.size() != sys.numStates() || u.size() != sys.numInputs()) {
+        throw std::invalid_argument("stepOnce: dimension mismatch");
+    }
+    Vector y = sys.c * x + sys.d * u;
+    x = sys.a * x + sys.b * u;
+    return y;
+}
+
+std::vector<Vector>
+simulate(const StateSpace& sys, const std::vector<Vector>& inputs, Vector x0)
+{
+    if (!sys.isDiscrete()) {
+        throw std::invalid_argument("simulate: system must be discrete");
+    }
+    Vector x = x0.empty() ? Vector::zeros(sys.numStates()) : std::move(x0);
+    std::vector<Vector> outputs;
+    outputs.reserve(inputs.size());
+    for (const Vector& u : inputs) {
+        outputs.push_back(stepOnce(sys, x, u));
+    }
+    return outputs;
+}
+
+std::vector<Vector>
+stepResponse(const StateSpace& sys, std::size_t input_idx, std::size_t steps)
+{
+    if (input_idx >= sys.numInputs()) {
+        throw std::invalid_argument("stepResponse: bad input index");
+    }
+    std::vector<Vector> inputs(steps, Vector::zeros(sys.numInputs()));
+    for (Vector& u : inputs) {
+        u[input_idx] = 1.0;
+    }
+    return simulate(sys, inputs);
+}
+
+}  // namespace yukta::control

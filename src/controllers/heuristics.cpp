@@ -1,0 +1,206 @@
+#include "controllers/heuristics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace yukta::controllers {
+
+using platform::HardwareInputs;
+using platform::PlacementPolicy;
+
+// ----------------------------------------------------------------
+// Coordinated heuristic, hardware side.
+// ----------------------------------------------------------------
+
+CoordinatedHwHeuristic::CoordinatedHwHeuristic(
+    const platform::BoardConfig& cfg, const platform::DvfsTable& big,
+    const platform::DvfsTable& little)
+    : cfg_(cfg), big_(big), little_(little)
+{
+    reset();
+}
+
+void
+CoordinatedHwHeuristic::reset()
+{
+    state_.big_cores = 2;
+    state_.little_cores = 2;
+    state_.freq_big = 1.0;
+    state_.freq_little = 0.8;
+    ramp_tick_ = 0;
+}
+
+HardwareInputs
+CoordinatedHwHeuristic::invoke(const HwSignals& s)
+{
+    // Coordination: size the big cluster to the thread demand the OS
+    // reports (external signals), instead of blindly using all cores.
+    double want_big =
+        s.tpc_big > 0.0 ? std::ceil(s.threads_big / s.tpc_big) : 1.0;
+    state_.big_cores = static_cast<std::size_t>(
+        std::clamp(want_big, 1.0, static_cast<double>(cfg_.big.num_cores)));
+    // The OS does not report the little-thread count directly; the
+    // heuristic keeps the little cluster sized conservatively: all
+    // cores when the big cluster is saturated (spillover expected),
+    // half otherwise.
+    double want_little = s.threads_big >= 2.0 * state_.big_cores
+                             ? static_cast<double>(cfg_.little.num_cores)
+                             : std::ceil(cfg_.little.num_cores / 2.0);
+    state_.little_cores = static_cast<std::size_t>(std::clamp(
+        want_little, 1.0, static_cast<double>(cfg_.little.num_cores)));
+
+    // Raise frequency while safe; back off proportionally on
+    // violations. "Safe" leaves a deliberate margin: industry
+    // heuristics are tuned conservatively (the paper's Fig. 10(a)
+    // shows the coordinated heuristic settling near 2.5 W against the
+    // 3.3 W limit).
+    double margin_p = 0.80;
+    double margin_t = cfg_.temp_limit - 4.0;
+    bool big_safe = s.p_big < margin_p * cfg_.power_limit_big &&
+                    s.temp < margin_t;
+    bool little_safe = s.p_little < margin_p * cfg_.power_limit_little &&
+                       s.temp < margin_t;
+
+    if (big_safe) {
+        // Ramp slowly (every other invocation), like interactive
+        // governors do.
+        if (++ramp_tick_ % 2 == 0) {
+            state_.freq_big = big_.stepUp(state_.freq_big, 1);
+        }
+    } else {
+        double excess = std::max(s.p_big / cfg_.power_limit_big,
+                                 s.temp / cfg_.temp_limit);
+        std::size_t steps = excess > 1.05 ? 3 : (excess > 1.0 ? 2 : 1);
+        state_.freq_big = big_.stepDown(state_.freq_big, steps);
+    }
+    if (little_safe) {
+        state_.freq_little = little_.stepUp(state_.freq_little, 1);
+    } else {
+        double excess = s.p_little / cfg_.power_limit_little;
+        std::size_t steps = excess > 1.05 ? 3 : (excess > 1.0 ? 2 : 1);
+        state_.freq_little = little_.stepDown(state_.freq_little, steps);
+    }
+    return state_;
+}
+
+// ----------------------------------------------------------------
+// Coordinated heuristic, OS side (HMP-like, E x D aware).
+// ----------------------------------------------------------------
+
+CoordinatedOsHeuristic::CoordinatedOsHeuristic(
+    const platform::BoardConfig& cfg)
+    : cfg_(cfg)
+{
+}
+
+PlacementPolicy
+CoordinatedOsHeuristic::invoke(const OsSignals& s)
+{
+    PlacementPolicy policy;
+    double threads = static_cast<double>(s.num_threads);
+    if (threads <= 0.0) {
+        return policy;
+    }
+
+    // Capacity-proportional split using the core types and the
+    // frequencies the hardware layer reports (the coordination). The
+    // split plans against the *physical* core counts: the scheduler
+    // expresses demand and the hardware layer brings cores up to meet
+    // it (sizing against only the currently-powered cores would
+    // deadlock both layers at one core each).
+    double phys_big = static_cast<double>(cfg_.big.num_cores);
+    double phys_little = static_cast<double>(cfg_.little.num_cores);
+    double cap_big = phys_big * s.freq_big * 2.0;  // big ~2x IPC
+    double cap_little = phys_little * s.freq_little * 1.0;
+    double share =
+        cap_big + cap_little > 0.0 ? cap_big / (cap_big + cap_little) : 1.0;
+    policy.threads_big = std::round(threads * share);
+    policy.threads_big =
+        std::clamp(policy.threads_big, 0.0, threads);
+
+    // Packing: spread while cores are plentiful; consolidate under
+    // light load so unused cores can be powered down (E x D motive).
+    double nb = policy.threads_big;
+    double nl = threads - nb;
+    if (threads <= 0.5 * (phys_big + phys_little)) {
+        policy.tpc_big = std::max(1.0, std::ceil(nb / 2.0) > 0.0 ? 2.0 : 1.0);
+        policy.tpc_little = 2.0;
+    } else {
+        // Spread over all physical cores (real-valued packing knob).
+        policy.tpc_big =
+            std::max(1.0, nb / std::min(std::max(nb, 1.0), phys_big));
+        policy.tpc_little =
+            std::max(1.0,
+                     nl / std::min(std::max(nl, 1.0), phys_little));
+    }
+    return policy;
+}
+
+// ----------------------------------------------------------------
+// Decoupled heuristic, hardware side (performance governor).
+// ----------------------------------------------------------------
+
+DecoupledHwHeuristic::DecoupledHwHeuristic(const platform::BoardConfig& cfg,
+                                           const platform::DvfsTable& big,
+                                           const platform::DvfsTable& little)
+    : cfg_(cfg), big_(big), little_(little)
+{
+    reset();
+}
+
+void
+DecoupledHwHeuristic::reset()
+{
+    state_.big_cores = cfg_.big.num_cores;
+    state_.little_cores = cfg_.little.num_cores;
+    state_.freq_big = big_.maxFreq();
+    state_.freq_little = little_.maxFreq();
+    violation_streak_ = 0;
+}
+
+HardwareInputs
+DecoupledHwHeuristic::invoke(const HwSignals& s)
+{
+    bool violating = s.p_big > cfg_.power_limit_big ||
+                     s.p_little > cfg_.power_limit_little ||
+                     s.temp > cfg_.temp_limit;
+    if (violating) {
+        ++violation_streak_;
+        // Threshold rules: frequency first, then cores — irrespective
+        // of the number of threads.
+        state_.freq_big = big_.stepDown(state_.freq_big, 2);
+        state_.freq_little = little_.stepDown(state_.freq_little, 1);
+        if (violation_streak_ >= 3 && state_.big_cores > 1) {
+            --state_.big_cores;
+        }
+    } else {
+        // Back to maximum the moment things look calm: this is what
+        // makes the decoupled scheme oscillate against the emergency
+        // system (Fig. 10(b)).
+        violation_streak_ = 0;
+        state_.big_cores = cfg_.big.num_cores;
+        state_.little_cores = cfg_.little.num_cores;
+        state_.freq_big = big_.maxFreq();
+        state_.freq_little = little_.maxFreq();
+    }
+    return state_;
+}
+
+// ----------------------------------------------------------------
+// Decoupled heuristic, OS side (round robin).
+// ----------------------------------------------------------------
+
+DecoupledOsRoundRobin::DecoupledOsRoundRobin(const platform::BoardConfig& cfg)
+    : cfg_(cfg)
+{
+}
+
+PlacementPolicy
+DecoupledOsRoundRobin::invoke(const OsSignals& s)
+{
+    // No coordination: assume all physical cores are available.
+    return platform::roundRobinPolicy(s.num_threads, cfg_.big.num_cores,
+                                      cfg_.little.num_cores);
+}
+
+}  // namespace yukta::controllers

@@ -1,0 +1,88 @@
+#ifndef YUKTA_CONTROLLERS_HEURISTICS_H_
+#define YUKTA_CONTROLLERS_HEURISTICS_H_
+
+/**
+ * @file
+ * The heuristic controllers of Table IV:
+ *
+ *  (a) Coordinated heuristic — OS: HMP-style scheduler with power /
+ *      performance heuristics using the number, type, and frequency
+ *      of cores; HW: raises frequency and core counts while operation
+ *      is safe, using the thread distribution to decide.
+ *  (b) Decoupled heuristic — OS: round-robin placement; HW: Linux
+ *      "performance"-governor style: everything at maximum, with
+ *      threshold rules cutting frequency first and then cores on
+ *      violations, irrespective of threads.
+ */
+
+#include "controllers/controller.h"
+#include "platform/config.h"
+#include "platform/dvfs.h"
+
+namespace yukta::controllers {
+
+/** HW side of the Coordinated heuristic scheme (Table IV(a)). */
+class CoordinatedHwHeuristic : public HwController
+{
+  public:
+    CoordinatedHwHeuristic(const platform::BoardConfig& cfg,
+                           const platform::DvfsTable& big,
+                           const platform::DvfsTable& little);
+
+    platform::HardwareInputs invoke(const HwSignals& s) override;
+    void reset() override;
+
+  private:
+    platform::BoardConfig cfg_;
+    platform::DvfsTable big_;
+    platform::DvfsTable little_;
+    platform::HardwareInputs state_;
+    int ramp_tick_ = 0;
+};
+
+/** OS side of the Coordinated heuristic scheme (HMP-like, E x D). */
+class CoordinatedOsHeuristic : public OsController
+{
+  public:
+    explicit CoordinatedOsHeuristic(const platform::BoardConfig& cfg);
+
+    platform::PlacementPolicy invoke(const OsSignals& s) override;
+
+  private:
+    platform::BoardConfig cfg_;
+};
+
+/** HW side of the Decoupled heuristic (performance governor). */
+class DecoupledHwHeuristic : public HwController
+{
+  public:
+    DecoupledHwHeuristic(const platform::BoardConfig& cfg,
+                         const platform::DvfsTable& big,
+                         const platform::DvfsTable& little);
+
+    platform::HardwareInputs invoke(const HwSignals& s) override;
+    void reset() override;
+
+  private:
+    platform::BoardConfig cfg_;
+    platform::DvfsTable big_;
+    platform::DvfsTable little_;
+    platform::HardwareInputs state_;
+    int violation_streak_ = 0;
+};
+
+/** OS side of the Decoupled heuristic (round robin, no coordination). */
+class DecoupledOsRoundRobin : public OsController
+{
+  public:
+    explicit DecoupledOsRoundRobin(const platform::BoardConfig& cfg);
+
+    platform::PlacementPolicy invoke(const OsSignals& s) override;
+
+  private:
+    platform::BoardConfig cfg_;
+};
+
+}  // namespace yukta::controllers
+
+#endif  // YUKTA_CONTROLLERS_HEURISTICS_H_

@@ -1,0 +1,147 @@
+#ifndef YUKTA_CONTROLLERS_LAYER_CONTROLLERS_H_
+#define YUKTA_CONTROLLERS_LAYER_CONTROLLERS_H_
+
+/**
+ * @file
+ * Concrete layer controllers: SSV- and LQG-based hardware / OS
+ * controllers (each paired with an E x D target optimizer, Fig. 5),
+ * and the monolithic LQG controller that manages both layers at once
+ * (Sec. VI-B).
+ */
+
+#include <utility>
+
+#include "controllers/controller.h"
+#include "controllers/lqg_runtime.h"
+#include "controllers/optimizer.h"
+#include "controllers/ssv_runtime.h"
+
+namespace yukta::controllers {
+
+/**
+ * Builds the default hardware-layer optimizer: maximize BIPS, budget
+ * the two cluster powers below the board limits, hold temperature.
+ */
+ExdOptimizer makeHwOptimizer(const platform::BoardConfig& cfg);
+
+/** Default OS-layer optimizer: maximize per-cluster BIPS, hold dSC. */
+ExdOptimizer makeOsOptimizer();
+
+/** Optimizer for the monolithic LQG: all seven targets in one walk. */
+ExdOptimizer makeMonolithicOptimizer(const platform::BoardConfig& cfg);
+
+/** SSV hardware controller (Sec. IV-A) + optimizer. */
+class SsvHwController : public HwController
+{
+  public:
+    SsvHwController(SsvRuntime runtime, ExdOptimizer optimizer);
+
+    platform::HardwareInputs invoke(const HwSignals& s) override;
+    void reset() override;
+
+    const SsvRuntime& runtime() const { return runtime_; }
+    const ExdOptimizer& optimizer() const { return optimizer_; }
+
+    /** Overrides the optimizer with fixed output targets. */
+    void holdTargets(linalg::Vector targets);
+
+  private:
+    SsvRuntime runtime_;
+    ExdOptimizer optimizer_;
+    linalg::Vector held_targets_;
+    bool hold_ = false;
+};
+
+/** SSV software controller (Sec. IV-B) + optimizer. */
+class SsvOsController : public OsController
+{
+  public:
+    SsvOsController(SsvRuntime runtime, ExdOptimizer optimizer);
+
+    platform::PlacementPolicy invoke(const OsSignals& s) override;
+    void reset() override;
+
+    const SsvRuntime& runtime() const { return runtime_; }
+    const ExdOptimizer& optimizer() const { return optimizer_; }
+
+    void holdTargets(linalg::Vector targets);
+
+  private:
+    SsvRuntime runtime_;
+    ExdOptimizer optimizer_;
+    linalg::Vector held_targets_;
+    bool hold_ = false;
+};
+
+/** Decoupled-LQG hardware controller (no external signals). */
+class LqgHwController : public HwController
+{
+  public:
+    LqgHwController(LqgRuntime runtime, ExdOptimizer optimizer);
+
+    platform::HardwareInputs invoke(const HwSignals& s) override;
+    void reset() override;
+
+    const LqgRuntime& runtime() const { return runtime_; }
+    const ExdOptimizer& optimizer() const { return optimizer_; }
+
+  private:
+    LqgRuntime runtime_;
+    ExdOptimizer optimizer_;
+};
+
+/** Decoupled-LQG software controller. */
+class LqgOsController : public OsController
+{
+  public:
+    LqgOsController(LqgRuntime runtime, ExdOptimizer optimizer);
+
+    platform::PlacementPolicy invoke(const OsSignals& s) override;
+    void reset() override;
+
+    const LqgRuntime& runtime() const { return runtime_; }
+
+  private:
+    LqgRuntime runtime_;
+    ExdOptimizer optimizer_;
+};
+
+/** Controller that manages both layers from one loop. */
+class JointController
+{
+  public:
+    virtual ~JointController() = default;
+
+    virtual std::pair<platform::HardwareInputs, platform::PlacementPolicy>
+    invoke(const HwSignals& hw, const OsSignals& os) = 0;
+
+    virtual void reset() {}
+};
+
+/**
+ * Monolithic LQG (Sec. VI-B): one LQG loop over all seven outputs
+ * {BIPS, P_big, P_little, T, BIPS_big, BIPS_little, dSC} and all
+ * seven inputs {cores/freqs, placement knobs}.
+ */
+class MonolithicLqgController : public JointController
+{
+  public:
+    MonolithicLqgController(LqgRuntime runtime, ExdOptimizer optimizer);
+
+    std::pair<platform::HardwareInputs, platform::PlacementPolicy>
+    invoke(const HwSignals& hw, const OsSignals& os) override;
+    void reset() override;
+
+    const LqgRuntime& runtime() const { return runtime_; }
+
+  private:
+    LqgRuntime runtime_;
+    ExdOptimizer optimizer_;
+};
+
+/** E x D proxy metric (Power / Perf^2) used by the optimizers. */
+double exdMetric(double total_power, double bips);
+
+}  // namespace yukta::controllers
+
+#endif  // YUKTA_CONTROLLERS_LAYER_CONTROLLERS_H_

@@ -1,0 +1,141 @@
+#include "controllers/multilayer.h"
+
+#include <cmath>
+
+namespace yukta::controllers {
+
+using platform::ClusterId;
+using platform::HardwareInputs;
+using platform::PlacementPolicy;
+
+MultilayerSystem::MultilayerSystem(platform::Board board,
+                                   std::unique_ptr<HwController> hw,
+                                   std::unique_ptr<OsController> os)
+    : board_(std::move(board)), hw_(std::move(hw)), os_(std::move(os))
+{
+    last_hw_ = board_.requestedHardware();
+    last_policy_ = board_.placementPolicy();
+}
+
+MultilayerSystem::MultilayerSystem(platform::Board board,
+                                   std::unique_ptr<JointController> joint)
+    : board_(std::move(board)), joint_(std::move(joint))
+{
+    last_hw_ = board_.requestedHardware();
+    last_policy_ = board_.placementPolicy();
+}
+
+void
+MultilayerSystem::enableTrace(double interval)
+{
+    board_.enableTrace(interval);
+}
+
+HwSignals
+MultilayerSystem::gatherHw() const
+{
+    HwSignals s;
+    double instr = board_.perfCounters().total();
+    s.perf_bips = (instr - last_instr_total_) / kControlPeriod;
+    s.p_big = board_.sensedPowerBig();
+    s.p_little = board_.sensedPowerLittle();
+    s.temp = board_.sensedTemperature();
+    // External signals: the OS layer's current inputs.
+    s.threads_big = last_policy_.threads_big;
+    s.tpc_big = last_policy_.tpc_big;
+    s.tpc_little = last_policy_.tpc_little;
+    return s;
+}
+
+OsSignals
+MultilayerSystem::gatherOs() const
+{
+    OsSignals s;
+    s.perf_big = (board_.perfCounters().instr_big - last_instr_big_) /
+                 kControlPeriod;
+    s.perf_little =
+        (board_.perfCounters().instr_little - last_instr_little_) /
+        kControlPeriod;
+    s.d_spare = board_.spareCompute(ClusterId::kBig) -
+                board_.spareCompute(ClusterId::kLittle);
+    s.num_threads = board_.threadsRunning();
+    s.total_power = board_.sensedPowerBig() + board_.sensedPowerLittle();
+    // External signals: the HW layer's current inputs.
+    const HardwareInputs& hw = board_.requestedHardware();
+    s.big_cores = static_cast<double>(hw.big_cores);
+    s.little_cores = static_cast<double>(hw.little_cores);
+    s.freq_big = hw.freq_big;
+    s.freq_little = hw.freq_little;
+    return s;
+}
+
+void
+MultilayerSystem::applyIfChanged(const HardwareInputs& hw,
+                                 const PlacementPolicy& policy)
+{
+    auto hwDiffers = [&]() {
+        return hw.big_cores != last_hw_.big_cores ||
+               hw.little_cores != last_hw_.little_cores ||
+               std::abs(hw.freq_big - last_hw_.freq_big) > 1e-9 ||
+               std::abs(hw.freq_little - last_hw_.freq_little) > 1e-9;
+    };
+    auto policyDiffers = [&]() {
+        return std::abs(policy.threads_big - last_policy_.threads_big) >
+                   0.5 ||
+               std::abs(policy.tpc_big - last_policy_.tpc_big) > 0.25 ||
+               std::abs(policy.tpc_little - last_policy_.tpc_little) > 0.25;
+    };
+    if (hwDiffers()) {
+        board_.applyHardwareInputs(hw);
+        last_hw_ = hw;
+    }
+    if (policyDiffers()) {
+        board_.applyPlacementPolicy(policy);
+        last_policy_ = policy;
+    }
+}
+
+RunMetrics
+MultilayerSystem::run(double max_seconds)
+{
+    RunMetrics metrics;
+    double t = 0.0;
+    while (!board_.done() && t < max_seconds) {
+        HwSignals hw_sig = gatherHw();
+        OsSignals os_sig = gatherOs();
+
+        HardwareInputs hw_in = last_hw_;
+        PlacementPolicy policy = last_policy_;
+        if (joint_) {
+            auto [h, p] = joint_->invoke(hw_sig, os_sig);
+            hw_in = h;
+            policy = p;
+        } else {
+            if (hw_) {
+                hw_in = hw_->invoke(hw_sig);
+            }
+            if (os_) {
+                policy = os_->invoke(os_sig);
+            }
+        }
+        applyIfChanged(hw_in, policy);
+
+        last_instr_total_ = board_.perfCounters().total();
+        last_instr_big_ = board_.perfCounters().instr_big;
+        last_instr_little_ = board_.perfCounters().instr_little;
+
+        board_.run(kControlPeriod);
+        t += kControlPeriod;
+        ++metrics.periods;
+    }
+
+    metrics.exec_time = board_.elapsed();
+    metrics.energy = board_.energy();
+    metrics.exd = board_.energyDelay();
+    metrics.completed = board_.done();
+    metrics.emergency_time = board_.emergencyTime();
+    metrics.trace = board_.trace();
+    return metrics;
+}
+
+}  // namespace yukta::controllers

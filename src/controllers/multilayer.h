@@ -1,0 +1,75 @@
+#ifndef YUKTA_CONTROLLERS_MULTILAYER_H_
+#define YUKTA_CONTROLLERS_MULTILAYER_H_
+
+/**
+ * @file
+ * The multilayer runtime harness (Fig. 4 / Fig. 7): wires a hardware
+ * controller and a software controller (or one monolithic joint
+ * controller) to the simulated board, invoking them every 500 ms and
+ * ferrying the external signals between layers.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "controllers/controller.h"
+#include "controllers/layer_controllers.h"
+#include "platform/board.h"
+
+namespace yukta::controllers {
+
+/** Outcome of one experiment run. */
+struct RunMetrics
+{
+    double exec_time = 0.0;   ///< Seconds until workload completion.
+    double energy = 0.0;      ///< Joules.
+    double exd = 0.0;         ///< Energy x Delay (J*s).
+    bool completed = false;   ///< false = hit the time budget.
+    double emergency_time = 0.0;  ///< Seconds with TMU caps in force.
+    int periods = 0;          ///< Controller invocations.
+    std::vector<platform::TraceSample> trace;  ///< When tracing is on.
+};
+
+/** Two-layer (or monolithic) control system bound to a board. */
+class MultilayerSystem
+{
+  public:
+    /** Collaborative / decoupled two-layer arrangement. */
+    MultilayerSystem(platform::Board board, std::unique_ptr<HwController> hw,
+                     std::unique_ptr<OsController> os);
+
+    /** Monolithic arrangement (one controller for both layers). */
+    MultilayerSystem(platform::Board board,
+                     std::unique_ptr<JointController> joint);
+
+    /** Enables board tracing at @p interval seconds. */
+    void enableTrace(double interval);
+
+    /**
+     * Runs until the workload completes or @p max_seconds elapses.
+     */
+    RunMetrics run(double max_seconds);
+
+    platform::Board& board() { return board_; }
+
+  private:
+    platform::Board board_;
+    std::unique_ptr<HwController> hw_;
+    std::unique_ptr<OsController> os_;
+    std::unique_ptr<JointController> joint_;
+
+    platform::HardwareInputs last_hw_;
+    platform::PlacementPolicy last_policy_;
+    double last_instr_total_ = 0.0;
+    double last_instr_big_ = 0.0;
+    double last_instr_little_ = 0.0;
+
+    HwSignals gatherHw() const;
+    OsSignals gatherOs() const;
+    void applyIfChanged(const platform::HardwareInputs& hw,
+                        const platform::PlacementPolicy& policy);
+};
+
+}  // namespace yukta::controllers
+
+#endif  // YUKTA_CONTROLLERS_MULTILAYER_H_

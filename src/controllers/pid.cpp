@@ -1,0 +1,114 @@
+#include "controllers/pid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "controllers/layer_controllers.h"
+
+namespace yukta::controllers {
+
+using platform::HardwareInputs;
+
+Pid::Pid(const Gains& gains, double out_min, double out_max, double ts)
+    : gains_(gains), out_min_(out_min), out_max_(out_max), ts_(ts)
+{
+}
+
+double
+Pid::step(double error)
+{
+    // Derivative with EMA filtering (no derivative kick handling
+    // needed: targets move slowly).
+    double raw_d = first_ ? 0.0 : (error - prev_error_) / ts_;
+    deriv_ = first_ ? raw_d
+                    : gains_.derivative_alpha * deriv_ +
+                          (1.0 - gains_.derivative_alpha) * raw_d;
+    first_ = false;
+    prev_error_ = error;
+
+    double unclamped = gains_.kp * error + integ_ + gains_.kd * deriv_;
+    // Conditional integration: freeze the integrator while saturated
+    // in the same direction (anti-windup).
+    bool sat_hi = unclamped > out_max_ && error > 0.0;
+    bool sat_lo = unclamped < out_min_ && error < 0.0;
+    if (!sat_hi && !sat_lo) {
+        integ_ += gains_.ki * error * ts_;
+        double span = out_max_ - out_min_;
+        integ_ = std::clamp(integ_, -span, span);
+    }
+    double out = gains_.kp * error + integ_ + gains_.kd * deriv_;
+    return std::clamp(out, out_min_, out_max_);
+}
+
+void
+Pid::reset()
+{
+    integ_ = 0.0;
+    prev_error_ = 0.0;
+    deriv_ = 0.0;
+    first_ = true;
+}
+
+namespace {
+
+constexpr double kTs = kControlPeriod;
+
+}  // namespace
+
+SisoPidHwController::SisoPidHwController(const platform::BoardConfig& cfg,
+                                         ExdOptimizer optimizer)
+    : cfg_(cfg), big_(cfg.big), little_(cfg.little),
+      optimizer_(std::move(optimizer)),
+      // Output of each loop is a *delta* applied to its own actuator;
+      // gains are modest so the loops act like real tuned PIDs.
+      perf_loop_({0.12, 0.10, 0.0, 0.5}, -1.0, 1.0, kTs),
+      pbig_loop_({0.8, 0.6, 0.0, 0.5}, -2.0, 2.0, kTs),
+      plittle_loop_({2.5, 2.0, 0.0, 0.5}, -1.0, 1.0, kTs),
+      temp_loop_({0.05, 0.02, 0.0, 0.5}, -1.0, 0.0, kTs)
+{
+    reset();
+}
+
+void
+SisoPidHwController::reset()
+{
+    perf_loop_.reset();
+    pbig_loop_.reset();
+    plittle_loop_.reset();
+    temp_loop_.reset();
+    optimizer_.reset();
+    last_.big_cores = 2;
+    last_.little_cores = 2;
+    last_.freq_big = 1.0;
+    last_.freq_little = 0.8;
+}
+
+HardwareInputs
+SisoPidHwController::invoke(const HwSignals& s)
+{
+    linalg::Vector y{s.perf_bips, s.p_big, s.p_little, s.temp};
+    const linalg::Vector& targets = optimizer_.update(
+        exdMetric(s.p_big + s.p_little, s.perf_bips), y);
+
+    // Each loop owns one actuator; nobody arbitrates conflicts.
+    double f_big_delta = perf_loop_.step(targets[0] - s.perf_bips);
+    double cores_delta = pbig_loop_.step(targets[1] - s.p_big);
+    double f_lit_delta = plittle_loop_.step(targets[2] - s.p_little);
+    // Temperature loop can only pull f_big down (negative authority).
+    double f_big_cap_delta = temp_loop_.step(targets[3] - s.temp);
+
+    HardwareInputs out;
+    // Apply deltas around the currently-requested operating point.
+    out.freq_big = big_.quantize(last_.freq_big + f_big_delta +
+                                 std::min(0.0, f_big_cap_delta));
+    out.big_cores = static_cast<std::size_t>(std::clamp(
+        std::lround(static_cast<double>(last_.big_cores) + cores_delta),
+        1l, static_cast<long>(cfg_.big.num_cores)));
+    out.freq_little =
+        little_.quantize(last_.freq_little + f_lit_delta);
+    out.little_cores = last_.little_cores;
+    last_ = out;
+    return out;
+}
+
+}  // namespace yukta::controllers

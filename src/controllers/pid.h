@@ -1,0 +1,94 @@
+#ifndef YUKTA_CONTROLLERS_PID_H_
+#define YUKTA_CONTROLLERS_PID_H_
+
+/**
+ * @file
+ * Classic SISO PID control and a per-layer "collection of SISO
+ * loops" scheme. The paper's Sec. I/II position PID and SISO designs
+ * as the popular formal baseline that cannot manage interacting
+ * goals; this module implements that baseline faithfully so the
+ * comparison can be run (see bench_pid_baseline).
+ */
+
+#include <vector>
+
+#include "controllers/controller.h"
+#include "controllers/optimizer.h"
+#include "platform/dvfs.h"
+
+namespace yukta::controllers {
+
+/** Discrete PID with derivative filtering and anti-windup clamping. */
+class Pid
+{
+  public:
+    struct Gains
+    {
+        double kp = 1.0;
+        double ki = 0.0;
+        double kd = 0.0;
+        double derivative_alpha = 0.5;  ///< EMA factor on the D term.
+    };
+
+    /**
+     * @param gains PID gains.
+     * @param out_min, out_max actuator range (integrator clamps here).
+     * @param ts sample time in seconds.
+     */
+    Pid(const Gains& gains, double out_min, double out_max, double ts);
+
+    /** One step: error = target - measurement; returns the output. */
+    double step(double error);
+
+    void reset();
+
+    double integrator() const { return integ_; }
+
+  private:
+    Gains gains_;
+    double out_min_;
+    double out_max_;
+    double ts_;
+    double integ_ = 0.0;
+    double prev_error_ = 0.0;
+    double deriv_ = 0.0;
+    bool first_ = true;
+};
+
+/**
+ * Hardware controller built from four independent SISO PID loops,
+ * pairing each output with the input that most affects it:
+ *   BIPS      -> f_big,
+ *   P_big     -> #big cores,
+ *   P_little  -> f_little,
+ *   Temp      -> (cap on f_big).
+ * No coordination channel exists between the loops -- the structural
+ * deficiency the paper attributes to SISO collections ([11], [12],
+ * [25], [26] in its bibliography).
+ */
+class SisoPidHwController : public HwController
+{
+  public:
+    SisoPidHwController(const platform::BoardConfig& cfg,
+                        ExdOptimizer optimizer);
+
+    platform::HardwareInputs invoke(const HwSignals& s) override;
+    void reset() override;
+
+    const ExdOptimizer& optimizer() const { return optimizer_; }
+
+  private:
+    platform::BoardConfig cfg_;
+    platform::DvfsTable big_;
+    platform::DvfsTable little_;
+    ExdOptimizer optimizer_;
+    Pid perf_loop_;
+    Pid pbig_loop_;
+    Pid plittle_loop_;
+    Pid temp_loop_;
+    platform::HardwareInputs last_;  ///< Current operating point.
+};
+
+}  // namespace yukta::controllers
+
+#endif  // YUKTA_CONTROLLERS_PID_H_

@@ -1,0 +1,96 @@
+#include "controllers/ssv_runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace yukta::controllers {
+
+using linalg::Vector;
+
+double
+InputGrid::quantize(double v) const
+{
+    double clamped = std::clamp(v, min, max);
+    if (step <= 0.0) {
+        return clamped;
+    }
+    double snapped = min + step * std::round((clamped - min) / step);
+    return std::clamp(snapped, min, max);
+}
+
+SsvRuntime::SsvRuntime(robust::SsvController ctrl,
+                       std::vector<InputGrid> grids, Vector u_mean,
+                       Vector e_mean)
+    : ctrl_(std::move(ctrl)), grids_(std::move(grids)),
+      u_mean_(std::move(u_mean)), e_mean_(std::move(e_mean))
+{
+    std::size_t ni = ctrl_.k.numOutputs();
+    std::size_t ndy = ctrl_.k.numInputs();
+    if (grids_.size() != ni || u_mean_.size() != ni) {
+        throw std::invalid_argument("SsvRuntime: input grid size mismatch");
+    }
+    if (e_mean_.size() > ndy) {
+        throw std::invalid_argument("SsvRuntime: too many external means");
+    }
+    num_outputs_ = ndy - e_mean_.size();
+    x_ = Vector::zeros(ctrl_.k.numStates());
+}
+
+Vector
+SsvRuntime::invoke(const Vector& deviations, const Vector& external)
+{
+    if (deviations.size() != num_outputs_ ||
+        external.size() != e_mean_.size()) {
+        throw std::invalid_argument("SsvRuntime::invoke: size mismatch");
+    }
+    // dy = [deviations (clamped); external - e_mean].
+    Vector dy(num_outputs_ + e_mean_.size());
+    for (std::size_t i = 0; i < num_outputs_; ++i) {
+        double clamp = i < ctrl_.design_bounds.size()
+                           ? kDeviationClamp * ctrl_.design_bounds[i]
+                           : 0.0;
+        dy[i] = clamp > 0.0
+                    ? std::clamp(deviations[i], -clamp, clamp)
+                    : deviations[i];
+    }
+    for (std::size_t i = 0; i < e_mean_.size(); ++i) {
+        dy[num_outputs_ + i] = external[i] - e_mean_[i];
+    }
+
+    // Linear state machine (Eqs. 3-4).
+    Vector u = control::stepOnce(ctrl_.k, x_, dy);
+
+    // Saturation + quantization of the physical inputs.
+    Vector out(grids_.size());
+    for (std::size_t i = 0; i < grids_.size(); ++i) {
+        out[i] = grids_[i].quantize(u[i] + u_mean_[i]);
+    }
+
+    // Guardband-exhaustion monitor: sustained deviations beyond the
+    // guaranteed bounds mean the design's Delta was too small.
+    bool over = false;
+    for (std::size_t i = 0; i < num_outputs_ &&
+                            i < ctrl_.guaranteed_bounds.size();
+         ++i) {
+        if (std::abs(deviations[i]) > ctrl_.guaranteed_bounds[i]) {
+            over = true;
+            break;
+        }
+    }
+    over_bound_count_ = over ? over_bound_count_ + 1 : 0;
+    if (over_bound_count_ >= kExhaustionWindow) {
+        exhausted_ = true;
+    }
+    return out;
+}
+
+void
+SsvRuntime::reset()
+{
+    x_ = Vector::zeros(ctrl_.k.numStates());
+    over_bound_count_ = 0;
+    exhausted_ = false;
+}
+
+}  // namespace yukta::controllers

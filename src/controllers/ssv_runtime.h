@@ -1,0 +1,104 @@
+#ifndef YUKTA_CONTROLLERS_SSV_RUNTIME_H_
+#define YUKTA_CONTROLLERS_SSV_RUNTIME_H_
+
+/**
+ * @file
+ * The runtime SSV controller state machine (Sec. VI-D):
+ *
+ *   x(T+1) = A x(T) + B dy(T)
+ *   u(T)   = C x(T) + D dy(T)
+ *
+ * with dy = [targets - outputs; external signals]. On top of the
+ * linear update the runtime applies the designer-declared input
+ * saturation and quantization, and monitors whether the uncertainty
+ * guardband appears exhausted (sustained deviations beyond the
+ * guaranteed bounds).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.h"
+#include "robust/ssv_design.h"
+
+namespace yukta::controllers {
+
+/** Per-input saturation/quantization description. */
+struct InputGrid
+{
+    double min = 0.0;
+    double max = 1.0;
+    double step = 0.0;  ///< 0 = continuous.
+
+    /** @return @p v clamped to [min, max] and snapped to the grid. */
+    double quantize(double v) const;
+};
+
+/** Runtime wrapper around a synthesized SSV controller. */
+class SsvRuntime
+{
+  public:
+    /**
+     * @param ctrl synthesized controller (k maps dy -> u, centered).
+     * @param grids physical input grids (size = k outputs).
+     * @param u_mean operating-point offset added to the controller's
+     *   centered output.
+     * @param e_mean operating-point offset subtracted from the
+     *   external-signal part of dy.
+     */
+    SsvRuntime(robust::SsvController ctrl, std::vector<InputGrid> grids,
+               linalg::Vector u_mean, linalg::Vector e_mean);
+
+    std::size_t numOutputsTracked() const { return num_outputs_; }
+    std::size_t numExternal() const { return e_mean_.size(); }
+    std::size_t numInputs() const { return grids_.size(); }
+    std::size_t order() const { return ctrl_.k.numStates(); }
+
+    /**
+     * One invocation.
+     *
+     * Deviations are clamped to a small multiple of the design bounds
+     * before entering the state machine: the SSV design only promises
+     * behavior for in-bound deviations, and unbounded error drive
+     * would wind the controller state up against the actuator
+     * saturation.
+     *
+     * @param deviations targets - outputs (physical units), size O.
+     * @param external external signals (physical units), size E.
+     * @return quantized physical inputs, size I.
+     */
+    linalg::Vector invoke(const linalg::Vector& deviations,
+                          const linalg::Vector& external);
+
+    /** Resets the controller state and the guardband monitor. */
+    void reset();
+
+    /**
+     * @return true when deviations have exceeded the guaranteed
+     * bounds for several consecutive invocations: the runtime signal
+     * that the uncertainty guardband was too small (Sec. II-B).
+     */
+    bool guardbandExhausted() const { return exhausted_; }
+
+    /** The certificate of the wrapped controller. */
+    const robust::SsvController& certificate() const { return ctrl_; }
+
+  private:
+    robust::SsvController ctrl_;
+    std::vector<InputGrid> grids_;
+    linalg::Vector u_mean_;
+    linalg::Vector e_mean_;
+    linalg::Vector x_;
+    std::size_t num_outputs_ = 0;
+    int over_bound_count_ = 0;
+    bool exhausted_ = false;
+
+    static constexpr int kExhaustionWindow = 8;  ///< Invocations.
+
+    /** Deviation clamp as a multiple of the design bounds. */
+    static constexpr double kDeviationClamp = 3.0;
+};
+
+}  // namespace yukta::controllers
+
+#endif  // YUKTA_CONTROLLERS_SSV_RUNTIME_H_

@@ -1,0 +1,194 @@
+#include "core/cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+
+namespace yukta::core {
+
+using control::StateSpace;
+using linalg::Matrix;
+
+namespace {
+
+constexpr int kFormatVersion = 4;
+
+void
+writeMatrix(std::ostream& os, const Matrix& m)
+{
+    os << m.rows() << " " << m.cols() << "\n";
+    os << std::setprecision(17);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            os << m(r, c) << (c + 1 == m.cols() ? "\n" : " ");
+        }
+    }
+}
+
+bool
+readMatrix(std::istream& is, Matrix& m)
+{
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    if (!(is >> rows >> cols)) {
+        return false;
+    }
+    m = Matrix(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            if (!(is >> m(r, c))) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+std::string
+cacheDir()
+{
+    const char* env = std::getenv("YUKTA_CACHE_DIR");
+    std::string dir = env != nullptr ? env : "yukta_cache";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+std::string
+cachePath(const std::string& key)
+{
+    return cacheDir() + "/" + key + ".txt";
+}
+
+bool
+saveStateSpace(const std::string& path, const StateSpace& sys)
+{
+    std::ofstream os(path);
+    if (!os) {
+        return false;
+    }
+    os << "yukta-ss " << kFormatVersion << "\n" << sys.ts << "\n";
+    writeMatrix(os, sys.a);
+    writeMatrix(os, sys.b);
+    writeMatrix(os, sys.c);
+    writeMatrix(os, sys.d);
+    return static_cast<bool>(os);
+}
+
+std::optional<StateSpace>
+loadStateSpace(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        return std::nullopt;
+    }
+    std::string magic;
+    int version = 0;
+    double ts = 0.0;
+    if (!(is >> magic >> version >> ts) || magic != "yukta-ss" ||
+        version != kFormatVersion) {
+        return std::nullopt;
+    }
+    Matrix a;
+    Matrix b;
+    Matrix c;
+    Matrix d;
+    if (!readMatrix(is, a) || !readMatrix(is, b) || !readMatrix(is, c) ||
+        !readMatrix(is, d)) {
+        return std::nullopt;
+    }
+    try {
+        return StateSpace(a, b, c, d, ts);
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+}
+
+bool
+saveSsvController(const std::string& path,
+                  const robust::SsvController& ctrl)
+{
+    std::ofstream os(path);
+    if (!os) {
+        return false;
+    }
+    os << "yukta-ssv " << kFormatVersion << "\n";
+    os << std::setprecision(17);
+    os << ctrl.mu_peak << " " << ctrl.min_s << " " << ctrl.gamma << " "
+       << ctrl.dk_iterations << "\n";
+    os << ctrl.design_bounds.size();
+    for (double b : ctrl.design_bounds) {
+        os << " " << b;
+    }
+    os << "\n" << ctrl.guaranteed_bounds.size();
+    for (double b : ctrl.guaranteed_bounds) {
+        os << " " << b;
+    }
+    os << "\n" << ctrl.k.ts << "\n";
+    writeMatrix(os, ctrl.k.a);
+    writeMatrix(os, ctrl.k.b);
+    writeMatrix(os, ctrl.k.c);
+    writeMatrix(os, ctrl.k.d);
+    return static_cast<bool>(os);
+}
+
+std::optional<robust::SsvController>
+loadSsvController(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        return std::nullopt;
+    }
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version) || magic != "yukta-ssv" ||
+        version != kFormatVersion) {
+        return std::nullopt;
+    }
+    robust::SsvController ctrl;
+    std::size_t ndb = 0;
+    std::size_t nb = 0;
+    if (!(is >> ctrl.mu_peak >> ctrl.min_s >> ctrl.gamma >>
+          ctrl.dk_iterations) ||
+        !(is >> ndb)) {
+        return std::nullopt;
+    }
+    ctrl.design_bounds.resize(ndb);
+    for (double& b : ctrl.design_bounds) {
+        if (!(is >> b)) {
+            return std::nullopt;
+        }
+    }
+    if (!(is >> nb)) {
+        return std::nullopt;
+    }
+    ctrl.guaranteed_bounds.resize(nb);
+    for (double& b : ctrl.guaranteed_bounds) {
+        if (!(is >> b)) {
+            return std::nullopt;
+        }
+    }
+    double ts = 0.0;
+    if (!(is >> ts)) {
+        return std::nullopt;
+    }
+    Matrix a;
+    Matrix b;
+    Matrix c;
+    Matrix d;
+    if (!readMatrix(is, a) || !readMatrix(is, b) || !readMatrix(is, c) ||
+        !readMatrix(is, d)) {
+        return std::nullopt;
+    }
+    try {
+        ctrl.k = StateSpace(a, b, c, d, ts);
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+    return ctrl;
+}
+
+}  // namespace yukta::core

@@ -1,0 +1,44 @@
+#ifndef YUKTA_CORE_CACHE_H_
+#define YUKTA_CORE_CACHE_H_
+
+/**
+ * @file
+ * Plain-text (de)serialization of synthesized controllers, so the
+ * benchmark binaries do not re-run system identification and
+ * mu-synthesis on every invocation. The cache directory defaults to
+ * "./yukta_cache" and can be overridden with the YUKTA_CACHE_DIR
+ * environment variable.
+ */
+
+#include <optional>
+#include <string>
+
+#include "control/state_space.h"
+#include "robust/ssv_design.h"
+
+namespace yukta::core {
+
+/** @return the active cache directory (created on demand). */
+std::string cacheDir();
+
+/** Writes a state-space system to @p path; returns success. */
+bool saveStateSpace(const std::string& path,
+                    const control::StateSpace& sys);
+
+/** Reads a state-space system from @p path. */
+std::optional<control::StateSpace> loadStateSpace(const std::string& path);
+
+/** Writes an SSV controller (system + certificate scalars). */
+bool saveSsvController(const std::string& path,
+                       const robust::SsvController& ctrl);
+
+/** Reads an SSV controller. */
+std::optional<robust::SsvController>
+loadSsvController(const std::string& path);
+
+/** @return cacheDir() + "/" + key + ".txt". */
+std::string cachePath(const std::string& key);
+
+}  // namespace yukta::core
+
+#endif  // YUKTA_CORE_CACHE_H_

@@ -1,0 +1,80 @@
+#include "core/report.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace yukta::core {
+
+void
+printLayerReport(std::ostream& os, const LayerDesign& design)
+{
+    const LayerSpec& spec = design.spec;
+    os << "=== Layer: " << spec.layer_name << " ===\n";
+    os << "Inputs (signal, range, step, weight):\n";
+    for (const SignalSpec& in : spec.inputs) {
+        os << "  " << std::left << std::setw(28) << in.name << " ["
+           << in.min << ", " << in.max << "] step " << in.step
+           << "  weight " << in.weight << "\n";
+    }
+    os << "Outputs (signal, bound, guaranteed bound):\n";
+    for (std::size_t i = 0; i < spec.outputs.size(); ++i) {
+        const OutputSpec& out = spec.outputs[i];
+        double guaranteed =
+            i < design.controller.guaranteed_bounds.size()
+                ? design.controller.guaranteed_bounds[i]
+                : out.bound();
+        os << "  " << std::left << std::setw(28) << out.name << " +-"
+           << std::setprecision(3) << 100.0 * out.bound_fraction << "% ("
+           << out.bound() << " abs), guaranteed " << guaranteed << "\n";
+    }
+    os << "External signals:";
+    for (const std::string& e : spec.external_names) {
+        os << " [" << e << "]";
+    }
+    os << "\nUncertainty guardband: +-" << 100.0 * spec.guardband << "%\n";
+    os << "Model: ARX(" << design.model.orderA() << ","
+       << design.model.orderB() << "), prediction fit %:";
+    for (double f : design.fit) {
+        os << " " << std::setprecision(3) << f;
+    }
+    os << "\nSSV certificate: mu_peak " << std::setprecision(4)
+       << design.controller.mu_peak << ", min(s) "
+       << design.controller.min_s << ", gamma "
+       << design.controller.gamma << ", controller order "
+       << design.controller.k.numStates() << ", D-K iterations "
+       << design.controller.dk_iterations << "\n";
+}
+
+void
+printSchemeTable(std::ostream& os)
+{
+    os << "=== Table IV: two-layer controller schemes ===\n";
+    os << "(a) Coordinated heuristic : OS scheduler with power/perf "
+          "heuristics using core number/type/frequency; HW raises "
+          "frequency and cores while safe using the thread "
+          "distribution.\n";
+    os << "(b) Decoupled heuristic   : OS round-robin placement; HW "
+          "performance-governor at maximum, threshold rules cut "
+          "frequency then cores on violations.\n";
+    os << "(c) Yukta HW SSV + OS heuristic : SSV hardware controller "
+          "(Sec. IV-A) under the coordinated heuristic scheduler.\n";
+    os << "(d) Yukta HW SSV + OS SSV : both layers SSV (Secs. IV-A, "
+          "IV-B), coordinating through external signals.\n";
+}
+
+void
+printInterfaceExchange(std::ostream& os, const InterfaceExchange& ex)
+{
+    os << "Interface published by layer '" << ex.from_layer << "':\n";
+    for (const SignalSpec& in : ex.published_inputs) {
+        os << "  input  " << std::left << std::setw(28) << in.name << " ["
+           << in.min << ", " << in.max << "] step " << in.step << "\n";
+    }
+    for (const OutputSpec& out : ex.published_outputs) {
+        os << "  output " << std::left << std::setw(28) << out.name
+           << " bound +-" << 100.0 * out.bound_fraction << "% of range "
+           << out.range << "\n";
+    }
+}
+
+}  // namespace yukta::core

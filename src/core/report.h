@@ -1,0 +1,28 @@
+#ifndef YUKTA_CORE_REPORT_H_
+#define YUKTA_CORE_REPORT_H_
+
+/**
+ * @file
+ * Human-readable reports regenerating the paper's configuration
+ * tables (II, III, IV) and summarizing synthesis certificates.
+ */
+
+#include <iosfwd>
+
+#include "core/design_flow.h"
+#include "core/schemes.h"
+
+namespace yukta::core {
+
+/** Prints a Table II/III-style summary of one layer's design. */
+void printLayerReport(std::ostream& os, const LayerDesign& design);
+
+/** Prints the Table IV scheme descriptions. */
+void printSchemeTable(std::ostream& os);
+
+/** Prints the interface-exchange records (Fig. 3 step 2). */
+void printInterfaceExchange(std::ostream& os, const InterfaceExchange& ex);
+
+}  // namespace yukta::core
+
+#endif  // YUKTA_CORE_REPORT_H_

@@ -1,0 +1,88 @@
+#include "core/spec.h"
+
+#include <stdexcept>
+
+namespace yukta::core {
+
+InterfaceExchange
+publishInterface(const LayerSpec& layer)
+{
+    InterfaceExchange ex;
+    ex.from_layer = layer.layer_name;
+    ex.published_inputs = layer.inputs;
+    ex.published_outputs = layer.outputs;
+    return ex;
+}
+
+LayerSpec
+hardwareLayerSpec(const platform::BoardConfig& cfg,
+                  const std::vector<double>& output_ranges, double guardband,
+                  double perf_bound_fraction, double input_weight)
+{
+    if (output_ranges.size() != 4) {
+        throw std::invalid_argument("hardwareLayerSpec: need 4 ranges");
+    }
+    LayerSpec spec;
+    spec.layer_name = "hardware";
+    // The synthesis weight W_u is weight/range; a 2.5x internal scale
+    // keeps the loop bandwidth moderate against the identified model's
+    // uncertainty (the designer-facing weight stays the Table II "1").
+    double w = 2.5 * input_weight;
+    spec.inputs = {
+        {"#big cores", 1.0, static_cast<double>(cfg.big.num_cores), 1.0,
+         w},
+        {"#little cores", 1.0, static_cast<double>(cfg.little.num_cores),
+         1.0, w},
+        {"frequency_big", cfg.big.freq_min, cfg.big.freq_max,
+         cfg.big.freq_step, w},
+        {"frequency_little", cfg.little.freq_min, cfg.little.freq_max,
+         cfg.little.freq_step, w},
+    };
+    spec.outputs = {
+        {"Performance", perf_bound_fraction, output_ranges[0], false},
+        {"Power_big", 0.10, output_ranges[1], true},
+        {"Power_little", 0.10, output_ranges[2], true},
+        {"Temp", 0.10, output_ranges[3], true},
+    };
+    spec.external_names = {"#threads_big", "avg #threads/core_big",
+                           "avg #threads/core_little"};
+    spec.guardband = guardband;
+    spec.max_order = 20;
+    return spec;
+}
+
+LayerSpec
+softwareLayerSpec(const std::vector<double>& output_ranges, double guardband,
+                  double bound_fraction, double input_weight)
+{
+    if (output_ranges.size() != 3) {
+        throw std::invalid_argument("softwareLayerSpec: need 3 ranges");
+    }
+    LayerSpec spec;
+    spec.layer_name = "software";
+    // The synthesis weight W_u is weight/range; placement knobs span
+    // 8 discrete levels versus ~18 DVFS levels, so the OS weights are
+    // scaled by 2 internally to keep "weight 2 = twice as conservative
+    // as the hardware layer" true after normalization.
+    double w = 2.0 * input_weight;
+    // The packing knobs are *averages* (threads per non-idle core), so
+    // their natural quantum is fractional (e.g. 4 threads on 3 cores
+    // = 1.33); only the thread count moves in whole units.
+    spec.inputs = {
+        {"#threads_big", 0.0, 8.0, 1.0, w},
+        {"avg #threads/core_big", 1.0, 8.0, 0.25, w},
+        {"avg #threads/core_little", 1.0, 8.0, 0.25, w},
+    };
+    spec.outputs = {
+        {"Performance_big", bound_fraction, output_ranges[0], false},
+        {"Performance_little", bound_fraction, output_ranges[1], false},
+        {"dSpareCompute", bound_fraction, output_ranges[2], false},
+    };
+    spec.external_names = {"#big cores", "#little cores", "frequency_big",
+                           "frequency_little"};
+    spec.guardband = guardband;
+    spec.max_order = 20;
+    return spec;
+}
+
+}  // namespace yukta::core

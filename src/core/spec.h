@@ -1,0 +1,96 @@
+#ifndef YUKTA_CORE_SPEC_H_
+#define YUKTA_CORE_SPEC_H_
+
+/**
+ * @file
+ * Designer-facing layer specifications: the vocabulary of Fig. 3.
+ * Each layer's team declares input signals (with allowed discrete
+ * values and weights), output signals (with deviation bounds), the
+ * external signals it wants from other layers, and its uncertainty
+ * guardband. Teams then exchange Interface records describing their
+ * published signals.
+ */
+
+#include <string>
+#include <vector>
+
+#include "platform/config.h"
+
+namespace yukta::core {
+
+/** An actuated input signal: saturation grid + weight (Tables II/III). */
+struct SignalSpec
+{
+    std::string name;
+    double min = 0.0;
+    double max = 1.0;
+    double step = 0.0;   ///< 0 = continuous.
+    double weight = 1.0;
+};
+
+/** A controlled output signal with its deviation bound. */
+struct OutputSpec
+{
+    std::string name;
+    double bound_fraction = 0.2;  ///< Bound as a fraction of the range.
+    double range = 1.0;           ///< Observed range (from training).
+    bool critical = false;        ///< Tighter bounds (power/temp).
+
+    /** @return the absolute deviation bound. */
+    double bound() const { return bound_fraction * range; }
+};
+
+/** Everything one team declares about its layer's controller. */
+struct LayerSpec
+{
+    std::string layer_name;
+    std::vector<SignalSpec> inputs;
+    std::vector<OutputSpec> outputs;
+    std::vector<std::string> external_names;
+    double guardband = 0.4;
+    std::size_t max_order = 20;
+
+    /** DC-tracking demand multiplier for non-critical outputs. */
+    double perf_boost = 2.0;
+};
+
+/**
+ * The meta-information a team publishes to other layers (Fig. 3):
+ * the discrete grids of its inputs and the deviation bounds of its
+ * outputs, so partners can treat them as external signals or shared
+ * outputs.
+ */
+struct InterfaceExchange
+{
+    std::string from_layer;
+    std::vector<SignalSpec> published_inputs;
+    std::vector<OutputSpec> published_outputs;
+};
+
+/** @return the exchange record a layer publishes. */
+InterfaceExchange publishInterface(const LayerSpec& layer);
+
+/**
+ * Hardware-layer spec of Table II: inputs {#big, #little, f_big,
+ * f_little} with weight @p input_weight, outputs {BIPS, P_big,
+ * P_little, T} with bounds {perf_bound, 10%, 10%, 10%}, external
+ * signals = OS inputs, guardband @p guardband.
+ *
+ * @param output_ranges observed ranges for the four outputs (from
+ *   the training characterization).
+ */
+LayerSpec hardwareLayerSpec(const platform::BoardConfig& cfg,
+                            const std::vector<double>& output_ranges,
+                            double guardband = 0.4,
+                            double perf_bound_fraction = 0.2,
+                            double input_weight = 1.0);
+
+/** Software-layer spec of Table III. */
+LayerSpec softwareLayerSpec(const std::vector<double>& output_ranges,
+                            double guardband = 0.5,
+                            double bound_fraction = 0.2,
+                            double input_weight = 2.0);
+
+}  // namespace yukta::core
+
+#endif  // YUKTA_CORE_SPEC_H_

@@ -1,0 +1,260 @@
+#include "core/training.h"
+
+#include <algorithm>
+#include <random>
+
+#include "controllers/controller.h"
+#include "platform/apps.h"
+#include "platform/board.h"
+
+namespace yukta::core {
+
+using controllers::kControlPeriod;
+using linalg::Vector;
+using platform::ClusterId;
+
+namespace {
+
+/** Tracks min/max per channel. */
+class RangeTracker
+{
+  public:
+    explicit RangeTracker(std::size_t n) : lo_(n, 1e300), hi_(n, -1e300) {}
+
+    void observe(const Vector& v)
+    {
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            lo_[i] = std::min(lo_[i], v[i]);
+            hi_[i] = std::max(hi_[i], v[i]);
+        }
+    }
+
+    std::vector<double> ranges() const
+    {
+        std::vector<double> out(lo_.size());
+        for (std::size_t i = 0; i < lo_.size(); ++i) {
+            out[i] = std::max(hi_[i] - lo_[i], 1e-3);
+        }
+        return out;
+    }
+
+  private:
+    std::vector<double> lo_;
+    std::vector<double> hi_;
+};
+
+/**
+ * Removes per-application operating-point offsets: every app block is
+ * shifted so its own mean coincides with the campaign-wide mean. The
+ * cross-application IPC/power differences are exactly the slow
+ * confounder that would otherwise be soaked up by the AR part of the
+ * model and mask the input-to-output gains; they belong to the
+ * uncertainty guardband, not the nominal model.
+ */
+void
+centerPerApp(sysid::IoData& data, const std::vector<std::size_t>& blocks)
+{
+    if (data.u.empty()) {
+        return;
+    }
+    std::size_t nu = data.u[0].size();
+    std::size_t ny = data.y[0].size();
+    Vector gu = Vector::zeros(nu);
+    Vector gy = Vector::zeros(ny);
+    for (std::size_t t = 0; t < data.u.size(); ++t) {
+        gu += data.u[t];
+        gy += data.y[t];
+    }
+    gu *= 1.0 / static_cast<double>(data.u.size());
+    gy *= 1.0 / static_cast<double>(data.y.size());
+
+    std::size_t begin = 0;
+    for (std::size_t len : blocks) {
+        if (len == 0) {
+            continue;
+        }
+        Vector au = Vector::zeros(nu);
+        Vector ay = Vector::zeros(ny);
+        for (std::size_t t = begin; t < begin + len; ++t) {
+            au += data.u[t];
+            ay += data.y[t];
+        }
+        au *= 1.0 / static_cast<double>(len);
+        ay *= 1.0 / static_cast<double>(len);
+        for (std::size_t t = begin; t < begin + len; ++t) {
+            data.u[t] += gu - au;
+            data.y[t] += gy - ay;
+        }
+        begin += len;
+    }
+}
+
+}  // namespace
+
+TrainingData
+runTrainingCampaign(const platform::BoardConfig& cfg,
+                    const TrainingOptions& options)
+{
+    std::vector<std::string> apps = options.apps;
+    if (apps.empty()) {
+        apps = platform::AppCatalog::trainingApps();
+    }
+
+    TrainingData data;
+    RangeTracker hw_ranges(4);
+    RangeTracker os_ranges(3);
+    std::mt19937 rng(options.seed);
+    std::vector<std::size_t> block_lengths;
+
+    // Two campaigns (Fig. 3: each team characterizes the system from
+    // its own layer's perspective). The hardware campaign keeps the
+    // scheduler spreading threads (tpc ~ 1) so core-count authority is
+    // visible; the software campaign excites the placement knobs over
+    // their full grids.
+    for (std::size_t campaign = 0; campaign < 2; ++campaign) {
+    const bool hw_campaign = campaign == 0;
+    for (std::size_t ai = 0; ai < apps.size(); ++ai) {
+        platform::Board board(
+            cfg, platform::Workload(platform::AppCatalog::get(apps[ai])),
+            options.seed + static_cast<std::uint32_t>(campaign * 100 + ai));
+
+        std::uniform_int_distribution<int> big_cores(1, 4);
+        std::uniform_int_distribution<int> little_cores(1, 4);
+        std::uniform_real_distribution<double> fb(cfg.big.freq_min,
+                                                  cfg.big.freq_max);
+        std::uniform_real_distribution<double> fl(cfg.little.freq_min,
+                                                  cfg.little.freq_max);
+        // Thread-count excitation is biased toward loaded placements
+        // and spreading (tpc 1-2), which is where real schedulers
+        // operate: the identified operating point (signal means)
+        // becomes the runtime controller's resting posture.
+        std::uniform_int_distribution<int> tb_dist(0, 4);  // 4..8
+        std::uniform_int_distribution<int> tpc_hw(1, 2);
+        std::discrete_distribution<int> tpc_os_dist({0.45, 0.35, 0.15,
+                                                     0.05});
+
+        long periods = std::lround(options.seconds_per_app / kControlPeriod);
+        double last_total = 0.0;
+        double last_big = 0.0;
+        double last_little = 0.0;
+        std::size_t samples = 0;
+
+        platform::HardwareInputs hw_in;
+        platform::PlacementPolicy pol;
+
+        for (long t = 0; t < periods && !board.done(); ++t) {
+            if (t % static_cast<long>(options.hold_periods) == 0) {
+                hw_in.big_cores = big_cores(rng);
+                hw_in.little_cores = little_cores(rng);
+                hw_in.freq_big = fb(rng);
+                hw_in.freq_little = fl(rng);
+                pol.threads_big = 4 + tb_dist(rng);
+                if (hw_campaign) {
+                    pol.tpc_big = tpc_hw(rng);
+                    pol.tpc_little = tpc_hw(rng);
+                } else {
+                    pol.tpc_big = 1 + tpc_os_dist(rng);
+                    pol.tpc_little = 1 + tpc_os_dist(rng);
+                }
+                board.applyHardwareInputs(hw_in);
+                board.applyPlacementPolicy(pol);
+            }
+
+            board.run(kControlPeriod);
+
+            // The signals a controller would see at the end of the
+            // period.
+            const auto& counters = board.perfCounters();
+            double bips = (counters.total() - last_total) / kControlPeriod;
+            double bips_big =
+                (counters.instr_big - last_big) / kControlPeriod;
+            double bips_little =
+                (counters.instr_little - last_little) / kControlPeriod;
+            last_total = counters.total();
+            last_big = counters.instr_big;
+            last_little = counters.instr_little;
+
+            // The layer inputs / external signals are the *policy*
+            // values the controllers exchange at runtime (recording
+            // derived quantities like actual threads-per-busy-core
+            // would be collinear with the core counts and split their
+            // authority in the regression). The thread count is
+            // clamped to the runnable threads like the runtime
+            // controller's output is.
+            double thr_big = std::min(
+                pol.threads_big,
+                static_cast<double>(board.threadsRunning()));
+            double tpc_big_act = pol.tpc_big;
+            double tpc_little_act = pol.tpc_little;
+
+            const auto& applied = board.requestedHardware();
+            Vector hw_u{static_cast<double>(applied.big_cores),
+                        static_cast<double>(applied.little_cores),
+                        applied.freq_big,
+                        applied.freq_little,
+                        thr_big,
+                        tpc_big_act,
+                        tpc_little_act};
+            Vector hw_y{bips, board.sensedPowerBig(),
+                        board.sensedPowerLittle(),
+                        board.sensedTemperature()};
+
+            double dsc = board.spareCompute(ClusterId::kBig) -
+                         board.spareCompute(ClusterId::kLittle);
+            Vector os_u{thr_big,
+                        tpc_big_act,
+                        tpc_little_act,
+                        static_cast<double>(applied.big_cores),
+                        static_cast<double>(applied.little_cores),
+                        applied.freq_big,
+                        applied.freq_little};
+            Vector os_y{bips_big, bips_little, dsc};
+
+            if (hw_campaign) {
+                data.hw.u.push_back(hw_u);
+                data.hw.y.push_back(hw_y);
+            } else {
+                data.os.u.push_back(os_u);
+                data.os.y.push_back(os_y);
+            }
+
+            // Joint view: inputs ordered [hw inputs, os inputs].
+            Vector joint_u{static_cast<double>(applied.big_cores),
+                           static_cast<double>(applied.little_cores),
+                           applied.freq_big,
+                           applied.freq_little,
+                           thr_big,
+                           tpc_big_act,
+                           tpc_little_act};
+            Vector joint_y{bips,     board.sensedPowerBig(),
+                           board.sensedPowerLittle(),
+                           board.sensedTemperature(),
+                           bips_big, bips_little,
+                           dsc};
+            data.joint.u.push_back(joint_u);
+            data.joint.y.push_back(joint_y);
+
+            hw_ranges.observe(hw_y);
+            os_ranges.observe(os_y);
+            ++samples;
+        }
+        block_lengths.push_back(samples);
+    }
+    }
+
+    // Per-app centering: the per-campaign layer records use their own
+    // block lists; the joint record spans both campaigns.
+    std::vector<std::size_t> hw_blocks(block_lengths.begin(),
+                                       block_lengths.begin() + apps.size());
+    std::vector<std::size_t> os_blocks(block_lengths.begin() + apps.size(),
+                                       block_lengths.end());
+    centerPerApp(data.hw, hw_blocks);
+    centerPerApp(data.os, os_blocks);
+    centerPerApp(data.joint, block_lengths);
+
+    data.hw_ranges = hw_ranges.ranges();
+    data.os_ranges = os_ranges.ranges();
+    return data;
+}
+
+}  // namespace yukta::core

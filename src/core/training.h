@@ -1,0 +1,63 @@
+#ifndef YUKTA_CORE_TRAINING_H_
+#define YUKTA_CORE_TRAINING_H_
+
+/**
+ * @file
+ * The System Identification characterization runs (Sec. IV-C): the
+ * training applications execute on the board while the would-be
+ * controller inputs and external signals are excited over their
+ * allowed grids, and the would-be outputs are recorded every control
+ * period. The records feed MIMO ARX identification.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/config.h"
+#include "sysid/arx.h"
+
+namespace yukta::core {
+
+/** Records gathered for every layer from one training campaign. */
+struct TrainingData
+{
+    /** HW layer: u = [nb, nl, fb, fl, thr_b, tpc_b, tpc_l] -> y =
+        [BIPS, P_big, P_little, T]. */
+    sysid::IoData hw;
+
+    /** OS layer: u = [thr_b, tpc_b, tpc_l, nb, nl, fb, fl] -> y =
+        [BIPS_big, BIPS_little, dSC]. */
+    sysid::IoData os;
+
+    /** Joint (monolithic) view: all 7 inputs -> all 7 outputs. */
+    sysid::IoData joint;
+
+    /** Observed output ranges: [BIPS, P_big, P_little, T]. */
+    std::vector<double> hw_ranges;
+
+    /** Observed output ranges: [BIPS_big, BIPS_little, dSC]. */
+    std::vector<double> os_ranges;
+};
+
+/** Options for the training campaign. */
+struct TrainingOptions
+{
+    std::vector<std::string> apps;   ///< Training apps (default set).
+    double seconds_per_app = 120.0;  ///< Simulated time per app.
+    std::size_t hold_periods = 4;    ///< Periods each excitation holds
+                                     ///< (2 s: clears the 260 ms power
+                                     ///< sensor window several times).
+    std::uint32_t seed = 2016;       ///< Excitation/noise seed.
+};
+
+/**
+ * Runs the characterization campaign on fresh boards and returns the
+ * collected records.
+ */
+TrainingData runTrainingCampaign(const platform::BoardConfig& cfg,
+                                 const TrainingOptions& options = {});
+
+}  // namespace yukta::core
+
+#endif  // YUKTA_CORE_TRAINING_H_

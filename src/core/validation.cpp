@@ -1,0 +1,98 @@
+#include "core/validation.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "control/state_space.h"
+
+namespace yukta::core {
+
+using linalg::Vector;
+
+NominalValidation
+validateNominal(const LayerDesign& design, double target_scale, int periods)
+{
+    NominalValidation out;
+    control::StateSpace model = design.model.toStateSpace();
+    controllers::SsvRuntime runtime = makeSsvRuntime(design);
+
+    std::size_t ni = design.spec.inputs.size();
+    std::size_t no = design.spec.outputs.size();
+    std::size_t ne = model.numInputs() - ni;
+
+    // Step targets: target_scale bounds away from the operating point.
+    Vector targets(no);
+    for (std::size_t i = 0; i < no; ++i) {
+        targets[i] = design.model.yMean()[i] +
+                     target_scale * design.spec.outputs[i].bound();
+    }
+    // External signals pinned at their operating point.
+    Vector ext(ne);
+    for (std::size_t i = 0; i < ne; ++i) {
+        ext[i] = design.model.uMean()[ni + i];
+    }
+
+    Vector x = Vector::zeros(model.numStates());
+    Vector y_c = Vector::zeros(no);  // centered outputs
+    out.steady_deviation.assign(no, 0.0);
+    out.settle_periods.assign(no, -1);
+    out.stable = true;
+
+    for (int t = 0; t < periods; ++t) {
+        Vector y_phys = y_c + design.model.yMean();
+        Vector dev(no);
+        bool inside = true;
+        for (std::size_t i = 0; i < no; ++i) {
+            dev[i] = targets[i] - y_phys[i];
+            if (std::abs(dev[i]) > design.spec.outputs[i].bound()) {
+                inside = false;
+            } else if (out.settle_periods[i] < 0) {
+                out.settle_periods[i] = t;
+            }
+            out.steady_deviation[i] = std::abs(dev[i]);
+        }
+        (void)inside;
+
+        Vector u_phys = runtime.invoke(dev, ext);
+        Vector ue(ni + ne);
+        for (std::size_t i = 0; i < ni; ++i) {
+            ue[i] = u_phys[i] - design.model.uMean()[i];
+        }
+        for (std::size_t i = 0; i < ne; ++i) {
+            ue[ni + i] = 0.0;  // externals pinned at the mean
+        }
+        y_c = control::stepOnce(model, x, ue);
+
+        if (y_c.maxAbs() > 1e6) {
+            out.stable = false;
+            break;
+        }
+    }
+
+    out.within_bounds = out.stable;
+    for (std::size_t i = 0; i < no; ++i) {
+        if (out.steady_deviation[i] > design.spec.outputs[i].bound()) {
+            out.within_bounds = false;
+        }
+    }
+    out.guardband_exhausted = runtime.guardbandExhausted();
+    return out;
+}
+
+std::string
+summarize(const NominalValidation& v)
+{
+    std::ostringstream os;
+    os << (v.stable ? "stable" : "UNSTABLE") << ", "
+       << (v.within_bounds ? "within bounds" : "OUT OF BOUNDS")
+       << ", steady |dev|:";
+    for (double d : v.steady_deviation) {
+        os << " " << d;
+    }
+    if (v.guardband_exhausted) {
+        os << " [guardband exhausted]";
+    }
+    return os.str();
+}
+
+}  // namespace yukta::core

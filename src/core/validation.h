@@ -1,0 +1,49 @@
+#ifndef YUKTA_CORE_VALIDATION_H_
+#define YUKTA_CORE_VALIDATION_H_
+
+/**
+ * @file
+ * The "validate" steps of Fig. 3: before deployment, each team checks
+ * its controller against the nominal identified model (step targets,
+ * settling, bound satisfaction), and the combined system is smoke-
+ * tested on the board.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/design_flow.h"
+
+namespace yukta::core {
+
+/** Outcome of a nominal closed-loop validation run. */
+struct NominalValidation
+{
+    bool stable = false;          ///< No divergence over the horizon.
+    bool within_bounds = false;   ///< Steady deviations inside B.
+    std::vector<double> steady_deviation;  ///< |dev| at the horizon end.
+    std::vector<int> settle_periods;  ///< First period inside bounds
+                                      ///< (-1 = never settled).
+    bool guardband_exhausted = false;  ///< Runtime monitor tripped.
+};
+
+/**
+ * Closes the synthesized controller around its own identified model
+ * and tracks a step to targets placed @p step_fraction of each output
+ * bound... scaled by @p target_scale bounds away from the operating
+ * point, for @p periods control periods.
+ *
+ * @param design a completed layer design.
+ * @param target_scale step size in multiples of each output bound.
+ * @param periods simulation horizon.
+ */
+NominalValidation validateNominal(const LayerDesign& design,
+                                  double target_scale = 1.5,
+                                  int periods = 200);
+
+/** @return a one-line human-readable verdict. */
+std::string summarize(const NominalValidation& v);
+
+}  // namespace yukta::core
+
+#endif  // YUKTA_CORE_VALIDATION_H_

@@ -1,0 +1,29 @@
+#ifndef YUKTA_CORE_YUKTA_H_
+#define YUKTA_CORE_YUKTA_H_
+
+/**
+ * @file
+ * Umbrella header for the Yukta public API.
+ *
+ * Typical use (see examples/):
+ *
+ *   auto cfg = yukta::platform::BoardConfig::odroidXu3();
+ *   auto artifacts = yukta::core::buildArtifacts(cfg);
+ *   auto system = yukta::core::makeSystem(
+ *       yukta::core::Scheme::kYuktaFull, artifacts,
+ *       yukta::platform::Workload(
+ *           yukta::platform::AppCatalog::get("blackscholes")));
+ *   auto metrics = system.run(600.0);
+ */
+
+#include "controllers/multilayer.h"
+#include "core/design_flow.h"
+#include "core/report.h"
+#include "core/schemes.h"
+#include "core/spec.h"
+#include "core/training.h"
+#include "platform/apps.h"
+#include "platform/board.h"
+#include "robust/ssv_design.h"
+
+#endif  // YUKTA_CORE_YUKTA_H_

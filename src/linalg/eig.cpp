@@ -1,0 +1,333 @@
+#include "linalg/eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace yukta::linalg {
+
+namespace {
+
+/** Reduces a square complex matrix to upper Hessenberg form in place. */
+void
+hessenberg(CMatrix& h)
+{
+    std::size_t n = h.rows();
+    if (n < 3) {
+        return;
+    }
+    for (std::size_t k = 0; k + 2 < n; ++k) {
+        // Householder vector for column k, rows k+1..n-1.
+        double norm = 0.0;
+        for (std::size_t i = k + 1; i < n; ++i) {
+            norm = std::hypot(norm, std::abs(h(i, k)));
+        }
+        if (norm < 1e-300) {
+            continue;
+        }
+        Complex x0 = h(k + 1, k);
+        Complex phase =
+            std::abs(x0) > 0.0 ? x0 / std::abs(x0) : Complex(1.0, 0.0);
+        Complex alpha = -phase * norm;
+
+        std::vector<Complex> v(n, Complex(0.0, 0.0));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            v[i] = h(i, k);
+        }
+        v[k + 1] -= alpha;
+        double vnorm2 = 0.0;
+        for (std::size_t i = k + 1; i < n; ++i) {
+            vnorm2 += std::norm(v[i]);
+        }
+        if (vnorm2 < 1e-300) {
+            continue;
+        }
+
+        // H := (I - 2 v v^H / |v|^2) H
+        for (std::size_t c = 0; c < n; ++c) {
+            Complex s(0.0, 0.0);
+            for (std::size_t i = k + 1; i < n; ++i) {
+                s += std::conj(v[i]) * h(i, c);
+            }
+            s *= 2.0 / vnorm2;
+            for (std::size_t i = k + 1; i < n; ++i) {
+                h(i, c) -= s * v[i];
+            }
+        }
+        // H := H (I - 2 v v^H / |v|^2)
+        for (std::size_t r = 0; r < n; ++r) {
+            Complex s(0.0, 0.0);
+            for (std::size_t i = k + 1; i < n; ++i) {
+                s += h(r, i) * v[i];
+            }
+            s *= 2.0 / vnorm2;
+            for (std::size_t i = k + 1; i < n; ++i) {
+                h(r, i) -= s * std::conj(v[i]);
+            }
+        }
+    }
+}
+
+/** Eigenvalues of a complex 2x2 block; returns the one closest to d. */
+Complex
+wilkinsonShift(Complex a, Complex b, Complex c, Complex d)
+{
+    Complex tr2 = (a + d) * 0.5;
+    Complex disc = std::sqrt((a - d) * (a - d) * 0.25 + b * c);
+    Complex l1 = tr2 + disc;
+    Complex l2 = tr2 - disc;
+    return std::abs(l1 - d) < std::abs(l2 - d) ? l1 : l2;
+}
+
+}  // namespace
+
+std::vector<Complex>
+eigenvalues(const CMatrix& a)
+{
+    if (!a.isSquare()) {
+        throw std::invalid_argument("eigenvalues: matrix must be square");
+    }
+    std::size_t n = a.rows();
+    std::vector<Complex> eig;
+    eig.reserve(n);
+    if (n == 0) {
+        return eig;
+    }
+
+    CMatrix h = a;
+    hessenberg(h);
+
+    // Shifted QR with deflation on the active trailing block [0, m].
+    std::size_t m = n - 1;
+    int iter = 0;
+    const int max_iter_per_eig = 80;
+    int budget = max_iter_per_eig * static_cast<int>(n);
+
+    while (true) {
+        // Deflate negligible subdiagonals.
+        while (m > 0) {
+            double off = std::abs(h(m, m - 1));
+            double scale =
+                std::abs(h(m, m)) + std::abs(h(m - 1, m - 1)) + 1e-300;
+            if (off <= 1e-14 * scale) {
+                h(m, m - 1) = Complex(0.0, 0.0);
+                eig.push_back(h(m, m));
+                --m;
+                iter = 0;
+            } else {
+                break;
+            }
+        }
+        if (m == 0) {
+            eig.push_back(h(0, 0));
+            break;
+        }
+        if (--budget < 0) {
+            throw std::runtime_error("eigenvalues: QR did not converge");
+        }
+
+        // Find the start of the active unreduced block.
+        std::size_t lo = m;
+        while (lo > 0) {
+            double off = std::abs(h(lo, lo - 1));
+            double scale =
+                std::abs(h(lo, lo)) + std::abs(h(lo - 1, lo - 1)) + 1e-300;
+            if (off <= 1e-14 * scale) {
+                h(lo, lo - 1) = Complex(0.0, 0.0);
+                break;
+            }
+            --lo;
+        }
+
+        Complex sigma = wilkinsonShift(h(m - 1, m - 1), h(m - 1, m),
+                                       h(m, m - 1), h(m, m));
+        // Occasionally use an exceptional shift to break cycles.
+        if (++iter % 20 == 0) {
+            sigma = Complex(std::abs(h(m, m - 1)) + std::abs(h(m, m)), 0.0);
+        }
+
+        // Explicit single-shift QR step on the block [lo, m] using
+        // complex Givens rotations: H - sigma I = Q R, then R Q + sigma I.
+        std::size_t blk = m - lo + 1;
+        std::vector<double> cs(blk, 1.0);
+        std::vector<Complex> sn(blk, Complex(0.0, 0.0));
+
+        for (std::size_t i = lo; i <= m; ++i) {
+            h(i, i) -= sigma;
+        }
+        for (std::size_t i = lo; i < m; ++i) {
+            Complex f = h(i, i);
+            Complex g = h(i + 1, i);
+            double fa = std::abs(f);
+            double ga = std::abs(g);
+            double r = std::hypot(fa, ga);
+            double c;
+            Complex s;
+            if (r < 1e-300) {
+                c = 1.0;
+                s = Complex(0.0, 0.0);
+            } else {
+                c = fa / r;
+                // s chosen so that the rotated second entry vanishes.
+                Complex fsign =
+                    fa > 0.0 ? f / fa : Complex(1.0, 0.0);
+                s = fsign * std::conj(g) / r;
+            }
+            cs[i - lo] = c;
+            sn[i - lo] = s;
+            // Apply to rows i, i+1 (columns max(lo,i-1).. n-1 would do;
+            // we sweep the full row for simplicity).
+            for (std::size_t col = (i == lo ? lo : i - 1); col < n; ++col) {
+                Complex t1 = h(i, col);
+                Complex t2 = h(i + 1, col);
+                h(i, col) = c * t1 + s * t2;
+                h(i + 1, col) = -std::conj(s) * t1 + c * t2;
+            }
+        }
+        // Apply the adjoint rotations on the right (columns i, i+1).
+        for (std::size_t i = lo; i < m; ++i) {
+            double c = cs[i - lo];
+            Complex s = sn[i - lo];
+            std::size_t top = std::min(i + 2, m);
+            for (std::size_t row = 0; row <= top; ++row) {
+                Complex t1 = h(row, i);
+                Complex t2 = h(row, i + 1);
+                h(row, i) = c * t1 + std::conj(s) * t2;
+                h(row, i + 1) = -s * t1 + c * t2;
+            }
+        }
+        for (std::size_t i = lo; i <= m; ++i) {
+            h(i, i) += sigma;
+        }
+    }
+
+    return eig;
+}
+
+std::vector<Complex>
+eigenvalues(const Matrix& a)
+{
+    return eigenvalues(CMatrix(a));
+}
+
+double
+spectralRadius(const Matrix& a)
+{
+    double best = 0.0;
+    for (const Complex& l : eigenvalues(a)) {
+        best = std::max(best, std::abs(l));
+    }
+    return best;
+}
+
+double
+spectralAbscissa(const Matrix& a)
+{
+    double best = -1e300;
+    for (const Complex& l : eigenvalues(a)) {
+        best = std::max(best, l.real());
+    }
+    return best;
+}
+
+SymmetricEigen
+symmetricEigen(const Matrix& a)
+{
+    if (!a.isSquare()) {
+        throw std::invalid_argument("symmetricEigen: matrix must be square");
+    }
+    std::size_t n = a.rows();
+    // Work on a symmetrized copy to be safe against tiny asymmetries.
+    Matrix s(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double v = 0.5 * (a(i, j) + a(j, i));
+            s(i, j) = v;
+            s(j, i) = v;
+        }
+    }
+    Matrix v = Matrix::identity(n);
+
+    const int max_sweeps = 60;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        double off = 0.0;
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                off += s(p, q) * s(p, q);
+            }
+        }
+        if (off < 1e-26 * (1.0 + s.normFro() * s.normFro())) {
+            break;
+        }
+        for (std::size_t p = 0; p + 1 < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                double apq = s(p, q);
+                if (std::abs(apq) < 1e-300) {
+                    continue;
+                }
+                double tau = (s(q, q) - s(p, p)) / (2.0 * apq);
+                double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                           (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+                double c = 1.0 / std::sqrt(1.0 + t * t);
+                double sn = t * c;
+                // Rotate rows/columns p and q of s.
+                for (std::size_t k = 0; k < n; ++k) {
+                    double skp = s(k, p);
+                    double skq = s(k, q);
+                    s(k, p) = c * skp - sn * skq;
+                    s(k, q) = sn * skp + c * skq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    double spk = s(p, k);
+                    double sqk = s(q, k);
+                    s(p, k) = c * spk - sn * sqk;
+                    s(q, k) = sn * spk + c * sqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    double vkp = v(k, p);
+                    double vkq = v(k, q);
+                    v(k, p) = c * vkp - sn * vkq;
+                    v(k, q) = sn * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs ascending.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        order[i] = i;
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+        return s(i, i) < s(j, j);
+    });
+
+    SymmetricEigen out;
+    out.values.resize(n);
+    out.vectors = Matrix(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.values[i] = s(order[i], order[i]);
+        for (std::size_t r = 0; r < n; ++r) {
+            out.vectors(r, i) = v(r, order[i]);
+        }
+    }
+    return out;
+}
+
+double
+minSymmetricEigenvalue(const Matrix& a)
+{
+    return symmetricEigen(a).values.front();
+}
+
+bool
+isPositiveSemidefinite(const Matrix& a, double tol)
+{
+    if (a.empty()) {
+        return true;
+    }
+    double scale = std::max(a.normFro(), 1e-300);
+    return minSymmetricEigenvalue(a) >= -tol * scale;
+}
+
+}  // namespace yukta::linalg

@@ -1,0 +1,61 @@
+#ifndef YUKTA_LINALG_EIG_H_
+#define YUKTA_LINALG_EIG_H_
+
+/**
+ * @file
+ * Eigenvalue computations:
+ *  - general (possibly complex) eigenvalues of real/complex square
+ *    matrices via Hessenberg reduction + shifted QR iteration, used
+ *    for pole/stability analysis of LTI systems;
+ *  - real symmetric eigendecomposition via cyclic Jacobi, used for
+ *    positive-(semi)definiteness checks in the Riccati solvers.
+ */
+
+#include <vector>
+
+#include "linalg/cmatrix.h"
+#include "linalg/matrix.h"
+
+namespace yukta::linalg {
+
+/**
+ * Computes all eigenvalues of a square complex matrix.
+ *
+ * @throws std::runtime_error if the QR iteration fails to converge.
+ */
+std::vector<Complex> eigenvalues(const CMatrix& a);
+
+/** Computes all eigenvalues of a square real matrix. */
+std::vector<Complex> eigenvalues(const Matrix& a);
+
+/** @return max |lambda_i| over the eigenvalues of @p a. */
+double spectralRadius(const Matrix& a);
+
+/** @return max Re(lambda_i) over the eigenvalues of @p a. */
+double spectralAbscissa(const Matrix& a);
+
+/** Result of a symmetric eigendecomposition A = V diag(w) V^T. */
+struct SymmetricEigen
+{
+    std::vector<double> values;  ///< Eigenvalues, ascending.
+    Matrix vectors;              ///< Orthonormal eigenvectors (columns).
+};
+
+/**
+ * Eigendecomposition of a real symmetric matrix via cyclic Jacobi.
+ * Only the lower triangle of @p a is read.
+ */
+SymmetricEigen symmetricEigen(const Matrix& a);
+
+/** @return the smallest eigenvalue of a symmetric matrix. */
+double minSymmetricEigenvalue(const Matrix& a);
+
+/**
+ * @return true when the symmetric matrix @p a is positive
+ * semidefinite up to tolerance @p tol (relative to its norm).
+ */
+bool isPositiveSemidefinite(const Matrix& a, double tol = 1e-8);
+
+}  // namespace yukta::linalg
+
+#endif  // YUKTA_LINALG_EIG_H_

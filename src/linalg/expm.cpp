@@ -1,0 +1,78 @@
+#include "linalg/expm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.h"
+
+namespace yukta::linalg {
+
+namespace {
+
+/** 1-norm (max absolute column sum). */
+double
+norm1(const Matrix& a)
+{
+    double best = 0.0;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+        double sum = 0.0;
+        for (std::size_t r = 0; r < a.rows(); ++r) {
+            sum += std::abs(a(r, c));
+        }
+        best = std::max(best, sum);
+    }
+    return best;
+}
+
+}  // namespace
+
+Matrix
+expm(const Matrix& a)
+{
+    if (!a.isSquare()) {
+        throw std::invalid_argument("expm: matrix must be square");
+    }
+    std::size_t n = a.rows();
+    if (n == 0) {
+        return a;
+    }
+
+    // Scaling: bring ||A/2^s|| under theta_13 ~ 5.37.
+    const double theta13 = 5.371920351148152;
+    double nrm = norm1(a);
+    int s = 0;
+    if (nrm > theta13) {
+        s = static_cast<int>(std::ceil(std::log2(nrm / theta13)));
+    }
+    Matrix as = a / std::pow(2.0, s);
+
+    // Pade [13/13] coefficients.
+    const double b[] = {64764752532480000.0, 32382376266240000.0,
+                        7771770303897600.0,  1187353796428800.0,
+                        129060195264000.0,   10559470521600.0,
+                        670442572800.0,      33522128640.0,
+                        1323241920.0,        40840800.0,
+                        960960.0,            16380.0,
+                        182.0,               1.0};
+
+    Matrix eye = Matrix::identity(n);
+    Matrix a2 = as * as;
+    Matrix a4 = a2 * a2;
+    Matrix a6 = a2 * a4;
+
+    Matrix u_inner = a6 * (b[13] * a6 + b[11] * a4 + b[9] * a2) +
+                     b[7] * a6 + b[5] * a4 + b[3] * a2 + b[1] * eye;
+    Matrix u = as * u_inner;
+    Matrix v = a6 * (b[12] * a6 + b[10] * a4 + b[8] * a2) + b[6] * a6 +
+               b[4] * a4 + b[2] * a2 + b[0] * eye;
+
+    // (V - U) X = (V + U).
+    Matrix x = solve(v - u, v + u);
+
+    for (int i = 0; i < s; ++i) {
+        x = x * x;
+    }
+    return x;
+}
+
+}  // namespace yukta::linalg

@@ -1,0 +1,24 @@
+#ifndef YUKTA_LINALG_EXPM_H_
+#define YUKTA_LINALG_EXPM_H_
+
+/**
+ * @file
+ * Matrix exponential via Pade approximation with scaling and squaring
+ * (Higham's [13/13] method). Used for zero-order-hold discretization
+ * of continuous-time models.
+ */
+
+#include "linalg/matrix.h"
+
+namespace yukta::linalg {
+
+/**
+ * Computes e^A for a square matrix.
+ *
+ * @throws std::invalid_argument when @p a is not square.
+ */
+Matrix expm(const Matrix& a);
+
+}  // namespace yukta::linalg
+
+#endif  // YUKTA_LINALG_EXPM_H_

@@ -1,0 +1,193 @@
+#include "linalg/vector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace yukta::linalg {
+
+Vector&
+Vector::operator+=(const Vector& rhs)
+{
+    if (size() != rhs.size()) {
+        throw std::invalid_argument("Vector+=: size mismatch");
+    }
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] += rhs.data_[i];
+    }
+    return *this;
+}
+
+Vector&
+Vector::operator-=(const Vector& rhs)
+{
+    if (size() != rhs.size()) {
+        throw std::invalid_argument("Vector-=: size mismatch");
+    }
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        data_[i] -= rhs.data_[i];
+    }
+    return *this;
+}
+
+Vector&
+Vector::operator*=(double s)
+{
+    for (double& v : data_) {
+        v *= s;
+    }
+    return *this;
+}
+
+double
+Vector::norm2() const
+{
+    double s = 0.0;
+    for (double v : data_) {
+        s += v * v;
+    }
+    return std::sqrt(s);
+}
+
+double
+Vector::maxAbs() const
+{
+    double best = 0.0;
+    for (double v : data_) {
+        best = std::max(best, std::abs(v));
+    }
+    return best;
+}
+
+double
+Vector::dot(const Vector& rhs) const
+{
+    if (size() != rhs.size()) {
+        throw std::invalid_argument("Vector::dot: size mismatch");
+    }
+    double s = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        s += data_[i] * rhs.data_[i];
+    }
+    return s;
+}
+
+Matrix
+Vector::asColumn() const
+{
+    Matrix m(size(), 1);
+    for (std::size_t i = 0; i < size(); ++i) {
+        m(i, 0) = data_[i];
+    }
+    return m;
+}
+
+Matrix
+Vector::asRow() const
+{
+    Matrix m(1, size());
+    for (std::size_t i = 0; i < size(); ++i) {
+        m(0, i) = data_[i];
+    }
+    return m;
+}
+
+Vector
+Vector::segment(std::size_t begin, std::size_t len) const
+{
+    if (begin + len > size()) {
+        throw std::out_of_range("Vector::segment: out of range");
+    }
+    Vector out(len);
+    for (std::size_t i = 0; i < len; ++i) {
+        out[i] = data_[begin + i];
+    }
+    return out;
+}
+
+bool
+Vector::isApprox(const Vector& rhs, double tol) const
+{
+    if (size() != rhs.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        // Negated <= so that NaNs compare as "not close".
+        if (!(std::abs(data_[i] - rhs.data_[i]) <= tol)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+Vector
+operator+(Vector lhs, const Vector& rhs)
+{
+    lhs += rhs;
+    return lhs;
+}
+
+Vector
+operator-(Vector lhs, const Vector& rhs)
+{
+    lhs -= rhs;
+    return lhs;
+}
+
+Vector
+operator*(double s, Vector v)
+{
+    v *= s;
+    return v;
+}
+
+Vector
+operator*(Vector v, double s)
+{
+    v *= s;
+    return v;
+}
+
+Vector
+operator*(const Matrix& m, const Vector& v)
+{
+    if (m.cols() != v.size()) {
+        throw std::invalid_argument("Matrix*Vector: size mismatch");
+    }
+    Vector out(m.rows());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        double s = 0.0;
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            s += m(r, c) * v[c];
+        }
+        out[r] = s;
+    }
+    return out;
+}
+
+Vector
+concat(const Vector& lhs, const Vector& rhs)
+{
+    Vector out(lhs.size() + rhs.size());
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+        out[i] = lhs[i];
+    }
+    for (std::size_t i = 0; i < rhs.size(); ++i) {
+        out[lhs.size() + i] = rhs[i];
+    }
+    return out;
+}
+
+Vector
+toVector(const Matrix& m)
+{
+    if (m.cols() != 1) {
+        throw std::invalid_argument("toVector: matrix is not a column");
+    }
+    Vector out(m.rows());
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+        out[i] = m(i, 0);
+    }
+    return out;
+}
+
+}  // namespace yukta::linalg

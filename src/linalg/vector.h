@@ -1,0 +1,95 @@
+#ifndef YUKTA_LINALG_VECTOR_H_
+#define YUKTA_LINALG_VECTOR_H_
+
+/**
+ * @file
+ * Thin dense vector type; interoperates with Matrix (mat * vec).
+ */
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace yukta::linalg {
+
+/** Dense vector of doubles with elementwise arithmetic. */
+class Vector
+{
+  public:
+    Vector() = default;
+
+    /** Creates a vector of @p n entries, all equal to @p fill. */
+    explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
+
+    Vector(std::initializer_list<double> init) : data_(init) {}
+
+    /** Wraps an existing std::vector. */
+    explicit Vector(std::vector<double> data) : data_(std::move(data)) {}
+
+    /** @return a vector of @p n zeros. */
+    static Vector zeros(std::size_t n) { return Vector(n, 0.0); }
+
+    /** @return a vector of @p n ones. */
+    static Vector ones(std::size_t n) { return Vector(n, 1.0); }
+
+    std::size_t size() const { return data_.size(); }
+    bool empty() const { return data_.empty(); }
+
+    double& operator[](std::size_t i) { return data_[i]; }
+    double operator[](std::size_t i) const { return data_[i]; }
+
+    /** Bounds-checked element access. */
+    double& at(std::size_t i) { return data_.at(i); }
+    double at(std::size_t i) const { return data_.at(i); }
+
+    const std::vector<double>& raw() const { return data_; }
+    std::vector<double>& raw() { return data_; }
+
+    Vector& operator+=(const Vector& rhs);
+    Vector& operator-=(const Vector& rhs);
+    Vector& operator*=(double s);
+
+    /** @return the Euclidean norm. */
+    double norm2() const;
+
+    /** @return the largest absolute entry (0 for empty). */
+    double maxAbs() const;
+
+    /** @return dot product with @p rhs. */
+    double dot(const Vector& rhs) const;
+
+    /** @return this vector as an n x 1 matrix. */
+    Matrix asColumn() const;
+
+    /** @return this vector as a 1 x n matrix. */
+    Matrix asRow() const;
+
+    /** @return entries [begin, begin+len) as a new vector. */
+    Vector segment(std::size_t begin, std::size_t len) const;
+
+    /** @return true when entries differ from @p rhs by at most @p tol. */
+    bool isApprox(const Vector& rhs, double tol = 1e-9) const;
+
+  private:
+    std::vector<double> data_;
+};
+
+Vector operator+(Vector lhs, const Vector& rhs);
+Vector operator-(Vector lhs, const Vector& rhs);
+Vector operator*(double s, Vector v);
+Vector operator*(Vector v, double s);
+
+/** Matrix-vector product. */
+Vector operator*(const Matrix& m, const Vector& v);
+
+/** Concatenates two vectors. */
+Vector concat(const Vector& lhs, const Vector& rhs);
+
+/** @return the first column of @p m as a Vector (m must be n x 1). */
+Vector toVector(const Matrix& m);
+
+}  // namespace yukta::linalg
+
+#endif  // YUKTA_LINALG_VECTOR_H_

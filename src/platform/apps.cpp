@@ -1,0 +1,214 @@
+#include "platform/apps.h"
+
+#include <map>
+#include <stdexcept>
+
+namespace yukta::platform {
+
+namespace {
+
+/** PARSEC-style app: serial startup phase, then barriered parallel. */
+AppModel
+parsecStyle(const std::string& name, double ipc_big, double little_ratio,
+            double mem, double serial_work, double parallel_work,
+            double activity = 1.0, double coupling = 0.7)
+{
+    AppModel app;
+    app.name = name;
+    app.ipc_big = ipc_big;
+    app.ipc_little = ipc_big * little_ratio;
+    AppPhase serial;
+    serial.num_threads = 1;
+    serial.work_per_thread = serial_work;
+    serial.mem_boundness = mem * 0.8;
+    serial.activity = activity;
+    AppPhase par;
+    par.num_threads = 8;
+    par.work_per_thread = parallel_work;
+    par.mem_boundness = mem;
+    par.activity = activity;
+    par.barrier_coupling = coupling;
+    app.phases = {serial, par};
+    return app;
+}
+
+/** SPEC-style workload: 8 independent copies, one phase. */
+AppModel
+specStyle(const std::string& name, double ipc_big, double little_ratio,
+          double mem, double work_per_copy, double activity = 1.0)
+{
+    AppModel app;
+    app.name = name;
+    app.ipc_big = ipc_big;
+    app.ipc_little = ipc_big * little_ratio;
+    AppPhase run;
+    run.num_threads = 8;
+    run.work_per_thread = work_per_copy;
+    run.mem_boundness = mem;
+    run.activity = activity;
+    run.barrier = false;
+    app.phases = {run};
+    return app;
+}
+
+std::map<std::string, AppModel>
+buildCatalog()
+{
+    std::map<std::string, AppModel> cat;
+    auto put = [&cat](AppModel m) { cat[m.name] = std::move(m); };
+
+    // --- Evaluation PARSEC (8 threads, native datasets). ---
+    // blackscholes: starts with one thread, then 8 parallel threads
+    // with little variation (Sec. VI-A).
+    put(parsecStyle("blackscholes", 1.8, 0.33, 0.10, 25.0, 230.0, 1.0, 0.75));
+    put(parsecStyle("bodytrack", 1.5, 0.33, 0.25, 18.0, 200.0, 1.05));
+    put(parsecStyle("facesim", 1.4, 0.32, 0.30, 22.0, 240.0));
+    put(parsecStyle("fluidanimate", 1.6, 0.32, 0.35, 15.0, 210.0, 1.1, 0.8));
+    put(parsecStyle("raytrace", 1.9, 0.34, 0.15, 20.0, 260.0));
+    put(parsecStyle("canneal", 1.1, 0.42, 0.55, 12.0, 150.0, 0.85));
+    put(parsecStyle("streamcluster", 1.0, 0.45, 0.60, 10.0, 140.0, 0.8, 0.85));
+    // x264 churns threads between pipeline stages: extra phases.
+    {
+        AppModel app = parsecStyle("x264", 1.7, 0.33, 0.20, 15.0, 90.0, 1.1, 0.45);
+        AppPhase mid;
+        mid.num_threads = 5;
+        mid.work_per_thread = 60.0;
+        mid.mem_boundness = 0.25;
+        mid.activity = 1.1;
+        AppPhase tail;
+        tail.num_threads = 8;
+        tail.work_per_thread = 80.0;
+        tail.mem_boundness = 0.2;
+        tail.activity = 1.1;
+        app.phases.push_back(mid);
+        app.phases.push_back(tail);
+        put(app);
+    }
+
+    // --- Evaluation SPEC06 (8 copies, train datasets). ---
+    put(specStyle("h264ref", 1.9, 0.33, 0.15, 220.0, 1.05));
+    put(specStyle("mcf", 0.8, 0.48, 0.70, 110.0, 0.75));
+    put(specStyle("omnetpp", 1.0, 0.42, 0.50, 130.0, 0.85));
+    put(specStyle("gamess", 2.0, 0.32, 0.10, 260.0, 1.1));
+    put(specStyle("gromacs", 1.8, 0.32, 0.15, 230.0, 1.05));
+    put(specStyle("dealII", 1.6, 0.35, 0.30, 200.0));
+
+    // --- Training set (disjoint from evaluation, Sec. V-A). ---
+    put(parsecStyle("swaptions", 1.8, 0.33, 0.10, 12.0, 160.0));
+    put(parsecStyle("vips", 1.5, 0.33, 0.30, 14.0, 170.0));
+    put(specStyle("astar", 1.1, 0.42, 0.45, 120.0, 0.9));
+    put(specStyle("perlbench", 1.5, 0.34, 0.25, 170.0));
+    put(specStyle("milc", 0.9, 0.46, 0.60, 100.0, 0.8));
+    put(specStyle("namd", 1.9, 0.32, 0.10, 240.0, 1.05));
+
+    return cat;
+}
+
+const std::map<std::string, AppModel>&
+catalog()
+{
+    static const std::map<std::string, AppModel> cat = buildCatalog();
+    return cat;
+}
+
+}  // namespace
+
+AppModel
+AppCatalog::get(const std::string& name)
+{
+    auto it = catalog().find(name);
+    if (it == catalog().end()) {
+        throw std::invalid_argument("AppCatalog: unknown app " + name);
+    }
+    return it->second;
+}
+
+AppModel
+AppCatalog::getWithThreads(const std::string& name, std::size_t threads)
+{
+    AppModel app = get(name);
+    if (threads == 0) {
+        throw std::invalid_argument("AppCatalog: zero threads");
+    }
+    for (AppPhase& ph : app.phases) {
+        if (ph.num_threads > 1) {
+            // Keep total phase work comparable while changing the
+            // thread count.
+            double total = ph.work_per_thread *
+                           static_cast<double>(ph.num_threads);
+            ph.num_threads = threads;
+            ph.work_per_thread = total / static_cast<double>(threads);
+        }
+    }
+    return app;
+}
+
+std::vector<std::string>
+AppCatalog::specApps()
+{
+    return {"h264ref", "mcf", "omnetpp", "gamess", "gromacs", "dealII"};
+}
+
+std::vector<std::string>
+AppCatalog::parsecApps()
+{
+    return {"blackscholes", "bodytrack", "facesim", "fluidanimate",
+            "raytrace",     "x264",      "canneal", "streamcluster"};
+}
+
+std::vector<std::string>
+AppCatalog::trainingApps()
+{
+    return {"swaptions", "vips", "astar", "perlbench", "milc", "namd"};
+}
+
+std::vector<std::string>
+AppCatalog::evaluationApps()
+{
+    std::vector<std::string> all = specApps();
+    for (const auto& p : parsecApps()) {
+        all.push_back(p);
+    }
+    return all;
+}
+
+std::vector<std::string>
+AppCatalog::mixNames()
+{
+    return {"blmc", "stga", "blst", "mcga"};
+}
+
+Workload
+AppCatalog::getMix(const std::string& mix)
+{
+    auto half = [](const std::string& name) {
+        return getWithThreads(name, 4);
+    };
+    if (mix == "blmc") {
+        return Workload({half("blackscholes"), half("mcf")});
+    }
+    if (mix == "stga") {
+        return Workload({half("streamcluster"), half("gamess")});
+    }
+    if (mix == "blst") {
+        return Workload({half("blackscholes"), half("streamcluster")});
+    }
+    if (mix == "mcga") {
+        return Workload({half("mcf"), half("gamess")});
+    }
+    throw std::invalid_argument("AppCatalog: unknown mix " + mix);
+}
+
+std::string
+AppCatalog::shortLabel(const std::string& name)
+{
+    if (name.size() <= 3) {
+        return name;
+    }
+    if (name == "dealII") {
+        return "dea";
+    }
+    return name.substr(0, 3);
+}
+
+}  // namespace yukta::platform

@@ -1,0 +1,64 @@
+#ifndef YUKTA_PLATFORM_APPS_H_
+#define YUKTA_PLATFORM_APPS_H_
+
+/**
+ * @file
+ * Catalog of application models shaped after the paper's evaluation
+ * set (Sec. V-A): 8-threaded PARSEC programs with native inputs,
+ * 8-copy SPEC06 programs with train inputs, a disjoint training set,
+ * and the four heterogeneous mixes of Sec. VI-C.
+ *
+ * The IPC / memory-boundness / phase parameters are synthetic but
+ * chosen to span the same diversity (compute-bound vs memory-bound,
+ * stable vs thread-churning) that drives the paper's results.
+ */
+
+#include <string>
+#include <vector>
+
+#include "platform/workload.h"
+
+namespace yukta::platform {
+
+/** Application catalog (all models are static data). */
+class AppCatalog
+{
+  public:
+    /**
+     * @return the model for @p name.
+     * @throws std::invalid_argument for unknown names.
+     */
+    static AppModel get(const std::string& name);
+
+    /** @return same app with thread counts scaled to @p threads. */
+    static AppModel getWithThreads(const std::string& name,
+                                   std::size_t threads);
+
+    /** Evaluation SPEC programs (8 copies each, train inputs). */
+    static std::vector<std::string> specApps();
+
+    /** Evaluation PARSEC programs (8 threads, native inputs). */
+    static std::vector<std::string> parsecApps();
+
+    /** Training programs (disjoint from evaluation, Sec. V-A). */
+    static std::vector<std::string> trainingApps();
+
+    /** All evaluation programs: SPEC then PARSEC. */
+    static std::vector<std::string> evaluationApps();
+
+    /**
+     * Heterogeneous mixes of Sec. VI-C: blmc, stga, blst, mcga
+     * (4-thread PARSEC + 4-copy SPEC combinations).
+     */
+    static std::vector<std::string> mixNames();
+
+    /** @return the two-instance workload for a mix name. */
+    static Workload getMix(const std::string& mix);
+
+    /** Short label used in the paper's figures (e.g. "bla"). */
+    static std::string shortLabel(const std::string& name);
+};
+
+}  // namespace yukta::platform
+
+#endif  // YUKTA_PLATFORM_APPS_H_

@@ -1,0 +1,285 @@
+#include "platform/board.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace yukta::platform {
+
+namespace {
+
+/** Per-thread execution rate in giga-instructions per second. */
+double
+threadRate(const ThreadInfo& info, ClusterId cluster, double freq,
+           std::size_t sharers)
+{
+    // Roofline-ish: time per (normalized) instruction is a core part
+    // scaling with 1/f plus a memory part pinned to the 1 GHz-
+    // equivalent memory subsystem.
+    double m = std::clamp(info.mem_boundness, 0.0, 0.95);
+    double rate_ghz = 1.0 / ((1.0 - m) / freq + m / 1.0);
+    double ipc =
+        cluster == ClusterId::kBig ? info.ipc_big : info.ipc_little;
+    double share =
+        sharers > 0 ? 1.0 / static_cast<double>(sharers) : 0.0;
+    // Small multiplexing overhead per extra thread on the core.
+    double mux = std::pow(0.97, static_cast<double>(sharers - 1));
+    return ipc * rate_ghz * share * mux;
+}
+
+}  // namespace
+
+Board::Board(BoardConfig cfg, Workload workload, std::uint32_t seed)
+    : cfg_(cfg), dvfs_big_(cfg.big), dvfs_little_(cfg.little),
+      power_big_(cfg.big, dvfs_big_), power_little_(cfg.little, dvfs_little_),
+      thermal_(cfg.thermal), sensors_(cfg.sensors, seed),
+      tmu_(cfg.tmu, cfg_, dvfs_big_, dvfs_little_),
+      workload_(std::move(workload))
+{
+    requested_.big_cores = cfg_.big.num_cores;
+    requested_.little_cores = cfg_.little.num_cores;
+    requested_.freq_big = dvfs_big_.maxFreq();
+    requested_.freq_little = dvfs_little_.maxFreq();
+    refreshApplied();
+    refreshPlacement(true);
+}
+
+void
+Board::applyHardwareInputs(const HardwareInputs& in)
+{
+    requested_ = in;
+    // Quantize/clamp like cpufreq + hotplug would.
+    requested_.big_cores =
+        std::clamp<std::size_t>(in.big_cores, 1, cfg_.big.num_cores);
+    requested_.little_cores =
+        std::clamp<std::size_t>(in.little_cores, 1, cfg_.little.num_cores);
+    requested_.freq_big = dvfs_big_.quantize(in.freq_big);
+    requested_.freq_little = dvfs_little_.quantize(in.freq_little);
+    refreshApplied();
+    refreshPlacement(true);
+    migration_stall_left_ = cfg_.migration_stall;
+}
+
+void
+Board::applyPlacementPolicy(const PlacementPolicy& policy)
+{
+    policy_ = policy;
+    refreshPlacement(true);
+    migration_stall_left_ = cfg_.migration_stall;
+}
+
+void
+Board::refreshApplied()
+{
+    const EmergencyCaps& caps = tmu_.caps();
+    applied_ = requested_;
+    applied_.big_cores = std::min(applied_.big_cores, caps.max_big_cores);
+    applied_.big_cores = std::max<std::size_t>(applied_.big_cores, 1);
+    applied_.freq_big = dvfs_big_.quantize(
+        std::min(requested_.freq_big, caps.freq_cap_big));
+    applied_.freq_little = dvfs_little_.quantize(
+        std::min(requested_.freq_little, caps.freq_cap_little));
+}
+
+void
+Board::refreshPlacement(bool force)
+{
+    std::size_t version = workload_.placementVersion();
+    if (!force && version == placement_version_) {
+        return;
+    }
+    placement_version_ = version;
+    std::size_t threads = workload_.numRunnableThreads();
+    placement_ = placeThreads(policy_, threads, applied_.big_cores,
+                              applied_.little_cores);
+}
+
+double
+Board::spareCompute(ClusterId c) const
+{
+    std::size_t on = c == ClusterId::kBig ? applied_.big_cores
+                                          : applied_.little_cores;
+    return platform::spareCompute(placement_, c, on);
+}
+
+void
+Board::enableTrace(double interval)
+{
+    if (interval <= 0.0) {
+        throw std::invalid_argument("Board::enableTrace: bad interval");
+    }
+    trace_interval_ = interval;
+    trace_timer_ = 0.0;
+    trace_instr_mark_ = counters_.total();
+}
+
+void
+Board::run(double seconds)
+{
+    long steps = std::lround(seconds / cfg_.time_step);
+    for (long i = 0; i < steps && !done(); ++i) {
+        stepOnce();
+    }
+}
+
+void
+Board::stepOnce()
+{
+    double dt = cfg_.time_step;
+    refreshPlacement(false);
+
+    // --- Execute threads for dt. ---
+    std::size_t threads = workload_.numRunnableThreads();
+    double stall_factor = migration_stall_left_ > 0.0 ? 0.2 : 1.0;
+    migration_stall_left_ = std::max(0.0, migration_stall_left_ - dt);
+
+    // Pass 1: natural execution rate per thread from its core
+    // assignment.
+    std::size_t nmap = std::min(threads, placement_.thread_cluster.size());
+    rate_scratch_.assign(nmap, 0.0);
+    info_scratch_.clear();
+    double min_rate_per_instance[16];
+    for (int i = 0; i < 16; ++i) {
+        min_rate_per_instance[i] = 1e300;
+    }
+    for (std::size_t t = 0; t < nmap; ++t) {
+        ClusterId c = placement_.thread_cluster[t];
+        std::size_t core = placement_.thread_core[t];
+        std::size_t sharers =
+            c == ClusterId::kBig
+                ? placement_.big_core_threads[core]
+                : placement_.little_core_threads[core];
+        double f = c == ClusterId::kBig ? applied_.freq_big
+                                        : applied_.freq_little;
+        ThreadInfo info = workload_.threadInfo(t);
+        double rate = threadRate(info, c, f, sharers) * stall_factor;
+        rate_scratch_[t] = rate;
+        info_scratch_.push_back(info);
+        std::size_t inst = info.instance < 16 ? info.instance : 15;
+        if (info.barrier_coupling > 0.0) {
+            min_rate_per_instance[inst] =
+                std::min(min_rate_per_instance[inst], rate);
+        }
+    }
+
+    // Pass 2: iteration-level barriers drag coupled threads toward
+    // their slowest sibling, then retire the work.
+    double instr_big = 0.0;
+    double instr_little = 0.0;
+    for (std::size_t t = 0; t < nmap; ++t) {
+        const ThreadInfo& info = info_scratch_[t];
+        double rate = rate_scratch_[t];
+        if (info.barrier_coupling > 0.0) {
+            std::size_t inst = info.instance < 16 ? info.instance : 15;
+            double slowest = min_rate_per_instance[inst];
+            if (slowest < rate) {
+                rate = (1.0 - info.barrier_coupling) * rate +
+                       info.barrier_coupling * slowest;
+            }
+        }
+        double work = rate * dt;  // giga-instructions this step
+        if (placement_.thread_cluster[t] == ClusterId::kBig) {
+            instr_big += work;
+        } else {
+            instr_little += work;
+        }
+        workload_.retire(t, work);
+        if (workload_.placementVersion() != placement_version_) {
+            // Phase change mid-step: stop executing with a stale map.
+            refreshPlacement(false);
+            break;
+        }
+    }
+    counters_.instr_big += instr_big;
+    counters_.instr_little += instr_little;
+
+    // --- Power. ---
+    auto clusterUtil = [](const std::vector<std::size_t>& per_core) {
+        if (per_core.empty()) {
+            return 0.0;
+        }
+        double u = 0.0;
+        for (std::size_t n : per_core) {
+            u += n > 0 ? 1.0 : 0.05;  // idle-but-on cores sip power
+        }
+        return u / static_cast<double>(per_core.size());
+    };
+    auto clusterActivity = [&](ClusterId c) {
+        // Average workload activity over threads on the cluster.
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (std::size_t t = 0; t < threads &&
+                                t < placement_.thread_cluster.size();
+             ++t) {
+            if (placement_.thread_cluster[t] == c) {
+                sum += workload_.threadInfo(t).activity;
+                ++n;
+            }
+        }
+        return n > 0 ? sum / static_cast<double>(n) : 1.0;
+    };
+
+    ClusterActivity act_big;
+    act_big.cores_on = applied_.big_cores;
+    act_big.freq = applied_.freq_big;
+    act_big.avg_utilization = clusterUtil(placement_.big_core_threads);
+    act_big.activity = clusterActivity(ClusterId::kBig);
+
+    ClusterActivity act_little;
+    act_little.cores_on = applied_.little_cores;
+    act_little.freq = applied_.freq_little;
+    act_little.avg_utilization =
+        clusterUtil(placement_.little_core_threads);
+    act_little.activity = clusterActivity(ClusterId::kLittle);
+
+    double temp = thermal_.hotspot();
+    true_p_big_ = power_big_.clusterPower(act_big, temp);
+    true_p_little_ = power_little_.clusterPower(act_little, temp);
+    energy_ += (true_p_big_ + true_p_little_) * dt;
+
+    // --- Thermal. ---
+    double weighted = true_p_big_ * cfg_.big.thermal_weight +
+                      true_p_little_ * cfg_.little.thermal_weight;
+    thermal_.step(weighted, dt);
+
+    // --- Emergency heuristics (TMU). ---
+    EmergencyCaps before = tmu_.caps();
+    EmergencyCaps caps =
+        tmu_.step(dt, thermal_.hotspot(), true_p_big_, true_p_little_,
+                  applied_.freq_big, applied_.freq_little);
+    if (caps.freq_cap_big != before.freq_cap_big ||
+        caps.freq_cap_little != before.freq_cap_little ||
+        caps.max_big_cores != before.max_big_cores) {
+        refreshApplied();
+        refreshPlacement(true);
+    }
+
+    // --- Sensors. ---
+    sensors_.step(dt, true_p_big_, true_p_little_, thermal_.hotspot());
+
+    time_ += dt;
+
+    // --- Trace. ---
+    if (trace_interval_ > 0.0) {
+        trace_timer_ += dt;
+        if (trace_timer_ >= trace_interval_) {
+            TraceSample s;
+            s.time = time_;
+            s.p_big = true_p_big_;
+            s.p_little = true_p_little_;
+            s.temp = thermal_.hotspot();
+            s.bips = (counters_.total() - trace_instr_mark_) / trace_timer_;
+            s.f_big = applied_.freq_big;
+            s.f_little = applied_.freq_little;
+            s.big_cores = applied_.big_cores;
+            s.little_cores = applied_.little_cores;
+            s.threads = workload_.numRunnableThreads();
+            s.emergency = caps.active;
+            trace_.push_back(s);
+            trace_timer_ = 0.0;
+            trace_instr_mark_ = counters_.total();
+        }
+    }
+}
+
+}  // namespace yukta::platform

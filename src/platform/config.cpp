@@ -1,0 +1,40 @@
+#include "platform/config.h"
+
+namespace yukta::platform {
+
+BoardConfig
+BoardConfig::odroidXu3()
+{
+    BoardConfig cfg;
+    // Big cluster: Cortex-A15 class, 0.2-2.0 GHz.
+    cfg.big.num_cores = 4;
+    cfg.big.freq_min = 0.2;
+    cfg.big.freq_max = 2.0;
+    cfg.big.freq_step = 0.1;
+    cfg.big.volt_min = 0.90;
+    cfg.big.volt_max = 1.36;  // Exynos big cluster spans ~0.9-1.36 V:
+                              // the steep V-f curve is what makes high
+                              // frequency E x D-inefficient.
+    cfg.big.ceff = 0.33;
+    cfg.big.leak_ref = 0.12;
+    cfg.big.leak_tc = 0.010;
+    cfg.big.uncore = 0.25;
+    cfg.big.thermal_weight = 1.0;
+
+    // Little cluster: Cortex-A7 class, 0.2-1.4 GHz.
+    cfg.little.num_cores = 4;
+    cfg.little.freq_min = 0.2;
+    cfg.little.freq_max = 1.4;
+    cfg.little.freq_step = 0.1;
+    cfg.little.volt_min = 0.90;
+    cfg.little.volt_max = 1.20;
+    cfg.little.ceff = 0.065;
+    cfg.little.leak_ref = 0.008;
+    cfg.little.leak_tc = 0.008;
+    cfg.little.uncore = 0.02;
+    cfg.little.thermal_weight = 0.3;
+
+    return cfg;
+}
+
+}  // namespace yukta::platform

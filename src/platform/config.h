@@ -1,0 +1,119 @@
+#ifndef YUKTA_PLATFORM_CONFIG_H_
+#define YUKTA_PLATFORM_CONFIG_H_
+
+/**
+ * @file
+ * Board configuration for the simulated ODROID XU3 (Samsung Exynos
+ * 5422): a big cluster of four out-of-order cores (Cortex-A15 class)
+ * and a little cluster of four in-order cores (Cortex-A7 class).
+ *
+ * The defaults are calibrated so that the paper's operating limits
+ * (P_big < 3.3 W, P_little < 0.33 W, T < 79 C) bind in the same
+ * places they do on the real board: the big cluster exceeds 3.3 W
+ * above ~1.3 GHz with four busy cores, the little cluster exceeds
+ * 0.33 W near its top frequencies, and sustained maximum power pushes
+ * the hot spot toward the high 70s C.
+ */
+
+#include <cstddef>
+
+namespace yukta::platform {
+
+/** Identifies one of the two clusters. */
+enum class ClusterId { kBig = 0, kLittle = 1 };
+
+/** Static parameters of one cluster. */
+struct ClusterConfig
+{
+    std::size_t num_cores = 4;  ///< Physical cores.
+    double freq_min = 0.2;      ///< GHz.
+    double freq_max = 2.0;      ///< GHz.
+    double freq_step = 0.1;     ///< GHz.
+
+    double volt_min = 0.90;     ///< V at freq_min.
+    double volt_max = 1.36;     ///< V at freq_max.
+
+    /** Effective switched capacitance (W / (GHz * V^2)) per core. */
+    double ceff = 0.33;
+
+    /** Leakage per powered core at the reference temperature (W). */
+    double leak_ref = 0.12;
+
+    /** Leakage temperature coefficient (1/C). */
+    double leak_tc = 0.010;
+
+    /** Uncore/fabric power when the cluster is active (W). */
+    double uncore = 0.25;
+
+    /** Thermal weight: contribution of this cluster to the hot spot. */
+    double thermal_weight = 1.0;
+};
+
+/** Thermal RC model parameters (two-node: silicon + heatsink). */
+struct ThermalConfig
+{
+    double ambient = 25.0;     ///< C.
+    double r_silicon = 6.0;    ///< C/W silicon above heatsink.
+    double r_heatsink = 3.0;   ///< C/W heatsink above ambient.
+    double tau_silicon = 2.0;  ///< s.
+    double tau_heatsink = 30.0;  ///< s.
+};
+
+/** Emergency (TMU-style) heuristics thresholds, per the Exynos TMU. */
+struct TmuConfig
+{
+    double temp_throttle = 85.0;   ///< C: start forced DVFS cuts.
+    double temp_hotplug = 95.0;    ///< C: start forcing big cores off.
+    double temp_release = 80.0;    ///< C: hysteresis release point.
+    double power_margin = 1.30;    ///< Fraction of limit that trips:
+                                   ///< the paper picks its 3.3 W /
+                                   ///< 0.33 W limits *below* the
+                                   ///< emergency thresholds.
+    double power_window = 0.6;     ///< s of sustained excess to trip.
+    double action_period = 0.1;    ///< s between emergency actions.
+
+    /** Depth of an emergency frequency cut (GHz caps). */
+    double power_cap_big = 0.3;
+    double power_cap_little = 0.3;
+    double thermal_cap_big = 0.3;
+
+    /** Seconds a cap is held before any release is considered. */
+    double cooldown = 5.0;
+
+    /** Seconds between release steps once calm. */
+    double release_period = 0.8;
+};
+
+/** Sensor characteristics (the XU3's INA231 sensors update slowly). */
+struct SensorConfig
+{
+    double power_period = 0.260;  ///< s between power sensor updates.
+    double temp_period = 0.100;   ///< s between temperature samples.
+    double power_noise = 0.01;    ///< Relative measurement noise.
+    double temp_noise = 0.3;      ///< Absolute C noise (std dev).
+};
+
+/** Complete board configuration. */
+struct BoardConfig
+{
+    ClusterConfig big;
+    ClusterConfig little;
+    ThermalConfig thermal;
+    TmuConfig tmu;
+    SensorConfig sensors;
+
+    double time_step = 1e-3;      ///< Simulation step (s).
+    double power_limit_big = 3.3;     ///< W (paper Sec. V-A).
+    double power_limit_little = 0.33;  ///< W.
+    double temp_limit = 79.0;          ///< C.
+
+    /** Thread migration stall when placement changes (s). */
+    double migration_stall = 3e-3;
+
+    /** @return the default XU3-like configuration. */
+    static BoardConfig odroidXu3();
+};
+
+}  // namespace yukta::platform
+
+#endif  // YUKTA_PLATFORM_CONFIG_H_

@@ -1,0 +1,54 @@
+#ifndef YUKTA_PLATFORM_DVFS_H_
+#define YUKTA_PLATFORM_DVFS_H_
+
+/**
+ * @file
+ * Per-cluster DVFS: the frequency grid (like cpufreq's available
+ * frequencies), voltage-frequency curve, and quantization helpers.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/config.h"
+
+namespace yukta::platform {
+
+/** DVFS table for one cluster. */
+class DvfsTable
+{
+  public:
+    explicit DvfsTable(const ClusterConfig& cfg);
+
+    /** @return all allowed frequencies in GHz, ascending. */
+    const std::vector<double>& frequencies() const { return freqs_; }
+
+    /** @return number of allowed operating points. */
+    std::size_t numLevels() const { return freqs_.size(); }
+
+    /** @return the closest allowed frequency to @p f (clamped). */
+    double quantize(double f) const;
+
+    /** @return the voltage at (quantized) frequency @p f. */
+    double voltage(double f) const;
+
+    /** @return the next level down from @p f, or the floor. */
+    double stepDown(double f, std::size_t levels = 1) const;
+
+    /** @return the next level up from @p f, or the ceiling. */
+    double stepUp(double f, std::size_t levels = 1) const;
+
+    double minFreq() const { return freqs_.front(); }
+    double maxFreq() const { return freqs_.back(); }
+
+  private:
+    std::vector<double> freqs_;
+    double volt_min_;
+    double volt_max_;
+
+    std::size_t indexOf(double f) const;
+};
+
+}  // namespace yukta::platform
+
+#endif  // YUKTA_PLATFORM_DVFS_H_

@@ -1,0 +1,79 @@
+#include "platform/power_thermal.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace yukta::platform {
+
+PowerModel::PowerModel(const ClusterConfig& cfg, const DvfsTable& dvfs)
+    : cfg_(cfg), dvfs_(dvfs)
+{
+}
+
+double
+PowerModel::dynamicPower(const ClusterActivity& act) const
+{
+    if (act.cores_on == 0) {
+        return 0.0;
+    }
+    double f = dvfs_.quantize(act.freq);
+    double v = dvfs_.voltage(f);
+    double per_core = cfg_.ceff * act.activity * v * v * f *
+                      std::clamp(act.avg_utilization, 0.0, 1.0);
+    return per_core * static_cast<double>(act.cores_on);
+}
+
+double
+PowerModel::leakagePower(const ClusterActivity& act, double temp) const
+{
+    if (act.cores_on == 0) {
+        return 0.0;
+    }
+    double f = dvfs_.quantize(act.freq);
+    double v = dvfs_.voltage(f);
+    double scale = v / cfg_.volt_max;
+    double thermal = 1.0 + cfg_.leak_tc * (temp - kLeakRefTemp);
+    return cfg_.leak_ref * scale * std::max(thermal, 0.2) *
+           static_cast<double>(act.cores_on);
+}
+
+double
+PowerModel::clusterPower(const ClusterActivity& act, double temp) const
+{
+    double uncore = act.cores_on > 0 ? cfg_.uncore : 0.0;
+    return dynamicPower(act) + leakagePower(act, temp) + uncore;
+}
+
+ThermalModel::ThermalModel(const ThermalConfig& cfg) : cfg_(cfg)
+{
+    reset();
+}
+
+void
+ThermalModel::reset()
+{
+    t_silicon_ = cfg_.ambient;
+    t_heatsink_ = cfg_.ambient;
+}
+
+void
+ThermalModel::step(double weighted_power, double dt)
+{
+    // Silicon relaxes toward heatsink + P * R_si; heatsink toward
+    // ambient + P * R_hs.
+    double target_si = t_heatsink_ + weighted_power * cfg_.r_silicon;
+    double target_hs = cfg_.ambient + weighted_power * cfg_.r_heatsink;
+    double a1 = 1.0 - std::exp(-dt / cfg_.tau_silicon);
+    double a2 = 1.0 - std::exp(-dt / cfg_.tau_heatsink);
+    t_silicon_ += a1 * (target_si - t_silicon_);
+    t_heatsink_ += a2 * (target_hs - t_heatsink_);
+}
+
+double
+ThermalModel::steadyState(double weighted_power) const
+{
+    return cfg_.ambient +
+           weighted_power * (cfg_.r_silicon + cfg_.r_heatsink);
+}
+
+}  // namespace yukta::platform

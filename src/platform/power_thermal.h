@@ -1,0 +1,86 @@
+#ifndef YUKTA_PLATFORM_POWER_THERMAL_H_
+#define YUKTA_PLATFORM_POWER_THERMAL_H_
+
+/**
+ * @file
+ * Power and thermal models of the simulated board.
+ *
+ * Power per cluster: for each powered core,
+ *   P_dyn  = Ceff * activity * V^2 * f * utilization
+ *   P_leak = leak_ref * (V / Vmax) * (1 + tc * (T - Tref))
+ * plus a per-cluster uncore term. Temperature follows a two-node RC
+ * network (silicon hot spot over heatsink over ambient).
+ */
+
+#include "platform/config.h"
+#include "platform/dvfs.h"
+
+namespace yukta::platform {
+
+/** Instantaneous operating state of one cluster for power purposes. */
+struct ClusterActivity
+{
+    std::size_t cores_on = 0;     ///< Powered cores.
+    double freq = 0.2;            ///< GHz (quantized).
+    double avg_utilization = 0.0; ///< Mean busy fraction of powered cores.
+    double activity = 1.0;        ///< Workload switching factor (~0.7-1.2).
+};
+
+/** Computes cluster power (W). */
+class PowerModel
+{
+  public:
+    PowerModel(const ClusterConfig& cfg, const DvfsTable& dvfs);
+
+    /**
+     * @param act current activity.
+     * @param temp current silicon temperature (C).
+     * @return total cluster power in watts.
+     */
+    double clusterPower(const ClusterActivity& act, double temp) const;
+
+    /** Dynamic-only component (for diagnostics). */
+    double dynamicPower(const ClusterActivity& act) const;
+
+    /** Leakage component at temperature @p temp. */
+    double leakagePower(const ClusterActivity& act, double temp) const;
+
+  private:
+    ClusterConfig cfg_;
+    DvfsTable dvfs_;  ///< Owned copy: keeps PowerModel freely movable.
+    static constexpr double kLeakRefTemp = 45.0;  ///< C.
+};
+
+/** Two-node RC thermal model of the hot spot. */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(const ThermalConfig& cfg);
+
+    /**
+     * Advances the model by @p dt seconds with the given weighted
+     * power (sum over clusters of power * thermal_weight).
+     */
+    void step(double weighted_power, double dt);
+
+    /** @return the hot-spot (silicon) temperature in C. */
+    double hotspot() const { return t_silicon_; }
+
+    /** @return the heatsink node temperature in C. */
+    double heatsink() const { return t_heatsink_; }
+
+    /** Resets both nodes to ambient. */
+    void reset();
+
+    /** @return the steady-state hotspot for constant power (C). */
+    double steadyState(double weighted_power) const;
+
+  private:
+    ThermalConfig cfg_;
+    double t_silicon_;
+    double t_heatsink_;
+};
+
+}  // namespace yukta::platform
+
+#endif  // YUKTA_PLATFORM_POWER_THERMAL_H_

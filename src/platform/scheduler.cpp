@@ -1,0 +1,149 @@
+#include "platform/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace yukta::platform {
+
+std::size_t
+Placement::threadsOn(ClusterId c) const
+{
+    std::size_t n = 0;
+    for (ClusterId tc : thread_cluster) {
+        if (tc == c) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::size_t
+Placement::busyCores(ClusterId c) const
+{
+    const auto& counts =
+        c == ClusterId::kBig ? big_core_threads : little_core_threads;
+    std::size_t n = 0;
+    for (std::size_t t : counts) {
+        if (t > 0) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+std::size_t
+Placement::idleCoresOn(ClusterId c) const
+{
+    const auto& counts =
+        c == ClusterId::kBig ? big_core_threads : little_core_threads;
+    return counts.size() - busyCores(c);
+}
+
+namespace {
+
+/**
+ * Distributes @p threads over at most @p cores_on cores targeting
+ * @p tpc threads per busy core; returns per-core counts.
+ */
+std::vector<std::size_t>
+distribute(std::size_t threads, double tpc, std::size_t cores_on)
+{
+    std::vector<std::size_t> counts(cores_on, 0);
+    if (threads == 0 || cores_on == 0) {
+        return counts;
+    }
+    double tpc_eff = std::max(tpc, 1.0);
+    std::size_t want_cores = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(threads) / tpc_eff));
+    std::size_t use_cores = std::clamp<std::size_t>(want_cores, 1, cores_on);
+    for (std::size_t t = 0; t < threads; ++t) {
+        counts[t % use_cores] += 1;
+    }
+    return counts;
+}
+
+}  // namespace
+
+Placement
+placeThreads(const PlacementPolicy& policy, std::size_t num_threads,
+             std::size_t big_on, std::size_t little_on)
+{
+    if (big_on == 0 && little_on == 0) {
+        throw std::invalid_argument("placeThreads: no powered cores");
+    }
+    Placement p;
+    // Round/clamp the policy to feasibility.
+    double want_big = std::round(policy.threads_big);
+    std::size_t nb = static_cast<std::size_t>(
+        std::clamp(want_big, 0.0, static_cast<double>(num_threads)));
+    if (big_on == 0) {
+        nb = 0;
+    }
+    if (little_on == 0) {
+        nb = num_threads;
+    }
+    std::size_t nl = num_threads - nb;
+
+    p.big_core_threads = distribute(nb, policy.tpc_big, big_on);
+    p.little_core_threads = distribute(nl, policy.tpc_little, little_on);
+
+    // Dense thread -> core map: big-cluster threads first (workload
+    // instance order decides which threads these are).
+    p.thread_cluster.resize(num_threads);
+    p.thread_core.resize(num_threads);
+    std::size_t tid = 0;
+    for (std::size_t repeat = 0; tid < nb; ++repeat) {
+        for (std::size_t core = 0; core < p.big_core_threads.size() &&
+                                   tid < nb;
+             ++core) {
+            if (p.big_core_threads[core] > repeat) {
+                p.thread_cluster[tid] = ClusterId::kBig;
+                p.thread_core[tid] = core;
+                ++tid;
+            }
+        }
+    }
+    for (std::size_t repeat = 0; tid < num_threads; ++repeat) {
+        for (std::size_t core = 0;
+             core < p.little_core_threads.size() && tid < num_threads;
+             ++core) {
+            if (p.little_core_threads[core] > repeat) {
+                p.thread_cluster[tid] = ClusterId::kLittle;
+                p.thread_core[tid] = core;
+                ++tid;
+            }
+        }
+    }
+    return p;
+}
+
+PlacementPolicy
+roundRobinPolicy(std::size_t num_threads, std::size_t big_on,
+                 std::size_t little_on)
+{
+    PlacementPolicy policy;
+    std::size_t total = big_on + little_on;
+    if (total == 0) {
+        return policy;
+    }
+    policy.threads_big = static_cast<double>(num_threads) *
+                         static_cast<double>(big_on) /
+                         static_cast<double>(total);
+    double per_core =
+        std::max(1.0, std::ceil(static_cast<double>(num_threads) /
+                                static_cast<double>(total)));
+    policy.tpc_big = per_core;
+    policy.tpc_little = per_core;
+    return policy;
+}
+
+double
+spareCompute(const Placement& p, ClusterId c, std::size_t cores_on)
+{
+    double idle_on = static_cast<double>(p.idleCoresOn(c));
+    double threads = static_cast<double>(p.threadsOn(c));
+    return idle_on - (threads - static_cast<double>(cores_on));
+}
+
+}  // namespace yukta::platform

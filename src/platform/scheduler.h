@@ -1,0 +1,79 @@
+#ifndef YUKTA_PLATFORM_SCHEDULER_H_
+#define YUKTA_PLATFORM_SCHEDULER_H_
+
+/**
+ * @file
+ * Thread-placement mechanics (the OS scheduler "actuator"). The OS
+ * controller's three inputs (Sec. IV-B) are the policy here:
+ * threads on the big cluster, average threads per non-idle big core,
+ * and average threads per non-idle little core. The mechanics turn a
+ * policy plus the active core counts into a concrete thread-to-core
+ * map, like sched_setaffinity calls would.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "platform/config.h"
+
+namespace yukta::platform {
+
+/** Concrete assignment of runnable threads to cores. */
+struct Placement
+{
+    /** Threads mapped onto each powered big core (size = big cores on). */
+    std::vector<std::size_t> big_core_threads;
+
+    /** Threads mapped onto each powered little core. */
+    std::vector<std::size_t> little_core_threads;
+
+    /** Per-thread: cluster assignment. */
+    std::vector<ClusterId> thread_cluster;
+
+    /** Per-thread: core index within its cluster. */
+    std::vector<std::size_t> thread_core;
+
+    /** @return total threads on the given cluster. */
+    std::size_t threadsOn(ClusterId c) const;
+
+    /** @return non-idle core count on the given cluster. */
+    std::size_t busyCores(ClusterId c) const;
+
+    /** @return idle-but-powered core count on the given cluster. */
+    std::size_t idleCoresOn(ClusterId c) const;
+};
+
+/** Placement policy = the OS controller's inputs. */
+struct PlacementPolicy
+{
+    double threads_big = 4.0;   ///< Threads assigned to the big cluster.
+    double tpc_big = 1.0;       ///< Avg threads per non-idle big core.
+    double tpc_little = 1.0;    ///< Avg threads per non-idle little core.
+};
+
+/**
+ * Computes a placement for @p num_threads runnable threads.
+ *
+ * @param policy the OS controller's inputs (values are rounded and
+ *   clamped to feasibility like a real scheduler would).
+ * @param big_on, little_on powered core counts per cluster.
+ */
+Placement placeThreads(const PlacementPolicy& policy, std::size_t num_threads,
+                       std::size_t big_on, std::size_t little_on);
+
+/**
+ * Round-robin policy of the Decoupled heuristic OS controller:
+ * threads spread evenly over all powered cores, ignoring core types.
+ */
+PlacementPolicy roundRobinPolicy(std::size_t num_threads, std::size_t big_on,
+                                 std::size_t little_on);
+
+/**
+ * Spare Compute Capacity of a cluster (Eq. 2):
+ * SC = #idle_cores_on - (#threads - #cores_on).
+ */
+double spareCompute(const Placement& p, ClusterId c, std::size_t cores_on);
+
+}  // namespace yukta::platform
+
+#endif  // YUKTA_PLATFORM_SCHEDULER_H_

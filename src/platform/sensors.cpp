@@ -1,0 +1,40 @@
+#include "platform/sensors.h"
+
+#include <algorithm>
+
+namespace yukta::platform {
+
+Sensors::Sensors(const SensorConfig& cfg, std::uint32_t seed)
+    : cfg_(cfg), rng_(seed)
+{
+}
+
+void
+Sensors::step(double dt, double true_p_big, double true_p_little,
+              double true_temp)
+{
+    // Power: accumulate the window, publish on completion.
+    win_time_ += dt;
+    win_big_ += true_p_big * dt;
+    win_little_ += true_p_little * dt;
+    if (win_time_ >= cfg_.power_period) {
+        double avg_big = win_big_ / win_time_;
+        double avg_little = win_little_ / win_time_;
+        double noise_b = 1.0 + cfg_.power_noise * gauss_(rng_);
+        double noise_l = 1.0 + cfg_.power_noise * gauss_(rng_);
+        p_big_ = std::max(0.0, avg_big * noise_b);
+        p_little_ = std::max(0.0, avg_little * noise_l);
+        win_time_ = 0.0;
+        win_big_ = 0.0;
+        win_little_ = 0.0;
+    }
+
+    // Temperature: periodic instantaneous sample with absolute noise.
+    temp_timer_ += dt;
+    if (temp_timer_ >= cfg_.temp_period) {
+        temp_ = true_temp + cfg_.temp_noise * gauss_(rng_);
+        temp_timer_ = 0.0;
+    }
+}
+
+}  // namespace yukta::platform

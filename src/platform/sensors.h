@@ -1,0 +1,68 @@
+#ifndef YUKTA_PLATFORM_SENSORS_H_
+#define YUKTA_PLATFORM_SENSORS_H_
+
+/**
+ * @file
+ * On-board sensors. The XU3's power sensors (INA231) update every
+ * ~260 ms; controllers therefore see windowed averages, not
+ * instantaneous power — the paper picks its 500 ms control period
+ * from this. Temperature is sampled faster; performance counters
+ * (instructions retired) are continuous counters read by perf.
+ */
+
+#include <cstdint>
+#include <random>
+
+#include "platform/config.h"
+
+namespace yukta::platform {
+
+/** Sampled sensor front-end fed by the board's true signals. */
+class Sensors
+{
+  public:
+    Sensors(const SensorConfig& cfg, std::uint32_t seed);
+
+    /**
+     * Advances the sensor state by @p dt with the current true
+     * values.
+     */
+    void step(double dt, double true_p_big, double true_p_little,
+              double true_temp);
+
+    /** @return last completed power-window average, big cluster (W). */
+    double powerBig() const { return p_big_; }
+
+    /** @return last completed power-window average, little (W). */
+    double powerLittle() const { return p_little_; }
+
+    /** @return last temperature sample (C). */
+    double temperature() const { return temp_; }
+
+  private:
+    SensorConfig cfg_;
+    std::mt19937 rng_;
+    std::normal_distribution<double> gauss_{0.0, 1.0};
+
+    double p_big_ = 0.0;
+    double p_little_ = 0.0;
+    double temp_ = 25.0;
+
+    double win_time_ = 0.0;
+    double win_big_ = 0.0;
+    double win_little_ = 0.0;
+    double temp_timer_ = 0.0;
+};
+
+/** Per-cluster instructions-retired counters (perf-style). */
+struct PerfCounters
+{
+    double instr_big = 0.0;     ///< Giga-instructions retired, big.
+    double instr_little = 0.0;  ///< Giga-instructions retired, little.
+
+    double total() const { return instr_big + instr_little; }
+};
+
+}  // namespace yukta::platform
+
+#endif  // YUKTA_PLATFORM_SENSORS_H_

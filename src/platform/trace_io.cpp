@@ -1,0 +1,81 @@
+#include "platform/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace yukta::platform {
+
+namespace {
+
+constexpr const char* kHeader =
+    "time,p_big,p_little,temp,bips,f_big,f_little,big_cores,little_cores,"
+    "threads,emergency";
+
+}  // namespace
+
+void
+writeTraceCsv(std::ostream& os, const std::vector<TraceSample>& trace)
+{
+    os << kHeader << "\n" << std::setprecision(10);
+    for (const TraceSample& s : trace) {
+        os << s.time << ',' << s.p_big << ',' << s.p_little << ','
+           << s.temp << ',' << s.bips << ',' << s.f_big << ','
+           << s.f_little << ',' << s.big_cores << ',' << s.little_cores
+           << ',' << s.threads << ',' << (s.emergency ? 1 : 0) << "\n";
+    }
+}
+
+bool
+saveTraceCsv(const std::string& path, const std::vector<TraceSample>& trace)
+{
+    std::ofstream os(path);
+    if (!os) {
+        return false;
+    }
+    writeTraceCsv(os, trace);
+    return static_cast<bool>(os);
+}
+
+std::vector<TraceSample>
+readTraceCsv(std::istream& is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != kHeader) {
+        throw std::runtime_error("readTraceCsv: bad or missing header");
+    }
+    std::vector<TraceSample> out;
+    while (std::getline(is, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        std::istringstream row(line);
+        TraceSample s;
+        char comma = 0;
+        int emergency = 0;
+        if (!(row >> s.time >> comma >> s.p_big >> comma >> s.p_little >>
+              comma >> s.temp >> comma >> s.bips >> comma >> s.f_big >>
+              comma >> s.f_little >> comma >> s.big_cores >> comma >>
+              s.little_cores >> comma >> s.threads >> comma >>
+              emergency)) {
+            throw std::runtime_error("readTraceCsv: malformed row: " +
+                                     line);
+        }
+        s.emergency = emergency != 0;
+        out.push_back(s);
+    }
+    return out;
+}
+
+std::vector<TraceSample>
+loadTraceCsv(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        throw std::runtime_error("loadTraceCsv: cannot open " + path);
+    }
+    return readTraceCsv(is);
+}
+
+}  // namespace yukta::platform

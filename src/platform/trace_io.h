@@ -1,0 +1,36 @@
+#ifndef YUKTA_PLATFORM_TRACE_IO_H_
+#define YUKTA_PLATFORM_TRACE_IO_H_
+
+/**
+ * @file
+ * CSV serialization for board traces, so bench outputs can be plotted
+ * with external tooling and replayed in tests.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "platform/board.h"
+
+namespace yukta::platform {
+
+/** Writes a trace as CSV (header + one row per sample). */
+void writeTraceCsv(std::ostream& os, const std::vector<TraceSample>& trace);
+
+/** Convenience: writes the trace to @p path; returns success. */
+bool saveTraceCsv(const std::string& path,
+                  const std::vector<TraceSample>& trace);
+
+/**
+ * Parses a CSV produced by writeTraceCsv.
+ * @throws std::runtime_error on malformed input.
+ */
+std::vector<TraceSample> readTraceCsv(std::istream& is);
+
+/** Convenience: reads from @p path. @throws on I/O or parse errors. */
+std::vector<TraceSample> loadTraceCsv(const std::string& path);
+
+}  // namespace yukta::platform
+
+#endif  // YUKTA_PLATFORM_TRACE_IO_H_

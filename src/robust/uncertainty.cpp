@@ -1,0 +1,63 @@
+#include "robust/uncertainty.h"
+
+#include <stdexcept>
+
+namespace yukta::robust {
+
+std::size_t
+BlockStructure::add(std::string name, std::size_t out_dim, std::size_t in_dim)
+{
+    if (out_dim == 0 || in_dim == 0) {
+        throw std::invalid_argument("BlockStructure: zero-sized block");
+    }
+    blocks_.push_back({std::move(name), out_dim, in_dim});
+    return blocks_.size() - 1;
+}
+
+std::size_t
+BlockStructure::totalOutputs() const
+{
+    std::size_t s = 0;
+    for (const auto& b : blocks_) {
+        s += b.out_dim;
+    }
+    return s;
+}
+
+std::size_t
+BlockStructure::totalInputs() const
+{
+    std::size_t s = 0;
+    for (const auto& b : blocks_) {
+        s += b.in_dim;
+    }
+    return s;
+}
+
+std::size_t
+BlockStructure::inputOffset(std::size_t i) const
+{
+    if (i >= blocks_.size()) {
+        throw std::out_of_range("BlockStructure: bad block index");
+    }
+    std::size_t off = 0;
+    for (std::size_t k = 0; k < i; ++k) {
+        off += blocks_[k].in_dim;
+    }
+    return off;
+}
+
+std::size_t
+BlockStructure::outputOffset(std::size_t i) const
+{
+    if (i >= blocks_.size()) {
+        throw std::out_of_range("BlockStructure: bad block index");
+    }
+    std::size_t off = 0;
+    for (std::size_t k = 0; k < i; ++k) {
+        off += blocks_[k].out_dim;
+    }
+    return off;
+}
+
+}  // namespace yukta::robust

@@ -1,0 +1,60 @@
+#ifndef YUKTA_ROBUST_UNCERTAINTY_H_
+#define YUKTA_ROBUST_UNCERTAINTY_H_
+
+/**
+ * @file
+ * Structured uncertainty descriptions for SSV (mu) analysis.
+ *
+ * A block structure is an ordered list of full complex blocks. Each
+ * block Delta_i maps the plant's i-th perturbation-output channel f_i
+ * (of size inputs()) back into its perturbation-input channel d_i (of
+ * size outputs()). In Yukta's prototype the structure is
+ * {model uncertainty, input quantization, performance}.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace yukta::robust {
+
+/** One full complex uncertainty block. */
+struct UncertaintyBlock
+{
+    std::string name;     ///< For diagnostics ("model", "quant", "perf").
+    std::size_t out_dim;  ///< Rows of Delta = size of the d channel.
+    std::size_t in_dim;   ///< Cols of Delta = size of the f channel.
+};
+
+/** Ordered uncertainty block structure. */
+class BlockStructure
+{
+  public:
+    BlockStructure() = default;
+
+    /** Appends a block; returns its index. */
+    std::size_t add(std::string name, std::size_t out_dim,
+                    std::size_t in_dim);
+
+    std::size_t numBlocks() const { return blocks_.size(); }
+    const UncertaintyBlock& block(std::size_t i) const { return blocks_[i]; }
+
+    /** Total d-channel width (sum of out_dims): columns of M it sees. */
+    std::size_t totalOutputs() const;
+
+    /** Total f-channel width (sum of in_dims): rows of M it sees. */
+    std::size_t totalInputs() const;
+
+    /** Row offset of block @p i in the stacked f channel. */
+    std::size_t inputOffset(std::size_t i) const;
+
+    /** Column offset of block @p i in the stacked d channel. */
+    std::size_t outputOffset(std::size_t i) const;
+
+  private:
+    std::vector<UncertaintyBlock> blocks_;
+};
+
+}  // namespace yukta::robust
+
+#endif  // YUKTA_ROBUST_UNCERTAINTY_H_

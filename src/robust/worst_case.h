@@ -1,0 +1,51 @@
+#ifndef YUKTA_ROBUST_WORST_CASE_H_
+#define YUKTA_ROBUST_WORST_CASE_H_
+
+/**
+ * @file
+ * Mu lower bounds and worst-case perturbation construction via the
+ * standard power iteration on the mu problem (Packard-Doyle). The
+ * lower bound certifies that a *specific* structured perturbation of
+ * the returned size makes the loop singular, complementing the
+ * D-scaling upper bound.
+ */
+
+#include <vector>
+
+#include "linalg/cmatrix.h"
+#include "robust/uncertainty.h"
+
+namespace yukta::robust {
+
+/** A structured perturbation achieving (approximately) the bound. */
+struct WorstCasePerturbation
+{
+    double mu_lower = 0.0;  ///< Achieved lower bound on mu.
+    /** Per-block perturbations, sigma_max(delta_i) = 1/mu_lower. */
+    std::vector<linalg::CMatrix> blocks;
+};
+
+/**
+ * Power-iteration lower bound for mu of @p m with respect to
+ * @p structure (full complex blocks).
+ *
+ * @param m matrix mapping the stacked d channel to the stacked f
+ *   channel (rows = totalInputs, cols = totalOutputs).
+ * @param iterations power-iteration steps.
+ * @return the bound and the worst-case structured perturbation; the
+ *   bound is 0 when the iteration degenerates (zero matrix).
+ */
+WorstCasePerturbation muLowerBound(const linalg::CMatrix& m,
+                                   const BlockStructure& structure,
+                                   int iterations = 40);
+
+/**
+ * Assembles the block-diagonal perturbation matrix
+ * (totalOutputs x totalInputs) from per-block pieces.
+ */
+linalg::CMatrix assemblePerturbation(const BlockStructure& structure,
+                                     const WorstCasePerturbation& wc);
+
+}  // namespace yukta::robust
+
+#endif  // YUKTA_ROBUST_WORST_CASE_H_

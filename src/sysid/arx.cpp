@@ -1,0 +1,317 @@
+#include "sysid/arx.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/qr.h"
+
+namespace yukta::sysid {
+
+using control::StateSpace;
+using linalg::Matrix;
+using linalg::Vector;
+
+ArxModel::ArxModel(std::vector<Matrix> a_coeffs, std::vector<Matrix> b_coeffs,
+                   Vector u_mean, Vector y_mean, double ts,
+                   std::size_t b_lag0)
+    : a_(std::move(a_coeffs)), b_(std::move(b_coeffs)),
+      u_mean_(std::move(u_mean)), y_mean_(std::move(y_mean)), ts_(ts),
+      b_lag0_(b_lag0)
+{
+    if (a_.empty() || b_.empty() || ts <= 0.0) {
+        throw std::invalid_argument("ArxModel: empty orders or bad ts");
+    }
+    if (b_lag0_ > 1) {
+        throw std::invalid_argument("ArxModel: b_lag0 must be 0 or 1");
+    }
+    std::size_t ny = a_[0].rows();
+    std::size_t nu = b_[0].cols();
+    for (const Matrix& m : a_) {
+        if (m.rows() != ny || m.cols() != ny) {
+            throw std::invalid_argument("ArxModel: inconsistent A blocks");
+        }
+    }
+    for (const Matrix& m : b_) {
+        if (m.rows() != ny || m.cols() != nu) {
+            throw std::invalid_argument("ArxModel: inconsistent B blocks");
+        }
+    }
+    if (y_mean_.size() != ny || u_mean_.size() != nu) {
+        throw std::invalid_argument("ArxModel: mean size mismatch");
+    }
+}
+
+std::size_t
+ArxModel::numOutputs() const
+{
+    return a_.empty() ? 0 : a_[0].rows();
+}
+
+std::size_t
+ArxModel::numInputs() const
+{
+    return b_.empty() ? 0 : b_[0].cols();
+}
+
+Vector
+ArxModel::predict(const std::vector<Vector>& y_hist,
+                  const std::vector<Vector>& u_hist) const
+{
+    if (y_hist.size() < a_.size() || u_hist.size() < b_.size()) {
+        throw std::invalid_argument("ArxModel::predict: short history");
+    }
+    Vector y = Vector::zeros(numOutputs());
+    for (std::size_t k = 0; k < a_.size(); ++k) {
+        y += a_[k] * (y_hist[k] - y_mean_);
+    }
+    for (std::size_t k = 0; k < b_.size(); ++k) {
+        y += b_[k] * (u_hist[k] - u_mean_);
+    }
+    if (!intercept_.empty()) {
+        y += intercept_;
+    }
+    return y + y_mean_;
+}
+
+StateSpace
+ArxModel::toStateSpace() const
+{
+    std::size_t ny = numOutputs();
+    std::size_t nu = numInputs();
+    std::size_t na = a_.size();
+    std::size_t nb = b_.size();
+    // Stored u lags: u(T-1) .. u(T-n_lag); with a direct term, B_0
+    // becomes the feed-through D instead of a state.
+    std::size_t n_lag = b_lag0_ == 0 ? nb - 1 : nb;
+    std::size_t n = ny * na + nu * n_lag;
+
+    // Output map: y(T) = [A1..Ana, B(lag1)..B(lagN)] x(T) + D u(T).
+    Matrix c(ny, n);
+    for (std::size_t k = 0; k < na; ++k) {
+        c.setBlock(0, k * ny, a_[k]);
+    }
+    for (std::size_t k = 0; k < n_lag; ++k) {
+        // Coefficient of u(T-1-k): index in b_ depends on b_lag0_.
+        c.setBlock(0, na * ny + k * nu, b_[k + 1 - b_lag0_]);
+    }
+    Matrix d(ny, nu);
+    if (b_lag0_ == 0) {
+        d = b_[0];
+    }
+
+    Matrix a(n, n);
+    // New y(T) goes to the top y slot.
+    a.setBlock(0, 0, c);
+    // Shift the y history down.
+    for (std::size_t k = 1; k < na; ++k) {
+        a.setBlock(k * ny, (k - 1) * ny, Matrix::identity(ny));
+    }
+    // Shift the u history down.
+    for (std::size_t k = 1; k < n_lag; ++k) {
+        a.setBlock(na * ny + k * nu, na * ny + (k - 1) * nu,
+                   Matrix::identity(nu));
+    }
+    Matrix b(n, nu);
+    // y(T) gets the feed-through contribution of u(T).
+    b.setBlock(0, 0, d);
+    if (n_lag > 0) {
+        // The newest stored u slot is fed by the input.
+        b.setBlock(na * ny, 0, Matrix::identity(nu));
+    }
+    return StateSpace(a, b, c, d, ts_);
+}
+
+ArxModel
+identifyArx(const IoData& data, double ts, const ArxOptions& options)
+{
+    std::size_t nsamp = data.y.size();
+    if (data.u.size() != nsamp) {
+        throw std::invalid_argument("identifyArx: u/y length mismatch");
+    }
+    std::size_t p = std::max(options.na, options.nb);
+    if (nsamp < p + 10) {
+        throw std::invalid_argument("identifyArx: record too short");
+    }
+    std::size_t ny = data.y[0].size();
+    std::size_t nu = data.u[0].size();
+    if (ny == 0 || nu == 0) {
+        throw std::invalid_argument("identifyArx: empty channels");
+    }
+
+    // Mean-center.
+    Vector u_mean = Vector::zeros(nu);
+    Vector y_mean = Vector::zeros(ny);
+    for (std::size_t t = 0; t < nsamp; ++t) {
+        u_mean += data.u[t];
+        y_mean += data.y[t];
+    }
+    u_mean *= 1.0 / static_cast<double>(nsamp);
+    y_mean *= 1.0 / static_cast<double>(nsamp);
+
+    // Per-channel scales (unit standard deviation) for conditioning.
+    Vector u_scale = Vector::ones(nu);
+    Vector y_scale = Vector::ones(ny);
+    if (options.normalize) {
+        Vector u_var = Vector::zeros(nu);
+        Vector y_var = Vector::zeros(ny);
+        for (std::size_t t = 0; t < nsamp; ++t) {
+            for (std::size_t j = 0; j < nu; ++j) {
+                double d = data.u[t][j] - u_mean[j];
+                u_var[j] += d * d;
+            }
+            for (std::size_t j = 0; j < ny; ++j) {
+                double d = data.y[t][j] - y_mean[j];
+                y_var[j] += d * d;
+            }
+        }
+        for (std::size_t j = 0; j < nu; ++j) {
+            u_scale[j] = std::max(
+                std::sqrt(u_var[j] / static_cast<double>(nsamp)), 1e-9);
+        }
+        for (std::size_t j = 0; j < ny; ++j) {
+            y_scale[j] = std::max(
+                std::sqrt(y_var[j] / static_cast<double>(nsamp)), 1e-9);
+        }
+    }
+
+    // Regression columns: lagged outputs, lagged inputs, intercept.
+    std::size_t ncoef = options.na * ny + options.nb * nu;
+    std::size_t ncols = ncoef + 1;
+    std::size_t nrows = nsamp - p;
+    // Regressor with ridge rows appended (intercept unpenalized).
+    Matrix phi(nrows + ncoef, ncols);
+    Matrix target(nrows + ncoef, ny);
+    double ridge = std::sqrt(std::max(options.ridge, 0.0));
+    for (std::size_t r = 0; r < nrows; ++r) {
+        std::size_t t = p + r;
+        std::size_t col = 0;
+        for (std::size_t k = 1; k <= options.na; ++k) {
+            for (std::size_t j = 0; j < ny; ++j) {
+                phi(r, col++) = (data.y[t - k][j] - y_mean[j]) / y_scale[j];
+            }
+        }
+        std::size_t lag0 = options.direct ? 0 : 1;
+        for (std::size_t k = lag0; k < lag0 + options.nb; ++k) {
+            for (std::size_t j = 0; j < nu; ++j) {
+                phi(r, col++) = (data.u[t - k][j] - u_mean[j]) / u_scale[j];
+            }
+        }
+        phi(r, col) = 1.0;
+        for (std::size_t j = 0; j < ny; ++j) {
+            target(r, j) = (data.y[t][j] - y_mean[j]) / y_scale[j];
+        }
+    }
+    for (std::size_t i = 0; i < ncoef; ++i) {
+        phi(nrows + i, i) = ridge;
+    }
+
+    Matrix theta = linalg::lstsq(phi, target);  // ncols x ny
+
+    // Map normalized coefficients back to physical units:
+    // A_k(i, j) *= y_scale[i] / y_scale[j], B_k(i, j) *= y_scale[i] /
+    // u_scale[j], intercept *= y_scale[i].
+    std::vector<Matrix> a_coeffs(options.na, Matrix(ny, ny));
+    std::vector<Matrix> b_coeffs(options.nb, Matrix(ny, nu));
+    std::size_t row = 0;
+    for (std::size_t k = 0; k < options.na; ++k) {
+        for (std::size_t j = 0; j < ny; ++j, ++row) {
+            for (std::size_t i = 0; i < ny; ++i) {
+                a_coeffs[k](i, j) = theta(row, i) * y_scale[i] / y_scale[j];
+            }
+        }
+    }
+    for (std::size_t k = 0; k < options.nb; ++k) {
+        for (std::size_t j = 0; j < nu; ++j, ++row) {
+            for (std::size_t i = 0; i < ny; ++i) {
+                b_coeffs[k](i, j) = theta(row, i) * y_scale[i] / u_scale[j];
+            }
+        }
+    }
+    Vector intercept(ny);
+    for (std::size_t i = 0; i < ny; ++i) {
+        intercept[i] = theta(row, i) * y_scale[i];
+    }
+    ArxModel model(std::move(a_coeffs), std::move(b_coeffs), u_mean, y_mean,
+                   ts, options.direct ? 0 : 1);
+    model.setIntercept(std::move(intercept));
+    return model;
+}
+
+namespace {
+
+/** NRMSE fit in percent given truth and prediction series. */
+std::vector<double>
+nrmseFit(const std::vector<Vector>& truth, const std::vector<Vector>& pred,
+         std::size_t skip)
+{
+    std::size_t ny = truth.empty() ? 0 : truth[0].size();
+    std::size_t n = std::min(truth.size(), pred.size());
+    std::vector<double> mean(ny, 0.0);
+    std::size_t count = 0;
+    for (std::size_t t = skip; t < n; ++t, ++count) {
+        for (std::size_t j = 0; j < ny; ++j) {
+            mean[j] += truth[t][j];
+        }
+    }
+    std::vector<double> fit(ny, 0.0);
+    if (count == 0) {
+        return fit;
+    }
+    for (double& m : mean) {
+        m /= static_cast<double>(count);
+    }
+    for (std::size_t j = 0; j < ny; ++j) {
+        double err = 0.0;
+        double dev = 0.0;
+        for (std::size_t t = skip; t < n; ++t) {
+            double e = truth[t][j] - pred[t][j];
+            double d = truth[t][j] - mean[j];
+            err += e * e;
+            dev += d * d;
+        }
+        fit[j] = 100.0 * (1.0 - std::sqrt(err / std::max(dev, 1e-300)));
+    }
+    return fit;
+}
+
+}  // namespace
+
+std::vector<double>
+predictionFit(const ArxModel& model, const IoData& data)
+{
+    std::size_t lag0 = model.bLag0();
+    std::size_t p = std::max(model.orderA(),
+                             model.orderB() + lag0 - 1);
+    std::vector<Vector> pred(data.y.size(),
+                             Vector::zeros(model.numOutputs()));
+    for (std::size_t t = p; t < data.y.size(); ++t) {
+        std::vector<Vector> yh(model.orderA());
+        std::vector<Vector> uh(model.orderB());
+        for (std::size_t k = 0; k < model.orderA(); ++k) {
+            yh[k] = data.y[t - 1 - k];
+        }
+        for (std::size_t k = 0; k < model.orderB(); ++k) {
+            uh[k] = data.u[t - lag0 - k];
+        }
+        pred[t] = model.predict(yh, uh);
+    }
+    return nrmseFit(data.y, pred, p);
+}
+
+std::vector<double>
+simulationFit(const ArxModel& model, const IoData& data)
+{
+    StateSpace ss = model.toStateSpace();
+    Vector x = Vector::zeros(ss.numStates());
+    std::vector<Vector> pred;
+    pred.reserve(data.u.size());
+    for (std::size_t t = 0; t < data.u.size(); ++t) {
+        Vector u_c = data.u[t] - model.uMean();
+        Vector y = stepOnce(ss, x, u_c);
+        pred.push_back(y + model.yMean());
+    }
+    std::size_t p = std::max(model.orderA(), model.orderB());
+    return nrmseFit(data.y, pred, p);
+}
+
+}  // namespace yukta::sysid

@@ -1,0 +1,147 @@
+#ifndef YUKTA_SYSID_ARX_H_
+#define YUKTA_SYSID_ARX_H_
+
+/**
+ * @file
+ * MIMO ARX identification by least squares:
+ *
+ *   y(T) = sum_{k=1..na} A_k y(T-k) + sum_{k=1..nb} B_k u(T-k) + e(T)
+ *
+ * The paper identifies a Box-Jenkins model of order 4 (outputs depend
+ * on the 4 previous outputs and inputs); an order-4 ARX captures the
+ * same deterministic structure, and using u(T-1..T-4) (rather than
+ * u(T)) keeps the model strictly proper, matching a sampled controller
+ * that actuates after measuring. Offsets (operating points) are
+ * handled by mean-centering the data.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "control/state_space.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace yukta::sysid {
+
+/** Input/output record from an identification experiment. */
+struct IoData
+{
+    std::vector<linalg::Vector> u;  ///< Inputs per step.
+    std::vector<linalg::Vector> y;  ///< Outputs per step.
+};
+
+/** An identified MIMO ARX model. */
+class ArxModel
+{
+  public:
+    ArxModel() = default;
+
+    /**
+     * Builds a model from explicit coefficient blocks.
+     * @param a_coeffs A_1..A_na (each ny x ny).
+     * @param b_coeffs B coefficients (each ny x nu); the first block
+     *   corresponds to lag @p b_lag0.
+     * @param u_mean, y_mean operating-point offsets.
+     * @param b_lag0 0 when the model has a direct u(T) term (the
+     *   paper's structure: y(T) depends on u(T)..u(T-3)); 1 for a
+     *   strictly proper model.
+     */
+    ArxModel(std::vector<linalg::Matrix> a_coeffs,
+             std::vector<linalg::Matrix> b_coeffs, linalg::Vector u_mean,
+             linalg::Vector y_mean, double ts, std::size_t b_lag0 = 1);
+
+    std::size_t orderA() const { return a_.size(); }
+    std::size_t orderB() const { return b_.size(); }
+
+    /** First input lag: 0 = direct term present, 1 = strictly proper. */
+    std::size_t bLag0() const { return b_lag0_; }
+    std::size_t numOutputs() const;
+    std::size_t numInputs() const;
+    double sampleTime() const { return ts_; }
+
+    const linalg::Matrix& aCoeff(std::size_t k) const { return a_[k]; }
+    const linalg::Matrix& bCoeff(std::size_t k) const { return b_[k]; }
+    const linalg::Vector& uMean() const { return u_mean_; }
+    const linalg::Vector& yMean() const { return y_mean_; }
+
+    /** Affine intercept of the centered regression (usually ~0). */
+    const linalg::Vector& intercept() const { return intercept_; }
+
+    /** Sets the intercept (estimated by identifyArx). */
+    void setIntercept(linalg::Vector c) { intercept_ = std::move(c); }
+
+    /**
+     * One-step-ahead prediction of y(T) from histories
+     * y(T-1..T-na) and u(T-bLag0()..) (element 0 = lag bLag0()).
+     */
+    linalg::Vector predict(const std::vector<linalg::Vector>& y_hist,
+                           const std::vector<linalg::Vector>& u_hist) const;
+
+    /**
+     * Converts the (mean-centered) model to a discrete state-space
+     * system in block companion form. Strictly proper when
+     * bLag0() == 1; with a D = B_0 feed-through when bLag0() == 0.
+     */
+    control::StateSpace toStateSpace() const;
+
+  private:
+    std::vector<linalg::Matrix> a_;
+    std::vector<linalg::Matrix> b_;
+    linalg::Vector u_mean_;
+    linalg::Vector y_mean_;
+    linalg::Vector intercept_;  ///< Affine term (empty means zero).
+    double ts_ = 0.0;
+    std::size_t b_lag0_ = 1;    ///< First input lag (0 or 1).
+};
+
+/** Options for ARX identification. */
+struct ArxOptions
+{
+    std::size_t na = 4;  ///< Output order (paper: 4).
+    std::size_t nb = 4;  ///< Input order (paper: 4).
+    double ridge = 1e-6; ///< Tikhonov regularization on the regressor.
+
+    /**
+     * Scale every channel to unit standard deviation before the
+     * regression (coefficients are mapped back afterwards). Important
+     * when channels span disparate magnitudes (e.g. 0.3 W little-
+     * cluster power next to 80 C temperatures).
+     */
+    bool normalize = true;
+
+    /**
+     * Include the direct u(T) term, matching the paper's model
+     * structure "inputs at times T, ... T-3" (Sec. IV-C). Without it,
+     * a sampled plant that responds within the control period has its
+     * response mis-attributed across lags. Default false to preserve
+     * the classic strictly-proper ARX.
+     */
+    bool direct = false;
+};
+
+/**
+ * Identifies an ARX model from data by (ridge-regularized) least
+ * squares on mean-centered signals.
+ *
+ * @throws std::invalid_argument when the record is too short or
+ *   inconsistent.
+ */
+ArxModel identifyArx(const IoData& data, double ts,
+                     const ArxOptions& options = {});
+
+/**
+ * NRMSE fit in percent per output channel (100 = perfect,
+ * 0 = no better than the mean), using one-step-ahead prediction.
+ */
+std::vector<double> predictionFit(const ArxModel& model, const IoData& data);
+
+/**
+ * NRMSE fit using free-run simulation of the model state space from
+ * the recorded inputs (harder test than one-step prediction).
+ */
+std::vector<double> simulationFit(const ArxModel& model, const IoData& data);
+
+}  // namespace yukta::sysid
+
+#endif  // YUKTA_SYSID_ARX_H_

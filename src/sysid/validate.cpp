@@ -1,0 +1,149 @@
+#include "sysid/validate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace yukta::sysid {
+
+using linalg::Vector;
+
+namespace {
+
+/** One-step residuals of @p model over @p data (after the warmup). */
+std::vector<Vector>
+residuals(const ArxModel& model, const IoData& data)
+{
+    std::size_t lag0 = model.bLag0();
+    std::size_t p =
+        std::max(model.orderA(), model.orderB() + lag0 - 1);
+    std::vector<Vector> out;
+    for (std::size_t t = p; t < data.y.size(); ++t) {
+        std::vector<Vector> yh(model.orderA());
+        std::vector<Vector> uh(model.orderB());
+        for (std::size_t k = 0; k < model.orderA(); ++k) {
+            yh[k] = data.y[t - 1 - k];
+        }
+        for (std::size_t k = 0; k < model.orderB(); ++k) {
+            uh[k] = data.u[t - lag0 - k];
+        }
+        out.push_back(data.y[t] - model.predict(yh, uh));
+    }
+    return out;
+}
+
+}  // namespace
+
+OrderSelection
+selectOrder(const IoData& data, double ts, std::size_t max_order,
+            ArxOptions options)
+{
+    if (max_order < 1) {
+        throw std::invalid_argument("selectOrder: max_order must be >= 1");
+    }
+    OrderSelection sel;
+    double best = 1e300;
+    std::size_t ny = data.y.empty() ? 0 : data.y[0].size();
+    std::size_t nu = data.u.empty() ? 0 : data.u[0].size();
+
+    for (std::size_t order = 1; order <= max_order; ++order) {
+        options.na = order;
+        options.nb = order;
+        ArxModel model = identifyArx(data, ts, options);
+        auto res = residuals(model, data);
+        std::size_t n = res.size();
+        if (n == 0) {
+            continue;
+        }
+        // Pooled residual variance across channels.
+        double sse = 0.0;
+        for (const Vector& r : res) {
+            for (std::size_t j = 0; j < r.size(); ++j) {
+                sse += r[j] * r[j];
+            }
+        }
+        double sigma2 = sse / static_cast<double>(n * ny);
+        double params = static_cast<double>(order * ny * (ny + nu));
+        double bic = static_cast<double>(n * ny) *
+                         std::log(std::max(sigma2, 1e-300)) +
+                     params * std::log(static_cast<double>(n * ny));
+        sel.orders.push_back(order);
+        sel.criterion.push_back(bic);
+        if (bic < best) {
+            best = bic;
+            sel.best_order = order;
+        }
+    }
+    return sel;
+}
+
+WhitenessResult
+residualWhiteness(const ArxModel& model, const IoData& data,
+                  std::size_t max_lag)
+{
+    auto res = residuals(model, data);
+    std::size_t n = res.size();
+    std::size_t ny = model.numOutputs();
+    WhitenessResult out;
+    out.max_autocorr.assign(ny, 0.0);
+    if (n < max_lag + 2) {
+        return out;
+    }
+
+    for (std::size_t j = 0; j < ny; ++j) {
+        double mean = 0.0;
+        for (const Vector& r : res) {
+            mean += r[j];
+        }
+        mean /= static_cast<double>(n);
+        double var = 0.0;
+        for (const Vector& r : res) {
+            var += (r[j] - mean) * (r[j] - mean);
+        }
+        if (var < 1e-300) {
+            continue;
+        }
+        for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+            double acc = 0.0;
+            for (std::size_t t = lag; t < n; ++t) {
+                acc += (res[t][j] - mean) * (res[t - lag][j] - mean);
+            }
+            out.max_autocorr[j] =
+                std::max(out.max_autocorr[j], std::abs(acc / var));
+        }
+    }
+
+    double band = 2.0 / std::sqrt(static_cast<double>(n));
+    out.white = true;
+    for (double a : out.max_autocorr) {
+        if (a > band) {
+            out.white = false;
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+crossValidationFit(const IoData& data, double ts, const ArxOptions& options,
+                   double train_fraction)
+{
+    if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+        throw std::invalid_argument("crossValidationFit: bad fraction");
+    }
+    std::size_t n = data.y.size();
+    std::size_t split = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(n));
+    if (split < 20 || n - split < 20) {
+        throw std::invalid_argument("crossValidationFit: record too short");
+    }
+    IoData train;
+    train.u.assign(data.u.begin(), data.u.begin() + split);
+    train.y.assign(data.y.begin(), data.y.begin() + split);
+    IoData test;
+    test.u.assign(data.u.begin() + split, data.u.end());
+    test.y.assign(data.y.begin() + split, data.y.end());
+
+    ArxModel model = identifyArx(train, ts, options);
+    return predictionFit(model, test);
+}
+
+}  // namespace yukta::sysid

@@ -1,0 +1,68 @@
+#ifndef YUKTA_SYSID_VALIDATE_H_
+#define YUKTA_SYSID_VALIDATE_H_
+
+/**
+ * @file
+ * Model validation for the identification step of Fig. 3: model-order
+ * selection by information criterion, residual whiteness testing, and
+ * held-out cross-validation. "Each team develops a model ... and
+ * validates it" (Sec. III-C).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "sysid/arx.h"
+
+namespace yukta::sysid {
+
+/** Result of an order-selection sweep. */
+struct OrderSelection
+{
+    std::size_t best_order = 1;     ///< Order minimizing the criterion.
+    std::vector<double> criterion;  ///< BIC per candidate order.
+    std::vector<std::size_t> orders;  ///< Candidate orders swept.
+};
+
+/**
+ * Sweeps ARX orders (na = nb = order) and scores each fit with the
+ * Bayesian information criterion over the one-step residuals.
+ *
+ * @param data identification record.
+ * @param ts sample time.
+ * @param max_order largest order to try (>= 1).
+ * @param options base options (order fields are overridden).
+ */
+OrderSelection selectOrder(const IoData& data, double ts,
+                           std::size_t max_order,
+                           ArxOptions options = {});
+
+/** Residual whiteness summary (Ljung-Box style). */
+struct WhitenessResult
+{
+    /** Max |autocorrelation| over lags 1..L, per output channel. */
+    std::vector<double> max_autocorr;
+
+    /** True when every channel stays under the 2/sqrt(N) band. */
+    bool white = false;
+};
+
+/**
+ * Tests the one-step-ahead residuals of @p model on @p data for
+ * whiteness up to @p max_lag.
+ */
+WhitenessResult residualWhiteness(const ArxModel& model, const IoData& data,
+                                  std::size_t max_lag = 10);
+
+/**
+ * Splits the record at @p train_fraction, fits on the head, and
+ * returns the one-step prediction fit (% per output) on the held-out
+ * tail -- the honest generalization estimate.
+ */
+std::vector<double> crossValidationFit(const IoData& data, double ts,
+                                       const ArxOptions& options,
+                                       double train_fraction = 0.7);
+
+}  // namespace yukta::sysid
+
+#endif  // YUKTA_SYSID_VALIDATE_H_

@@ -1,0 +1,190 @@
+#include "control/interconnect.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "linalg/test_util.h"
+
+namespace yukta::control {
+namespace {
+
+using linalg::Complex;
+using linalg::Matrix;
+
+StateSpace
+lag(double pole, double gain, double ts)
+{
+    return StateSpace(Matrix{{pole}}, Matrix{{gain * (1.0 - pole)}},
+                      Matrix{{1.0}}, Matrix{{0.0}}, ts);
+}
+
+/** Frequency-domain check helper: compares responses at several w. */
+void
+expectSameResponse(const StateSpace& g1, const StateSpace& g2, double tol)
+{
+    for (double w : {0.0, 0.1, 0.5, 1.0, 2.0}) {
+        auto r1 = g1.freqResponse(w);
+        auto r2 = g2.freqResponse(w);
+        ASSERT_EQ(r1.rows(), r2.rows());
+        ASSERT_EQ(r1.cols(), r2.cols());
+        EXPECT_TRUE(r1.isApprox(r2, tol)) << "at w=" << w;
+    }
+}
+
+TEST(Series, GainComposition)
+{
+    StateSpace g1 = lag(0.5, 2.0, 1.0);
+    StateSpace g2 = lag(0.3, 3.0, 1.0);
+    StateSpace s = series(g1, g2);
+    EXPECT_EQ(s.numStates(), 2u);
+    EXPECT_NEAR(s.dcGain()(0, 0), 6.0, 1e-10);
+}
+
+TEST(Series, FrequencyDomainMatchesProduct)
+{
+    StateSpace g1 = lag(0.6, 1.5, 1.0);
+    StateSpace g2 = lag(0.2, 0.7, 1.0);
+    StateSpace s = series(g1, g2);
+    for (double w : {0.1, 0.7, 2.0}) {
+        auto prod = g2.freqResponse(w) * g1.freqResponse(w);
+        EXPECT_TRUE(s.freqResponse(w).isApprox(prod, 1e-10));
+    }
+}
+
+TEST(Series, PortMismatchThrows)
+{
+    StateSpace g1 = StateSpace::gain(Matrix(2, 1), 1.0);
+    StateSpace g2 = StateSpace::gain(Matrix(1, 1), 1.0);
+    EXPECT_THROW(series(g1, g2), std::invalid_argument);
+}
+
+TEST(Series, TimebaseMismatchThrows)
+{
+    EXPECT_THROW(series(lag(0.5, 1.0, 1.0), lag(0.5, 1.0, 0.5)),
+                 std::invalid_argument);
+}
+
+TEST(Parallel, AddsGains)
+{
+    StateSpace p = parallel(lag(0.5, 2.0, 1.0), lag(0.3, 3.0, 1.0));
+    EXPECT_NEAR(p.dcGain()(0, 0), 5.0, 1e-10);
+}
+
+TEST(Append, BlockDiagonalPorts)
+{
+    StateSpace a = append(lag(0.5, 2.0, 1.0), lag(0.3, 3.0, 1.0));
+    EXPECT_EQ(a.numInputs(), 2u);
+    EXPECT_EQ(a.numOutputs(), 2u);
+    Matrix dc = a.dcGain();
+    EXPECT_NEAR(dc(0, 0), 2.0, 1e-10);
+    EXPECT_NEAR(dc(1, 1), 3.0, 1e-10);
+    EXPECT_NEAR(dc(0, 1), 0.0, 1e-12);
+}
+
+TEST(Feedback, UnityFeedbackDcGain)
+{
+    // G with DC gain 4 under unity feedback: T = 4/5. (This discrete
+    // loop is high-gain and genuinely unstable; only DC is checked.)
+    StateSpace g = lag(0.5, 4.0, 1.0);
+    StateSpace k = StateSpace::gain(Matrix::identity(1), 1.0);
+    StateSpace t = feedback(g, k);
+    EXPECT_NEAR(t.dcGain()(0, 0), 0.8, 1e-10);
+}
+
+TEST(Feedback, LowGainLoopStable)
+{
+    // G(z) = 0.4/(z - 0.5): closed-loop pole at 0.1.
+    StateSpace g = lag(0.5, 0.8, 1.0);
+    StateSpace k = StateSpace::gain(Matrix::identity(1), 1.0);
+    StateSpace t = feedback(g, k);
+    EXPECT_TRUE(t.isStable());
+    EXPECT_NEAR(t.poles()[0].real(), 0.1, 1e-10);
+}
+
+TEST(Feedback, MatchesFrequencyDomainFormula)
+{
+    StateSpace g = lag(0.7, 2.0, 1.0);
+    StateSpace k = lag(0.4, 1.5, 1.0);
+    StateSpace t = feedback(g, k);
+    for (double w : {0.0, 0.3, 1.0, 2.5}) {
+        Complex lw = (g.freqResponse(w) * k.freqResponse(w))(0, 0);
+        Complex expect = lw / (Complex(1.0, 0.0) + lw);
+        EXPECT_NEAR(std::abs(t.freqResponse(w)(0, 0) - expect), 0.0, 1e-10);
+    }
+}
+
+TEST(Feedback, IllPosedThrows)
+{
+    // G = -1 static gain with unity feedback: I + D = 0.
+    StateSpace g = StateSpace::gain(Matrix{{-1.0}}, 1.0);
+    StateSpace k = StateSpace::gain(Matrix::identity(1), 1.0);
+    EXPECT_THROW(feedback(g, k), std::runtime_error);
+}
+
+TEST(LftLower, IdentityPlantPassthrough)
+{
+    // P = [0 I; I 0] (z = u, y = w): closing with K makes w -> z = K w.
+    Matrix d{{0.0, 1.0}, {1.0, 0.0}};
+    StateSpace p = StateSpace::gain(d, 1.0);
+    StateSpace k = lag(0.5, 2.0, 1.0);
+    StateSpace cl = lftLower(p, k, 1, 1);
+    expectSameResponse(cl, k, 1e-10);
+}
+
+TEST(LftLower, RecoversFeedbackLoop)
+{
+    // Standard tracking setup: z = r - G u, y = r - G u.
+    // Closing with K: z = (I + GK)^{-1} r  (sensitivity).
+    StateSpace g = lag(0.5, 4.0, 1.0);
+    std::size_t n = g.numStates();
+    Matrix a = g.a;
+    Matrix b = hstack(Matrix::zeros(n, 1), g.b);
+    Matrix c = vstack(-1.0 * g.c, -1.0 * g.c);
+    Matrix d{{1.0, 0.0}, {1.0, 0.0}};
+    StateSpace p(a, b, c, d, 1.0);
+
+    StateSpace k = StateSpace::gain(Matrix::identity(1), 1.0);
+    StateSpace cl = lftLower(p, k, 1, 1);
+
+    // Expected sensitivity: 1 / (1 + G).
+    for (double w : {0.0, 0.2, 1.0}) {
+        Complex gw = g.freqResponse(w)(0, 0);
+        Complex expect = Complex(1.0, 0.0) / (Complex(1.0, 0.0) + gw);
+        EXPECT_NEAR(std::abs(cl.freqResponse(w)(0, 0) - expect), 0.0, 1e-10);
+    }
+}
+
+TEST(LftLower, PortMismatchThrows)
+{
+    StateSpace p = StateSpace::gain(Matrix(2, 2), 1.0);
+    StateSpace k = StateSpace::gain(Matrix(2, 1), 1.0);
+    EXPECT_THROW(lftLower(p, k, 1, 1), std::invalid_argument);
+    EXPECT_THROW(lftLower(p, k, 3, 1), std::invalid_argument);
+}
+
+TEST(LftUpper, ClosingWithZeroDeltaKeepsNominal)
+{
+    // P: 2x2 static plant; Delta = 0 gives the (2,2) block w -> z.
+    Matrix d{{0.1, 0.2}, {0.3, 0.4}};
+    StateSpace p = StateSpace::gain(d, 1.0);
+    StateSpace zero = StateSpace::gain(Matrix(1, 1), 1.0);
+    StateSpace cl = lftUpper(p, zero, 1, 1);
+    EXPECT_NEAR(cl.dcGain()(0, 0), 0.4, 1e-12);
+}
+
+TEST(LftUpper, MatchesManualFormulaStaticCase)
+{
+    // Static LFT: F_u(P, D) = P22 + P21 D (I - P11 D)^{-1} P12.
+    Matrix d{{0.5, 0.2}, {0.3, 0.4}};
+    StateSpace p = StateSpace::gain(d, 1.0);
+    double delta = 0.6;
+    StateSpace ds = StateSpace::gain(Matrix{{delta}}, 1.0);
+    StateSpace cl = lftUpper(p, ds, 1, 1);
+    double expect = 0.4 + 0.3 * delta / (1.0 - 0.5 * delta) * 0.2;
+    EXPECT_NEAR(cl.dcGain()(0, 0), expect, 1e-12);
+}
+
+}  // namespace
+}  // namespace yukta::control

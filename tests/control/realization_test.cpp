@@ -1,0 +1,142 @@
+// Tests for realization analysis and ZOH discretization.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "control/discretize.h"
+#include "control/realization.h"
+#include "linalg/expm.h"
+#include "linalg/test_util.h"
+
+namespace yukta::control {
+namespace {
+
+using linalg::Matrix;
+
+TEST(Realization, ControllabilityMatrixShape)
+{
+    StateSpace sys(Matrix::identity(3) * 0.5, test::randomMatrix(3, 2, 1),
+                   test::randomMatrix(1, 3, 2), Matrix(1, 2), 1.0);
+    Matrix ctrb = controllabilityMatrix(sys);
+    EXPECT_EQ(ctrb.rows(), 3u);
+    EXPECT_EQ(ctrb.cols(), 6u);
+    Matrix obsv = observabilityMatrix(sys);
+    EXPECT_EQ(obsv.rows(), 3u);
+    EXPECT_EQ(obsv.cols(), 3u);
+}
+
+TEST(Realization, DetectsUncontrollableMode)
+{
+    // Second state is driven by nothing.
+    Matrix a{{0.5, 0.0}, {0.0, 0.3}};
+    Matrix b{{1.0}, {0.0}};
+    Matrix c{{1.0, 1.0}};
+    StateSpace sys(a, b, c, Matrix(1, 1), 1.0);
+    EXPECT_FALSE(isControllable(sys));
+    EXPECT_TRUE(isObservable(sys));
+}
+
+TEST(Realization, DetectsUnobservableMode)
+{
+    Matrix a{{0.5, 0.0}, {0.0, 0.3}};
+    Matrix b{{1.0}, {1.0}};
+    Matrix c{{1.0, 0.0}};
+    StateSpace sys(a, b, c, Matrix(1, 1), 1.0);
+    EXPECT_TRUE(isControllable(sys));
+    EXPECT_FALSE(isObservable(sys));
+}
+
+TEST(Realization, FullRankOnGenericSystem)
+{
+    StateSpace sys(0.5 * test::randomMatrix(4, 4, 3),
+                   test::randomMatrix(4, 2, 4),
+                   test::randomMatrix(2, 4, 5), Matrix(2, 2), 1.0);
+    EXPECT_TRUE(isControllable(sys));
+    EXPECT_TRUE(isObservable(sys));
+}
+
+TEST(Realization, NumericalRankOnRankDeficient)
+{
+    Matrix u = test::randomMatrix(5, 2, 6);
+    Matrix v = test::randomMatrix(2, 5, 7);
+    EXPECT_EQ(numericalRank(u * v), 2u);
+    EXPECT_EQ(numericalRank(Matrix(3, 3)), 0u);
+}
+
+TEST(Realization, MinimalRealizationRemovesHiddenModes)
+{
+    // Augment a 1-state system with an uncontrollable decoupled state.
+    Matrix a{{0.5, 0.0}, {0.0, 0.9}};
+    Matrix b{{1.0}, {0.0}};
+    Matrix c{{2.0, 0.0}};
+    StateSpace sys(a, b, c, Matrix(1, 1), 1.0);
+    StateSpace min = minimalRealization(sys, 1e-8);
+    EXPECT_EQ(min.numStates(), 1u);
+    // Transfer behaviour preserved.
+    EXPECT_NEAR(min.dcGain()(0, 0), sys.dcGain()(0, 0), 1e-8);
+    for (double w : {0.2, 1.0, 2.5}) {
+        EXPECT_NEAR(std::abs(min.freqResponse(w)(0, 0) -
+                             sys.freqResponse(w)(0, 0)),
+                    0.0, 1e-8);
+    }
+}
+
+TEST(Zoh, MatchesAnalyticFirstOrder)
+{
+    // dx = -a x + u: Ad = e^{-a ts}, Bd = (1 - e^{-a ts}) / a.
+    double a = 2.0;
+    double ts = 0.3;
+    StateSpace sys(Matrix{{-a}}, Matrix{{1.0}}, Matrix{{1.0}},
+                   Matrix{{0.0}});
+    StateSpace d = c2dZoh(sys, ts);
+    EXPECT_NEAR(d.a(0, 0), std::exp(-a * ts), 1e-12);
+    EXPECT_NEAR(d.b(0, 0), (1.0 - std::exp(-a * ts)) / a, 1e-12);
+    EXPECT_DOUBLE_EQ(d.ts, ts);
+}
+
+TEST(Zoh, ExactForPiecewiseConstantInput)
+{
+    // Simulating the ZOH discretization step-by-step must match the
+    // continuous solution at the sample points.
+    Matrix a{{-0.5, 1.0}, {-1.0, -0.5}};
+    Matrix b{{0.0}, {1.0}};
+    Matrix c{{1.0, 0.0}};
+    StateSpace sys(a, b, c, Matrix(1, 1));
+    double ts = 0.25;
+    StateSpace d = c2dZoh(sys, ts);
+
+    // Continuous propagation over one period with constant u = 1:
+    // x+ = e^{A ts} x + (int e^{A s} ds) B.
+    linalg::Vector x{0.3, -0.2};
+    linalg::Vector xd = x;
+    linalg::Vector u{1.0};
+    // Reference by fine Euler integration.
+    linalg::Vector xc = x;
+    int fine = 20000;
+    for (int i = 0; i < fine; ++i) {
+        linalg::Vector dx = a * xc + b * u;
+        xc += (ts / fine) * dx;
+    }
+    stepOnce(d, xd, u);
+    EXPECT_TRUE(xd.isApprox(xc, 1e-4));
+}
+
+TEST(Zoh, DcGainPreserved)
+{
+    StateSpace sys(Matrix{{-1.0, 0.3}, {0.0, -2.0}},
+                   Matrix{{1.0}, {0.5}}, Matrix{{1.0, 1.0}}, Matrix(1, 1));
+    StateSpace d = c2dZoh(sys, 0.5);
+    EXPECT_NEAR(d.dcGain()(0, 0), sys.dcGain()(0, 0), 1e-10);
+}
+
+TEST(Zoh, Validation)
+{
+    StateSpace cont(Matrix{{-1.0}}, Matrix{{1.0}}, Matrix{{1.0}},
+                    Matrix{{0.0}});
+    EXPECT_THROW(c2dZoh(cont, 0.0), std::invalid_argument);
+    StateSpace disc = c2dZoh(cont, 0.5);
+    EXPECT_THROW(c2dZoh(disc, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace yukta::control

@@ -1,0 +1,107 @@
+#include "controllers/pid.h"
+
+#include <gtest/gtest.h>
+
+#include "controllers/layer_controllers.h"
+
+namespace yukta::controllers {
+namespace {
+
+TEST(Pid, ProportionalOnly)
+{
+    Pid pid({2.0, 0.0, 0.0, 0.5}, -10.0, 10.0, 0.5);
+    EXPECT_DOUBLE_EQ(pid.step(1.0), 2.0);
+    EXPECT_DOUBLE_EQ(pid.step(-0.5), -1.0);
+}
+
+TEST(Pid, IntegratorRemovesSteadyError)
+{
+    // Plant: y += 0.5 u (pure integrator); PI drives error to zero.
+    Pid pid({0.5, 0.8, 0.0, 0.5}, -10.0, 10.0, 0.5);
+    double y = 0.0;
+    double target = 2.0;
+    for (int i = 0; i < 200; ++i) {
+        double u = pid.step(target - y);
+        y += 0.25 * u;
+    }
+    EXPECT_NEAR(y, target, 5e-3);
+}
+
+TEST(Pid, OutputClamped)
+{
+    Pid pid({100.0, 0.0, 0.0, 0.5}, -1.0, 1.0, 0.5);
+    EXPECT_DOUBLE_EQ(pid.step(5.0), 1.0);
+    EXPECT_DOUBLE_EQ(pid.step(-5.0), -1.0);
+}
+
+TEST(Pid, AntiWindupStopsIntegration)
+{
+    Pid pid({0.1, 1.0, 0.0, 0.5}, -1.0, 1.0, 0.5);
+    // Long saturation episode...
+    for (int i = 0; i < 50; ++i) {
+        pid.step(10.0);
+    }
+    double wound = pid.integrator();
+    // ...must not wind the integrator beyond the actuator span.
+    EXPECT_LE(wound, 2.0);
+    // Recovery after the error flips sign is quick.
+    double out = 0.0;
+    int steps = 0;
+    for (; steps < 20; ++steps) {
+        out = pid.step(-1.0);
+        if (out < 0.5) {
+            break;
+        }
+    }
+    EXPECT_LT(steps, 10);
+    (void)out;
+}
+
+TEST(Pid, ResetClearsState)
+{
+    Pid pid({1.0, 1.0, 0.5, 0.5}, -5.0, 5.0, 0.5);
+    pid.step(2.0);
+    pid.step(2.0);
+    pid.reset();
+    EXPECT_DOUBLE_EQ(pid.integrator(), 0.0);
+    // First post-reset step: P + one fresh integrator increment.
+    EXPECT_DOUBLE_EQ(pid.step(1.0), 1.5);
+}
+
+TEST(SisoPidHw, RespondsInSaneDirections)
+{
+    auto cfg = platform::BoardConfig::odroidXu3();
+    SisoPidHwController ctrl(cfg, makeHwOptimizer(cfg));
+    HwSignals s;
+    s.perf_bips = 1.0;   // below any plausible target: push f_big up
+    s.p_big = 1.0;
+    s.p_little = 0.1;
+    s.temp = 45.0;
+    auto a = ctrl.invoke(s);
+    auto b = ctrl.invoke(s);
+    EXPECT_GE(b.freq_big, a.freq_big - 1e-12);
+    EXPECT_GE(a.freq_big, 0.2);
+    EXPECT_LE(a.freq_big, 2.0);
+    EXPECT_GE(a.big_cores, 1u);
+    EXPECT_LE(a.big_cores, 4u);
+}
+
+TEST(SisoPidHw, TemperatureLoopOnlyPullsDown)
+{
+    auto cfg = platform::BoardConfig::odroidXu3();
+    SisoPidHwController ctrl(cfg, makeHwOptimizer(cfg));
+    HwSignals hot;
+    hot.perf_bips = 5.0;
+    hot.p_big = 2.0;
+    hot.p_little = 0.1;
+    hot.temp = 95.0;  // way over: the temp loop must cut f_big
+    auto first = ctrl.invoke(hot);
+    auto later = first;
+    for (int i = 0; i < 6; ++i) {
+        later = ctrl.invoke(hot);
+    }
+    EXPECT_LT(later.freq_big, 2.0);
+}
+
+}  // namespace
+}  // namespace yukta::controllers

@@ -1,0 +1,300 @@
+// Tests for the SSV runtime state machine, input grids, the E x D
+// optimizer, LQG runtime, and the fixed-point engine.
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "controllers/fixed_point.h"
+#include "controllers/lqg_runtime.h"
+#include "controllers/optimizer.h"
+#include "controllers/ssv_runtime.h"
+#include "linalg/test_util.h"
+
+namespace yukta::controllers {
+namespace {
+
+using control::StateSpace;
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(InputGrid, QuantizeClampsAndSnaps)
+{
+    InputGrid g{0.2, 2.0, 0.1};
+    EXPECT_DOUBLE_EQ(g.quantize(1.234), 1.2);
+    EXPECT_DOUBLE_EQ(g.quantize(5.0), 2.0);
+    EXPECT_DOUBLE_EQ(g.quantize(-1.0), 0.2);
+    // Continuous grid: clamp only.
+    InputGrid c{0.0, 1.0, 0.0};
+    EXPECT_DOUBLE_EQ(c.quantize(0.37), 0.37);
+    EXPECT_DOUBLE_EQ(c.quantize(2.0), 1.0);
+}
+
+TEST(InputGrid, QuantizeIdempotent)
+{
+    InputGrid g{1.0, 4.0, 1.0};
+    for (double v : {-3.0, 0.0, 1.4, 2.5, 3.7, 9.0}) {
+        double q = g.quantize(v);
+        EXPECT_DOUBLE_EQ(g.quantize(q), q);
+    }
+}
+
+/** A trivial SSV certificate around an identity-gain controller. */
+robust::SsvController
+makeTestController()
+{
+    robust::SsvController ctrl;
+    // One state, 3 dy inputs (2 deviations + 1 external), 2 inputs.
+    Matrix a{{0.5}};
+    Matrix b{{0.2, 0.1, 0.05}};
+    Matrix c{{1.0}, {0.5}};
+    Matrix d{{0.4, 0.0, 0.0}, {0.0, 0.3, 0.1}};
+    ctrl.k = StateSpace(a, b, c, d, 0.5);
+    ctrl.mu_peak = 0.8;
+    ctrl.min_s = 1.25;
+    ctrl.design_bounds = {1.0, 0.5};
+    ctrl.guaranteed_bounds = {1.0, 0.5};
+    return ctrl;
+}
+
+TEST(SsvRuntime, DimensionChecks)
+{
+    auto ctrl = makeTestController();
+    std::vector<InputGrid> grids{{0.0, 4.0, 1.0}, {0.2, 2.0, 0.1}};
+    SsvRuntime rt(ctrl, grids, Vector{2.0, 1.0}, Vector{3.0});
+    EXPECT_EQ(rt.numOutputsTracked(), 2u);
+    EXPECT_EQ(rt.numExternal(), 1u);
+    EXPECT_EQ(rt.numInputs(), 2u);
+    EXPECT_THROW(rt.invoke(Vector{1.0}, Vector{0.0}),
+                 std::invalid_argument);
+    EXPECT_THROW(SsvRuntime(ctrl, {grids[0]}, Vector{2.0}, Vector{3.0}),
+                 std::invalid_argument);
+}
+
+TEST(SsvRuntime, OutputsOnGridAroundOperatingPoint)
+{
+    auto ctrl = makeTestController();
+    std::vector<InputGrid> grids{{0.0, 4.0, 1.0}, {0.2, 2.0, 0.1}};
+    SsvRuntime rt(ctrl, grids, Vector{2.0, 1.0}, Vector{3.0});
+    Vector u = rt.invoke(Vector{0.5, 0.2}, Vector{3.0});
+    // Inputs quantized to grids.
+    EXPECT_DOUBLE_EQ(u[0], std::round(u[0]));
+    EXPECT_GE(u[0], 0.0);
+    EXPECT_LE(u[0], 4.0);
+    EXPECT_GE(u[1], 0.2);
+    EXPECT_LE(u[1], 2.0);
+    // Zero deviations at the operating point keep u near the mean.
+    rt.reset();
+    Vector u0 = rt.invoke(Vector{0.0, 0.0}, Vector{3.0});
+    EXPECT_DOUBLE_EQ(u0[0], 2.0);
+    EXPECT_DOUBLE_EQ(u0[1], 1.0);
+}
+
+TEST(SsvRuntime, DeviationClampBoundsResponse)
+{
+    auto ctrl = makeTestController();
+    std::vector<InputGrid> grids{{-100.0, 100.0, 0.0},
+                                 {-100.0, 100.0, 0.0}};
+    SsvRuntime rt(ctrl, grids, Vector{0.0, 0.0}, Vector{0.0});
+    Vector small = rt.invoke(Vector{3.0, 1.5}, Vector{0.0});
+    rt.reset();
+    Vector huge = rt.invoke(Vector{300.0, 150.0}, Vector{0.0});
+    // Clamped: the two drive levels coincide at 3x design bounds.
+    EXPECT_TRUE(huge.isApprox(small, 1e-12));
+}
+
+TEST(SsvRuntime, GuardbandExhaustionMonitor)
+{
+    auto ctrl = makeTestController();
+    std::vector<InputGrid> grids{{0.0, 4.0, 1.0}, {0.2, 2.0, 0.1}};
+    SsvRuntime rt(ctrl, grids, Vector{2.0, 1.0}, Vector{3.0});
+    EXPECT_FALSE(rt.guardbandExhausted());
+    // Sustained deviations beyond the guaranteed bounds trip the flag.
+    for (int i = 0; i < 10; ++i) {
+        rt.invoke(Vector{5.0, 0.0}, Vector{3.0});
+    }
+    EXPECT_TRUE(rt.guardbandExhausted());
+    rt.reset();
+    EXPECT_FALSE(rt.guardbandExhausted());
+    // In-bound deviations never trip it.
+    for (int i = 0; i < 20; ++i) {
+        rt.invoke(Vector{0.3, 0.1}, Vector{3.0});
+    }
+    EXPECT_FALSE(rt.guardbandExhausted());
+}
+
+OptimizerConfig
+basicOptConfig()
+{
+    OptimizerConfig oc;
+    oc.initial = {3.0, 2.0};
+    oc.min = {0.5, 0.5};
+    oc.max = {10.0, 3.0};
+    oc.role = {TargetRole::kMaximize, TargetRole::kBudget};
+    oc.step = {0.5, 0.2};
+    oc.periods_per_move = 1;
+    return oc;
+}
+
+TEST(Optimizer, ValidatesConfig)
+{
+    OptimizerConfig oc = basicOptConfig();
+    oc.min = {0.5};
+    EXPECT_THROW(ExdOptimizer{oc}, std::invalid_argument);
+    oc = basicOptConfig();
+    oc.periods_per_move = 0;
+    EXPECT_THROW(ExdOptimizer{oc}, std::invalid_argument);
+}
+
+TEST(Optimizer, AdvancesTargetsAboveMeasurementWhileImproving)
+{
+    ExdOptimizer opt(basicOptConfig());
+    Vector measured{4.0, 2.0};
+    // Improving metric: keep advancing; perf target leads measured.
+    double metric = 1.0;
+    for (int i = 0; i < 5; ++i) {
+        metric *= 0.9;
+        opt.update(metric, measured);
+    }
+    EXPECT_GT(opt.targets()[0], measured[0]);
+    EXPECT_GT(opt.moves(), 0);
+}
+
+TEST(Optimizer, ReversesOnWorseMetric)
+{
+    ExdOptimizer opt(basicOptConfig());
+    Vector measured{4.0, 2.0};
+    opt.update(1.0, measured);
+    opt.update(0.9, measured);
+    int rev_before = opt.reversals();
+    // A large worsening (even EMA-filtered) forces a reversal, and the
+    // very next move retreats the perf target below the measurement.
+    opt.update(5.0, measured);
+    EXPECT_GT(opt.reversals(), rev_before);
+    EXPECT_LT(opt.targets()[0], measured[0]);
+}
+
+TEST(Optimizer, RespectsCeilingsAndFloors)
+{
+    ExdOptimizer opt(basicOptConfig());
+    Vector measured{100.0, 100.0};
+    for (int i = 0; i < 30; ++i) {
+        opt.update(1.0, measured);
+    }
+    EXPECT_LE(opt.targets()[0], 10.0);
+    EXPECT_LE(opt.targets()[1], 3.0);
+}
+
+TEST(Optimizer, FixedAndCeilingRoles)
+{
+    OptimizerConfig oc = basicOptConfig();
+    oc.role = {TargetRole::kFixed, TargetRole::kCeiling};
+    ExdOptimizer opt(oc);
+    Vector measured{7.7, 2.4};
+    for (int i = 0; i < 10; ++i) {
+        opt.update(1.0, measured);
+    }
+    EXPECT_DOUBLE_EQ(opt.targets()[0], 3.0);   // held at initial
+    EXPECT_NEAR(opt.targets()[1], 2.4, 1e-9);  // follows measurement
+}
+
+TEST(Optimizer, CoordinateModeMovesOneChannel)
+{
+    OptimizerConfig oc = basicOptConfig();
+    oc.coordinate = true;
+    ExdOptimizer opt(oc);
+    Vector measured{4.0, 2.0};
+    opt.update(1.0, measured);
+    // Exactly one channel displaced from its anchor.
+    int displaced = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+        if (std::abs(opt.targets()[i] - measured[i]) > 1e-9) {
+            ++displaced;
+        }
+    }
+    EXPECT_EQ(displaced, 1);
+}
+
+TEST(Optimizer, ResetRestoresInitialState)
+{
+    ExdOptimizer opt(basicOptConfig());
+    opt.update(1.0, Vector{4.0, 2.0});
+    opt.update(0.5, Vector{4.0, 2.0});
+    opt.reset();
+    EXPECT_EQ(opt.moves(), 0);
+    EXPECT_EQ(opt.reversals(), 0);
+    EXPECT_DOUBLE_EQ(opt.targets()[0], 3.0);
+}
+
+TEST(LqgRuntime, TracksAndCountsWastedMoves)
+{
+    // Aggressive static controller: u = 5 * dev (via -5 * (y - r)).
+    StateSpace k = StateSpace::gain(Matrix{{-5.0}}, 0.5);
+    std::vector<InputGrid> grids{{0.0, 2.0, 0.1}};
+    LqgRuntime rt(k, grids, Vector{1.0});
+    // Small deviation: inside range, no waste.
+    Vector u = rt.invoke(Vector{0.1});
+    EXPECT_NEAR(u[0], 1.5, 1e-9);
+    EXPECT_EQ(rt.wastedMoves(), 0);
+    // Large deviation: command beyond the physical range is clamped
+    // and counted (the Sec. VI-B "wasted actuation").
+    u = rt.invoke(Vector{2.0});
+    EXPECT_DOUBLE_EQ(u[0], 2.0);
+    EXPECT_EQ(rt.wastedMoves(), 1);
+    EXPECT_EQ(rt.totalMoves(), 2);
+    rt.reset();
+    EXPECT_EQ(rt.wastedMoves(), 0);
+}
+
+TEST(FixedPoint, ConversionRoundTrip)
+{
+    for (double v : {0.0, 1.0, -1.5, 1000.25, -20000.125}) {
+        EXPECT_NEAR(FixedPointSsv::fromFixed(FixedPointSsv::toFixed(v)), v,
+                    1e-4);
+    }
+}
+
+TEST(FixedPoint, MatchesDoublePrecisionStateMachine)
+{
+    // Random small stable controller.
+    Matrix a = 0.4 * test::randomMatrix(4, 4, 77);
+    Matrix b = test::randomMatrix(4, 3, 78);
+    Matrix c = test::randomMatrix(2, 4, 79);
+    Matrix d = test::randomMatrix(2, 3, 80);
+    StateSpace k(a, b, c, d, 0.5);
+    FixedPointSsv fx(k);
+    Vector x = Vector::zeros(4);
+    for (int t = 0; t < 20; ++t) {
+        Vector dy{std::sin(0.3 * t), std::cos(0.2 * t), 0.5};
+        Vector u_ref = control::stepOnce(k, x, dy);
+        Vector u_fx = fx.stepDouble(dy);
+        EXPECT_TRUE(u_fx.isApprox(u_ref, 2e-3)) << "t=" << t;
+    }
+}
+
+TEST(FixedPoint, PaperCostNumbers)
+{
+    // N=20, I=4, O+E=7: the paper's Sec. VI-D dimensions.
+    Matrix a(20, 20);
+    Matrix b(20, 7);
+    Matrix c(4, 20);
+    Matrix d(4, 7);
+    StateSpace k(a, b, c, d, 0.5);
+    FixedPointSsv fx(k);
+    // (N + I) * (N + O + E) = 24 * 27 = 648 MACs ~ "700 operations".
+    EXPECT_EQ(fx.macsPerInvocation(), 648u);
+    // Storage: matrices + state = (648 + 20) * 4 B ~ 2.6 KB.
+    EXPECT_NEAR(fx.storageBytes(), 2672.0, 1.0);
+    EXPECT_GT(fx.opsPerInvocation(), fx.macsPerInvocation());
+}
+
+TEST(FixedPoint, StepValidatesSize)
+{
+    StateSpace k(Matrix(2, 2), Matrix(2, 3), Matrix(1, 2), Matrix(1, 3),
+                 0.5);
+    FixedPointSsv fx(k);
+    EXPECT_THROW(fx.step({1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace yukta::controllers

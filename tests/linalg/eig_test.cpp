@@ -1,0 +1,165 @@
+#include "linalg/eig.h"
+
+#include "linalg/lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include <gtest/gtest.h>
+
+#include "linalg/test_util.h"
+
+namespace yukta::linalg {
+namespace {
+
+/** Sorts complex values by (real, imag) for comparison. */
+std::vector<Complex>
+sorted(std::vector<Complex> v)
+{
+    std::sort(v.begin(), v.end(), [](const Complex& a, const Complex& b) {
+        // Tolerance on the real part so that numerically-equal reals
+        // (conjugate pairs) are ordered by the imaginary part.
+        if (std::abs(a.real() - b.real()) > 1e-7) {
+            return a.real() < b.real();
+        }
+        return a.imag() < b.imag();
+    });
+    return v;
+}
+
+TEST(Eig, DiagonalMatrix)
+{
+    Matrix a = Matrix::diag({3.0, -1.0, 2.0});
+    auto e = sorted(eigenvalues(a));
+    EXPECT_NEAR(e[0].real(), -1.0, 1e-10);
+    EXPECT_NEAR(e[1].real(), 2.0, 1e-10);
+    EXPECT_NEAR(e[2].real(), 3.0, 1e-10);
+    for (const auto& l : e) {
+        EXPECT_NEAR(l.imag(), 0.0, 1e-10);
+    }
+}
+
+TEST(Eig, RotationHasComplexPair)
+{
+    // 90-degree rotation: eigenvalues +-i.
+    Matrix a{{0.0, -1.0}, {1.0, 0.0}};
+    auto e = sorted(eigenvalues(a));
+    EXPECT_NEAR(std::abs(e[0] - Complex(0.0, -1.0)), 0.0, 1e-9);
+    EXPECT_NEAR(std::abs(e[1] - Complex(0.0, 1.0)), 0.0, 1e-9);
+}
+
+TEST(Eig, CompanionMatrixRoots)
+{
+    // Companion matrix of z^3 - 6 z^2 + 11 z - 6 = (z-1)(z-2)(z-3).
+    Matrix a{{6.0, -11.0, 6.0}, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}};
+    auto e = sorted(eigenvalues(a));
+    EXPECT_NEAR(std::abs(e[0] - Complex(1.0, 0.0)), 0.0, 1e-8);
+    EXPECT_NEAR(std::abs(e[1] - Complex(2.0, 0.0)), 0.0, 1e-8);
+    EXPECT_NEAR(std::abs(e[2] - Complex(3.0, 0.0)), 0.0, 1e-8);
+}
+
+TEST(Eig, TraceAndDeterminantConsistency)
+{
+    Matrix a = test::randomMatrix(8, 8, 21);
+    auto e = eigenvalues(a);
+    Complex sum(0.0, 0.0);
+    for (const auto& l : e) {
+        sum += l;
+    }
+    EXPECT_NEAR(sum.real(), a.trace(), 1e-8);
+    EXPECT_NEAR(sum.imag(), 0.0, 1e-8);
+}
+
+TEST(Eig, SpectralRadiusOfScaledIdentity)
+{
+    EXPECT_NEAR(spectralRadius(0.5 * Matrix::identity(4)), 0.5, 1e-12);
+}
+
+TEST(Eig, SpectralAbscissaOfStableMatrix)
+{
+    Matrix a{{-1.0, 5.0}, {0.0, -2.0}};
+    EXPECT_NEAR(spectralAbscissa(a), -1.0, 1e-9);
+}
+
+TEST(Eig, EmptyMatrix)
+{
+    EXPECT_TRUE(eigenvalues(Matrix()).empty());
+}
+
+TEST(SymmetricEigen, KnownDecomposition)
+{
+    Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+    auto se = symmetricEigen(a);
+    EXPECT_NEAR(se.values[0], 1.0, 1e-10);
+    EXPECT_NEAR(se.values[1], 3.0, 1e-10);
+}
+
+TEST(SymmetricEigen, ReconstructsMatrix)
+{
+    Matrix a = test::randomSpd(6, 22);
+    auto se = symmetricEigen(a);
+    Matrix recon =
+        se.vectors * Matrix::diag(se.values) * se.vectors.transpose();
+    EXPECT_TRUE(recon.isApprox(a, 1e-8));
+    // Eigenvectors orthonormal.
+    EXPECT_TRUE((se.vectors.transpose() * se.vectors)
+                    .isApprox(Matrix::identity(6), 1e-9));
+}
+
+TEST(SymmetricEigen, PsdChecks)
+{
+    EXPECT_TRUE(isPositiveSemidefinite(test::randomSpd(4, 23)));
+    Matrix indef{{1.0, 0.0}, {0.0, -0.5}};
+    EXPECT_FALSE(isPositiveSemidefinite(indef));
+    EXPECT_TRUE(isPositiveSemidefinite(Matrix()));
+    EXPECT_NEAR(minSymmetricEigenvalue(indef), -0.5, 1e-10);
+}
+
+/** Property sweep: eigenvalues of A and A^T coincide. */
+class EigTransposeProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EigTransposeProperty, SameSpectrum)
+{
+    int n = GetParam();
+    Matrix a = test::randomMatrix(n, n, 1000 + n);
+    auto e1 = sorted(eigenvalues(a));
+    auto e2 = sorted(eigenvalues(a.transpose()));
+    ASSERT_EQ(e1.size(), e2.size());
+    for (std::size_t i = 0; i < e1.size(); ++i) {
+        EXPECT_NEAR(std::abs(e1[i] - e2[i]), 0.0, 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigTransposeProperty,
+                         ::testing::Values(2, 3, 5, 9, 14, 20));
+
+/** Property sweep: similarity transforms preserve the spectrum. */
+class EigSimilarityProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EigSimilarityProperty, InvariantUnderSimilarity)
+{
+    int n = GetParam();
+    Matrix a = test::randomMatrix(n, n, 1100 + n);
+    Matrix t =
+        test::randomMatrix(n, n, 1200 + n) + (n + 1.0) * Matrix::identity(n);
+    // B = (T A) T^{-1} shares eigenvalues with A; X T = T A is solved
+    // as T^T X^T = (T A)^T.
+    Matrix ta = t * a;
+    Matrix bt = solve(t.transpose(), ta.transpose()).transpose();
+    auto e1 = sorted(eigenvalues(a));
+    auto e2 = sorted(eigenvalues(bt));
+    for (std::size_t i = 0; i < e1.size(); ++i) {
+        EXPECT_NEAR(std::abs(e1[i] - e2[i]), 0.0, 2e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigSimilarityProperty,
+                         ::testing::Values(2, 4, 6, 10));
+
+}  // namespace
+}  // namespace yukta::linalg

@@ -1,0 +1,93 @@
+#include "linalg/expm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/test_util.h"
+
+namespace yukta::linalg {
+namespace {
+
+TEST(Expm, IdentityOfZero)
+{
+    EXPECT_TRUE(expm(Matrix(3, 3)).isApprox(Matrix::identity(3), 1e-14));
+}
+
+TEST(Expm, DiagonalMatrix)
+{
+    Matrix a = Matrix::diag({1.0, -2.0, 0.5});
+    Matrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::exp(1.0), 1e-12);
+    EXPECT_NEAR(e(1, 1), std::exp(-2.0), 1e-12);
+    EXPECT_NEAR(e(2, 2), std::exp(0.5), 1e-12);
+    EXPECT_NEAR(e(0, 1), 0.0, 1e-13);
+}
+
+TEST(Expm, RotationMatrix)
+{
+    // exp([[0, -t], [t, 0]]) = rotation by t.
+    double t = 0.7;
+    Matrix a{{0.0, -t}, {t, 0.0}};
+    Matrix e = expm(a);
+    EXPECT_NEAR(e(0, 0), std::cos(t), 1e-12);
+    EXPECT_NEAR(e(1, 0), std::sin(t), 1e-12);
+    EXPECT_NEAR(e(0, 1), -std::sin(t), 1e-12);
+}
+
+TEST(Expm, NilpotentExact)
+{
+    // exp([[0,1],[0,0]]) = [[1,1],[0,1]].
+    Matrix a{{0.0, 1.0}, {0.0, 0.0}};
+    Matrix e = expm(a);
+    EXPECT_TRUE(e.isApprox(Matrix{{1.0, 1.0}, {0.0, 1.0}}, 1e-13));
+}
+
+TEST(Expm, LargeNormTriggersScaling)
+{
+    // exp(50 I) stays exact through scaling-and-squaring.
+    Matrix a = 50.0 * Matrix::identity(2);
+    Matrix e = expm(a);
+    EXPECT_NEAR(std::log(e(0, 0)), 50.0, 1e-9);
+}
+
+TEST(Expm, NonSquareThrows)
+{
+    EXPECT_THROW(expm(Matrix(2, 3)), std::invalid_argument);
+}
+
+/** Property: exp(A)exp(-A) = I. */
+class ExpmInverseProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ExpmInverseProperty, InverseIsNegatedExponent)
+{
+    int n = GetParam();
+    Matrix a = test::randomMatrix(n, n, 2000 + n);
+    Matrix prod = expm(a) * expm(-1.0 * a);
+    EXPECT_TRUE(prod.isApprox(Matrix::identity(n), 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExpmInverseProperty,
+                         ::testing::Values(1, 2, 4, 7, 10));
+
+/** Property: exp((s+t)A) = exp(sA) exp(tA). */
+class ExpmSemigroupProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ExpmSemigroupProperty, Semigroup)
+{
+    double s = GetParam();
+    Matrix a = test::randomMatrix(4, 4, 2100);
+    Matrix lhs = expm((s + 0.5) * a);
+    Matrix rhs = expm(s * a) * expm(0.5 * a);
+    EXPECT_TRUE(lhs.isApprox(rhs, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ExpmSemigroupProperty,
+                         ::testing::Values(0.1, 1.0, 3.0, 8.0));
+
+}  // namespace
+}  // namespace yukta::linalg

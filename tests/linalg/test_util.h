@@ -1,0 +1,56 @@
+#ifndef YUKTA_TESTS_LINALG_TEST_UTIL_H_
+#define YUKTA_TESTS_LINALG_TEST_UTIL_H_
+
+/**
+ * @file
+ * Deterministic random-matrix helpers shared by the linalg tests.
+ */
+
+#include <random>
+
+#include "linalg/cmatrix.h"
+#include "linalg/matrix.h"
+
+namespace yukta::test {
+
+/** @return an n x m matrix with entries uniform in [-1, 1]. */
+inline linalg::Matrix
+randomMatrix(std::size_t n, std::size_t m, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    linalg::Matrix a(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            a(i, j) = dist(rng);
+        }
+    }
+    return a;
+}
+
+/** @return a random symmetric positive definite matrix A = B B^T + I. */
+inline linalg::Matrix
+randomSpd(std::size_t n, unsigned seed)
+{
+    linalg::Matrix b = randomMatrix(n, n, seed);
+    return b * b.transpose() + linalg::Matrix::identity(n);
+}
+
+/** @return an n x m complex matrix with entries uniform in [-1,1]^2. */
+inline linalg::CMatrix
+randomCMatrix(std::size_t n, std::size_t m, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    linalg::CMatrix a(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < m; ++j) {
+            a(i, j) = linalg::Complex(dist(rng), dist(rng));
+        }
+    }
+    return a;
+}
+
+}  // namespace yukta::test
+
+#endif  // YUKTA_TESTS_LINALG_TEST_UTIL_H_

@@ -1,0 +1,83 @@
+#include "linalg/vector.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "linalg/test_util.h"
+
+namespace yukta::linalg {
+namespace {
+
+TEST(Vector, ConstructAndAccess)
+{
+    Vector v{1.0, 2.0, 3.0};
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v[1], 2.0);
+    v[1] = 5.0;
+    EXPECT_DOUBLE_EQ(v.at(1), 5.0);
+    EXPECT_THROW(v.at(3), std::out_of_range);
+}
+
+TEST(Vector, ZerosOnes)
+{
+    EXPECT_DOUBLE_EQ(Vector::zeros(4).norm2(), 0.0);
+    EXPECT_DOUBLE_EQ(Vector::ones(4).norm2(), 2.0);
+}
+
+TEST(Vector, Arithmetic)
+{
+    Vector a{1.0, 2.0};
+    Vector b{3.0, 4.0};
+    EXPECT_TRUE((a + b).isApprox(Vector{4.0, 6.0}));
+    EXPECT_TRUE((b - a).isApprox(Vector{2.0, 2.0}));
+    EXPECT_TRUE((2.0 * a).isApprox(Vector{2.0, 4.0}));
+    EXPECT_THROW(a += Vector{1.0}, std::invalid_argument);
+}
+
+TEST(Vector, DotAndNorm)
+{
+    Vector a{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(a.norm2(), 5.0);
+    EXPECT_DOUBLE_EQ(a.maxAbs(), 4.0);
+    EXPECT_DOUBLE_EQ(a.dot(Vector{1.0, 1.0}), 7.0);
+    EXPECT_THROW(a.dot(Vector{1.0}), std::invalid_argument);
+}
+
+TEST(Vector, MatrixVectorProduct)
+{
+    Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    Vector v{1.0, 1.0};
+    Vector r = m * v;
+    EXPECT_TRUE(r.isApprox(Vector{3.0, 7.0}));
+    EXPECT_THROW(m * Vector{1.0}, std::invalid_argument);
+}
+
+TEST(Vector, AsColumnAsRowRoundtrip)
+{
+    Vector v{1.0, 2.0, 3.0};
+    EXPECT_EQ(v.asColumn().rows(), 3u);
+    EXPECT_EQ(v.asRow().cols(), 3u);
+    EXPECT_TRUE(toVector(v.asColumn()).isApprox(v));
+    EXPECT_THROW(toVector(Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Vector, SegmentAndConcat)
+{
+    Vector v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_TRUE(v.segment(1, 2).isApprox(Vector{2.0, 3.0}));
+    EXPECT_THROW(v.segment(3, 2), std::out_of_range);
+    Vector c = concat(Vector{1.0}, Vector{2.0, 3.0});
+    EXPECT_TRUE(c.isApprox(Vector{1.0, 2.0, 3.0}));
+}
+
+TEST(Vector, MatVecMatchesMatMat)
+{
+    Matrix m = test::randomMatrix(5, 4, 42);
+    Matrix x = test::randomMatrix(4, 1, 43);
+    Vector v = toVector(x);
+    EXPECT_TRUE((m * v).asColumn().isApprox(m * x, 1e-12));
+}
+
+}  // namespace
+}  // namespace yukta::linalg

@@ -1,0 +1,73 @@
+#include "platform/trace_io.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "platform/apps.h"
+
+namespace yukta::platform {
+namespace {
+
+std::vector<TraceSample>
+makeTrace()
+{
+    Board b(BoardConfig::odroidXu3(),
+            Workload(AppCatalog::get("blackscholes")), 3);
+    b.enableTrace(0.1);
+    b.run(1.0);
+    return b.trace();
+}
+
+TEST(TraceIo, RoundTripThroughStreams)
+{
+    auto trace = makeTrace();
+    ASSERT_FALSE(trace.empty());
+    std::stringstream ss;
+    writeTraceCsv(ss, trace);
+    auto loaded = readTraceCsv(ss);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_NEAR(loaded[i].time, trace[i].time, 1e-9);
+        EXPECT_NEAR(loaded[i].p_big, trace[i].p_big, 1e-9);
+        EXPECT_NEAR(loaded[i].bips, trace[i].bips, 1e-9);
+        EXPECT_EQ(loaded[i].big_cores, trace[i].big_cores);
+        EXPECT_EQ(loaded[i].emergency, trace[i].emergency);
+    }
+}
+
+TEST(TraceIo, RoundTripThroughFile)
+{
+    auto trace = makeTrace();
+    std::string path = "trace_io_test.csv";
+    ASSERT_TRUE(saveTraceCsv(path, trace));
+    auto loaded = loadTraceCsv(path);
+    EXPECT_EQ(loaded.size(), trace.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsBadHeader)
+{
+    std::stringstream ss("nonsense\n1,2,3\n");
+    EXPECT_THROW(readTraceCsv(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMalformedRow)
+{
+    std::stringstream good;
+    writeTraceCsv(good, makeTrace());
+    std::string text = good.str();
+    text += "not,a,valid,row\n";
+    std::stringstream bad(text);
+    EXPECT_THROW(readTraceCsv(bad), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(loadTraceCsv("/nonexistent/path.csv"),
+                 std::runtime_error);
+}
+
+}  // namespace
+}  // namespace yukta::platform

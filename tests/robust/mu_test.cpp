@@ -1,0 +1,166 @@
+#include "robust/mu.h"
+
+#include "control/discretize.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "linalg/svd.h"
+#include "linalg/test_util.h"
+
+namespace yukta::robust {
+namespace {
+
+using control::StateSpace;
+using linalg::CMatrix;
+using linalg::Complex;
+using linalg::Matrix;
+
+TEST(BlockStructure, OffsetsAndTotals)
+{
+    BlockStructure s;
+    s.add("a", 2, 3);
+    s.add("b", 4, 1);
+    EXPECT_EQ(s.numBlocks(), 2u);
+    EXPECT_EQ(s.totalOutputs(), 6u);
+    EXPECT_EQ(s.totalInputs(), 4u);
+    EXPECT_EQ(s.inputOffset(0), 0u);
+    EXPECT_EQ(s.inputOffset(1), 3u);
+    EXPECT_EQ(s.outputOffset(1), 2u);
+    EXPECT_THROW(s.inputOffset(2), std::out_of_range);
+    EXPECT_THROW(s.add("z", 0, 1), std::invalid_argument);
+}
+
+TEST(Mu, SingleFullBlockEqualsSigmaMax)
+{
+    CMatrix m = test::randomCMatrix(3, 3, 101);
+    BlockStructure s;
+    s.add("only", 3, 3);
+    MuBound b = computeMu(m, s);
+    double sig = linalg::sigmaMax(m);
+    EXPECT_NEAR(b.upper, sig, 1e-9);
+    EXPECT_NEAR(b.lower, sig, 1e-9);
+}
+
+TEST(Mu, ShapeMismatchThrows)
+{
+    BlockStructure s;
+    s.add("a", 2, 2);
+    EXPECT_THROW(computeMu(test::randomCMatrix(3, 2, 1), s),
+                 std::invalid_argument);
+    EXPECT_THROW(computeMu(test::randomCMatrix(2, 2, 1), BlockStructure{}),
+                 std::invalid_argument);
+}
+
+TEST(Mu, UpperAtLeastLower)
+{
+    for (unsigned seed : {111u, 112u, 113u, 114u}) {
+        CMatrix m = test::randomCMatrix(5, 5, seed);
+        BlockStructure s;
+        s.add("a", 2, 2);
+        s.add("b", 3, 3);
+        MuBound b = computeMu(m, s);
+        EXPECT_GE(b.upper + 1e-12, b.lower);
+        EXPECT_LE(b.upper, linalg::sigmaMax(m) + 1e-9);
+    }
+}
+
+TEST(Mu, BlockDiagonalMatrixIsExact)
+{
+    // For a block-diagonal M, mu equals the max of block sigmas.
+    CMatrix m(4, 4);
+    CMatrix m1 = test::randomCMatrix(2, 2, 120);
+    CMatrix m2 = test::randomCMatrix(2, 2, 121);
+    m.setBlock(0, 0, m1);
+    m.setBlock(2, 2, m2);
+    BlockStructure s;
+    s.add("a", 2, 2);
+    s.add("b", 2, 2);
+    MuBound b = computeMu(m, s);
+    double expect =
+        std::max(linalg::sigmaMax(m1), linalg::sigmaMax(m2));
+    EXPECT_NEAR(b.upper, expect, 1e-6);
+    EXPECT_NEAR(b.lower, expect, 1e-9);
+}
+
+TEST(Mu, DScalingHelpsOffDiagonalStructure)
+{
+    // M with large off-diagonal coupling: D-scaling must beat the
+    // plain sigma_max upper bound.
+    CMatrix m(2, 2);
+    m(0, 0) = Complex(0.5, 0.0);
+    m(0, 1) = Complex(10.0, 0.0);
+    m(1, 0) = Complex(0.01, 0.0);
+    m(1, 1) = Complex(0.5, 0.0);
+    BlockStructure s;
+    s.add("a", 1, 1);
+    s.add("b", 1, 1);
+    MuBound b = computeMu(m, s);
+    EXPECT_LT(b.upper, 0.95 * linalg::sigmaMax(m));
+    // Known: for 2x2 with scalar blocks, mu = |m11| + sqrt(|m12 m21|)
+    // when diagonal dominates off-diagonal product appropriately;
+    // here the bound should be close to 0.5 + sqrt(0.1) ~ 0.816.
+    EXPECT_NEAR(b.upper, 0.5 + std::sqrt(10.0 * 0.01), 0.02);
+}
+
+TEST(Mu, SweepFindsResonance)
+{
+    // Lightly damped discrete resonator: mu (single block = sigma)
+    // peaks near the resonant frequency.
+    double ts = 0.5;
+    double wn = 2.0;
+    double zeta = 0.1;
+    Matrix a{{0.0, 1.0}, {-wn * wn, -2.0 * zeta * wn}};
+    Matrix b{{0.0}, {wn * wn}};
+    Matrix c{{1.0, 0.0}};
+    StateSpace g(a, b, c, Matrix(1, 1), 0.0);
+    StateSpace gd = control::c2d(g, ts);
+
+    BlockStructure s;
+    s.add("perf", 1, 1);
+    MuSweep sweep = muFrequencySweep(gd, s, 64);
+    EXPECT_GT(sweep.peak, 3.0);  // Q ~ 1/(2 zeta) = 5
+    EXPECT_NEAR(sweep.peak_freq, wn, 0.8);
+    EXPECT_EQ(sweep.freqs.size(), 64u);
+}
+
+TEST(Mu, BuildDScalingsShapes)
+{
+    BlockStructure s;
+    s.add("a", 2, 3);
+    s.add("b", 1, 1);
+    auto [dl, dri] = buildDScalings(s, {2.0, 4.0});
+    EXPECT_EQ(dl.rows(), 4u);
+    EXPECT_EQ(dri.rows(), 3u);
+    EXPECT_DOUBLE_EQ(dl(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(dl(3, 3), 4.0);
+    EXPECT_DOUBLE_EQ(dri(0, 0), 0.5);
+    EXPECT_DOUBLE_EQ(dri(2, 2), 0.25);
+    EXPECT_THROW(buildDScalings(s, {1.0}), std::invalid_argument);
+    EXPECT_THROW(buildDScalings(s, {1.0, -1.0}), std::invalid_argument);
+}
+
+/** Property: mu is invariant under common scaling of all D blocks. */
+class MuScaleProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(MuScaleProperty, ScalesLinearly)
+{
+    double scale = GetParam();
+    CMatrix m = test::randomCMatrix(4, 4, 130);
+    BlockStructure s;
+    s.add("a", 2, 2);
+    s.add("b", 2, 2);
+    MuBound b1 = computeMu(m, s);
+    MuBound b2 = computeMu(Complex(scale, 0.0) * m, s);
+    EXPECT_NEAR(b2.upper, scale * b1.upper, 1e-5 * (1.0 + scale));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, MuScaleProperty,
+                         ::testing::Values(0.5, 1.0, 2.0, 7.0));
+
+}  // namespace
+}  // namespace yukta::robust

@@ -1,0 +1,96 @@
+#include "robust/worst_case.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/eig.h"
+#include "linalg/svd.h"
+#include "linalg/test_util.h"
+#include "robust/mu.h"
+
+namespace yukta::robust {
+namespace {
+
+using linalg::CMatrix;
+using linalg::Complex;
+
+TEST(WorstCase, SingleBlockReachesSigmaMax)
+{
+    CMatrix m = test::randomCMatrix(4, 4, 501);
+    BlockStructure s;
+    s.add("only", 4, 4);
+    auto wc = muLowerBound(m, s);
+    // For one full block, mu = sigma_max and the power iteration
+    // attains it.
+    EXPECT_NEAR(wc.mu_lower, linalg::sigmaMax(m), 1e-6);
+}
+
+TEST(WorstCase, PerturbationHasUnitNormBlocks)
+{
+    CMatrix m = test::randomCMatrix(5, 5, 502);
+    BlockStructure s;
+    s.add("a", 2, 2);
+    s.add("b", 3, 3);
+    auto wc = muLowerBound(m, s);
+    ASSERT_EQ(wc.blocks.size(), 2u);
+    for (const CMatrix& blk : wc.blocks) {
+        EXPECT_NEAR(linalg::sigmaMax(blk), 1.0, 1e-9);
+    }
+}
+
+TEST(WorstCase, CertifiedBySingularity)
+{
+    // det(I - (1/mu) M Delta) should be ~0 for the returned Delta:
+    // equivalently, M * Delta has an eigenvalue of magnitude mu.
+    CMatrix m = test::randomCMatrix(4, 4, 503);
+    BlockStructure s;
+    s.add("a", 2, 2);
+    s.add("b", 2, 2);
+    auto wc = muLowerBound(m, s);
+    ASSERT_GT(wc.mu_lower, 0.0);
+    CMatrix delta = assemblePerturbation(s, wc);
+    CMatrix loop = m * delta;
+    double rho = 0.0;
+    for (const Complex& l : linalg::eigenvalues(loop)) {
+        rho = std::max(rho, std::abs(l));
+    }
+    EXPECT_NEAR(rho, wc.mu_lower, 1e-9);
+}
+
+TEST(WorstCase, SandwichedByUpperBound)
+{
+    for (unsigned seed : {504u, 505u, 506u, 507u}) {
+        CMatrix m = test::randomCMatrix(6, 6, seed);
+        BlockStructure s;
+        s.add("a", 2, 2);
+        s.add("b", 2, 2);
+        s.add("c", 2, 2);
+        auto wc = muLowerBound(m, s);
+        MuBound b = computeMu(m, s);
+        EXPECT_LE(wc.mu_lower, b.upper + 1e-6) << "seed " << seed;
+        // The gap should be modest for 3 full blocks.
+        EXPECT_GT(wc.mu_lower, 0.3 * b.upper) << "seed " << seed;
+    }
+}
+
+TEST(WorstCase, ShapeValidation)
+{
+    BlockStructure s;
+    s.add("a", 2, 2);
+    EXPECT_THROW(muLowerBound(test::randomCMatrix(3, 2, 1), s),
+                 std::invalid_argument);
+    WorstCasePerturbation wc;
+    EXPECT_THROW(assemblePerturbation(s, wc), std::invalid_argument);
+}
+
+TEST(WorstCase, ZeroMatrixGivesZero)
+{
+    CMatrix m(4, 4);
+    BlockStructure s;
+    s.add("a", 2, 2);
+    s.add("b", 2, 2);
+    auto wc = muLowerBound(m, s);
+    EXPECT_NEAR(wc.mu_lower, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace yukta::robust

@@ -1,0 +1,97 @@
+#include "sysid/validate.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "sysid/excitation.h"
+
+namespace yukta::sysid {
+namespace {
+
+using linalg::Vector;
+
+/** Order-2 ARX data with optional white noise. */
+IoData
+makeData(std::size_t steps, double noise, unsigned seed)
+{
+    IoData data;
+    auto u = prbs(steps, -1.0, 1.0, 3, 0xFACE + seed);
+    std::mt19937 rng(seed);
+    std::normal_distribution<double> dist(0.0, noise);
+    double y1 = 0.0;
+    double y2 = 0.0;
+    double u1 = 0.0;
+    double u2 = 0.0;
+    for (std::size_t t = 0; t < steps; ++t) {
+        double y = 0.55 * y1 - 0.15 * y2 + 0.6 * u1 + 0.25 * u2;
+        if (noise > 0.0) {
+            y += dist(rng);
+        }
+        data.u.push_back(Vector{u[t]});
+        data.y.push_back(Vector{y});
+        y2 = y1;
+        y1 = y;
+        u2 = u1;
+        u1 = u[t];
+    }
+    return data;
+}
+
+TEST(OrderSelection, RecoversTrueOrder)
+{
+    IoData data = makeData(800, 0.02, 1);
+    OrderSelection sel = selectOrder(data, 0.5, 5);
+    ASSERT_EQ(sel.orders.size(), 5u);
+    // The generating system is order 2; BIC should not pick order 1.
+    EXPECT_GE(sel.best_order, 2u);
+    EXPECT_LE(sel.best_order, 3u);
+    EXPECT_THROW(selectOrder(data, 0.5, 0), std::invalid_argument);
+}
+
+TEST(Whiteness, WhiteResidualsAtCorrectOrder)
+{
+    IoData data = makeData(1000, 0.05, 2);
+    ArxModel m = identifyArx(data, 0.5, {2, 2, 1e-8});
+    WhitenessResult w = residualWhiteness(m, data);
+    EXPECT_TRUE(w.white);
+    ASSERT_EQ(w.max_autocorr.size(), 1u);
+}
+
+TEST(Whiteness, ColoredResidualsAtTooLowOrder)
+{
+    IoData data = makeData(1000, 0.0, 3);
+    ArxModel m = identifyArx(data, 0.5, {1, 1, 1e-8});
+    WhitenessResult w = residualWhiteness(m, data);
+    EXPECT_FALSE(w.white);
+    EXPECT_GT(w.max_autocorr[0], 2.0 / std::sqrt(1000.0));
+}
+
+TEST(CrossValidation, GeneralizesOnCleanData)
+{
+    IoData data = makeData(1000, 0.0, 4);
+    auto fit = crossValidationFit(data, 0.5, {2, 2, 1e-8});
+    ASSERT_EQ(fit.size(), 1u);
+    EXPECT_GT(fit[0], 98.0);
+}
+
+TEST(CrossValidation, DetectsOverfitToleranceToNoise)
+{
+    IoData data = makeData(1000, 0.2, 5);
+    auto fit2 = crossValidationFit(data, 0.5, {2, 2, 1e-6});
+    // Held-out fit stays meaningful (well below 100, above chance).
+    EXPECT_GT(fit2[0], 20.0);
+    EXPECT_LT(fit2[0], 95.0);
+}
+
+TEST(CrossValidation, Validation)
+{
+    IoData data = makeData(100, 0.0, 6);
+    EXPECT_THROW(crossValidationFit(data, 0.5, {2, 2, 0.0}, 0.0),
+                 std::invalid_argument);
+    EXPECT_THROW(crossValidationFit(data, 0.5, {2, 2, 0.0}, 0.99),
+                 std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace yukta::sysid
