@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10.cpp" "bench/CMakeFiles/bench_fig10.dir/bench_fig10.cpp.o" "gcc" "bench/CMakeFiles/bench_fig10.dir/bench_fig10.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/yukta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/controllers/CMakeFiles/yukta_controllers.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysid/CMakeFiles/yukta_sysid.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/yukta_robust.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/yukta_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/yukta_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/yukta_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lqg_convergence.dir/bench_lqg_convergence.cpp.o"
+  "CMakeFiles/bench_lqg_convergence.dir/bench_lqg_convergence.cpp.o.d"
+  "bench_lqg_convergence"
+  "bench_lqg_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lqg_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

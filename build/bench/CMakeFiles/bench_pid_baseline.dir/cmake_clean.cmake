@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pid_baseline.dir/bench_pid_baseline.cpp.o"
+  "CMakeFiles/bench_pid_baseline.dir/bench_pid_baseline.cpp.o.d"
+  "bench_pid_baseline"
+  "bench_pid_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pid_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

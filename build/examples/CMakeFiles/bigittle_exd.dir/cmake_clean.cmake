@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bigittle_exd.dir/bigittle_exd.cpp.o"
+  "CMakeFiles/bigittle_exd.dir/bigittle_exd.cpp.o.d"
+  "bigittle_exd"
+  "bigittle_exd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bigittle_exd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

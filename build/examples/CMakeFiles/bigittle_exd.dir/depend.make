@@ -1,0 +1,2 @@
+# Empty dependencies file for bigittle_exd.
+# This may be replaced when dependencies are built.

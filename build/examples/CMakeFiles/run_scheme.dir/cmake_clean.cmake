@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_scheme.dir/run_scheme.cpp.o"
+  "CMakeFiles/run_scheme.dir/run_scheme.cpp.o.d"
+  "run_scheme"
+  "run_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

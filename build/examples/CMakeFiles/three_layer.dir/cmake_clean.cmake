@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_layer.dir/three_layer.cpp.o"
+  "CMakeFiles/three_layer.dir/three_layer.cpp.o.d"
+  "three_layer"
+  "three_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/balance.cpp" "src/control/CMakeFiles/yukta_control.dir/balance.cpp.o" "gcc" "src/control/CMakeFiles/yukta_control.dir/balance.cpp.o.d"
+  "/root/repo/src/control/discretize.cpp" "src/control/CMakeFiles/yukta_control.dir/discretize.cpp.o" "gcc" "src/control/CMakeFiles/yukta_control.dir/discretize.cpp.o.d"
+  "/root/repo/src/control/hinf_norm.cpp" "src/control/CMakeFiles/yukta_control.dir/hinf_norm.cpp.o" "gcc" "src/control/CMakeFiles/yukta_control.dir/hinf_norm.cpp.o.d"
+  "/root/repo/src/control/interconnect.cpp" "src/control/CMakeFiles/yukta_control.dir/interconnect.cpp.o" "gcc" "src/control/CMakeFiles/yukta_control.dir/interconnect.cpp.o.d"
+  "/root/repo/src/control/lqg.cpp" "src/control/CMakeFiles/yukta_control.dir/lqg.cpp.o" "gcc" "src/control/CMakeFiles/yukta_control.dir/lqg.cpp.o.d"
+  "/root/repo/src/control/lyapunov.cpp" "src/control/CMakeFiles/yukta_control.dir/lyapunov.cpp.o" "gcc" "src/control/CMakeFiles/yukta_control.dir/lyapunov.cpp.o.d"
+  "/root/repo/src/control/realization.cpp" "src/control/CMakeFiles/yukta_control.dir/realization.cpp.o" "gcc" "src/control/CMakeFiles/yukta_control.dir/realization.cpp.o.d"
+  "/root/repo/src/control/riccati.cpp" "src/control/CMakeFiles/yukta_control.dir/riccati.cpp.o" "gcc" "src/control/CMakeFiles/yukta_control.dir/riccati.cpp.o.d"
+  "/root/repo/src/control/state_space.cpp" "src/control/CMakeFiles/yukta_control.dir/state_space.cpp.o" "gcc" "src/control/CMakeFiles/yukta_control.dir/state_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/yukta_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yukta_control.dir/balance.cpp.o"
+  "CMakeFiles/yukta_control.dir/balance.cpp.o.d"
+  "CMakeFiles/yukta_control.dir/discretize.cpp.o"
+  "CMakeFiles/yukta_control.dir/discretize.cpp.o.d"
+  "CMakeFiles/yukta_control.dir/hinf_norm.cpp.o"
+  "CMakeFiles/yukta_control.dir/hinf_norm.cpp.o.d"
+  "CMakeFiles/yukta_control.dir/interconnect.cpp.o"
+  "CMakeFiles/yukta_control.dir/interconnect.cpp.o.d"
+  "CMakeFiles/yukta_control.dir/lqg.cpp.o"
+  "CMakeFiles/yukta_control.dir/lqg.cpp.o.d"
+  "CMakeFiles/yukta_control.dir/lyapunov.cpp.o"
+  "CMakeFiles/yukta_control.dir/lyapunov.cpp.o.d"
+  "CMakeFiles/yukta_control.dir/realization.cpp.o"
+  "CMakeFiles/yukta_control.dir/realization.cpp.o.d"
+  "CMakeFiles/yukta_control.dir/riccati.cpp.o"
+  "CMakeFiles/yukta_control.dir/riccati.cpp.o.d"
+  "CMakeFiles/yukta_control.dir/state_space.cpp.o"
+  "CMakeFiles/yukta_control.dir/state_space.cpp.o.d"
+  "libyukta_control.a"
+  "libyukta_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yukta_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controllers/fixed_point.cpp" "src/controllers/CMakeFiles/yukta_controllers.dir/fixed_point.cpp.o" "gcc" "src/controllers/CMakeFiles/yukta_controllers.dir/fixed_point.cpp.o.d"
+  "/root/repo/src/controllers/heuristics.cpp" "src/controllers/CMakeFiles/yukta_controllers.dir/heuristics.cpp.o" "gcc" "src/controllers/CMakeFiles/yukta_controllers.dir/heuristics.cpp.o.d"
+  "/root/repo/src/controllers/layer_controllers.cpp" "src/controllers/CMakeFiles/yukta_controllers.dir/layer_controllers.cpp.o" "gcc" "src/controllers/CMakeFiles/yukta_controllers.dir/layer_controllers.cpp.o.d"
+  "/root/repo/src/controllers/lqg_runtime.cpp" "src/controllers/CMakeFiles/yukta_controllers.dir/lqg_runtime.cpp.o" "gcc" "src/controllers/CMakeFiles/yukta_controllers.dir/lqg_runtime.cpp.o.d"
+  "/root/repo/src/controllers/multilayer.cpp" "src/controllers/CMakeFiles/yukta_controllers.dir/multilayer.cpp.o" "gcc" "src/controllers/CMakeFiles/yukta_controllers.dir/multilayer.cpp.o.d"
+  "/root/repo/src/controllers/optimizer.cpp" "src/controllers/CMakeFiles/yukta_controllers.dir/optimizer.cpp.o" "gcc" "src/controllers/CMakeFiles/yukta_controllers.dir/optimizer.cpp.o.d"
+  "/root/repo/src/controllers/pid.cpp" "src/controllers/CMakeFiles/yukta_controllers.dir/pid.cpp.o" "gcc" "src/controllers/CMakeFiles/yukta_controllers.dir/pid.cpp.o.d"
+  "/root/repo/src/controllers/ssv_runtime.cpp" "src/controllers/CMakeFiles/yukta_controllers.dir/ssv_runtime.cpp.o" "gcc" "src/controllers/CMakeFiles/yukta_controllers.dir/ssv_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/robust/CMakeFiles/yukta_robust.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/yukta_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/yukta_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/yukta_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yukta_controllers.dir/fixed_point.cpp.o"
+  "CMakeFiles/yukta_controllers.dir/fixed_point.cpp.o.d"
+  "CMakeFiles/yukta_controllers.dir/heuristics.cpp.o"
+  "CMakeFiles/yukta_controllers.dir/heuristics.cpp.o.d"
+  "CMakeFiles/yukta_controllers.dir/layer_controllers.cpp.o"
+  "CMakeFiles/yukta_controllers.dir/layer_controllers.cpp.o.d"
+  "CMakeFiles/yukta_controllers.dir/lqg_runtime.cpp.o"
+  "CMakeFiles/yukta_controllers.dir/lqg_runtime.cpp.o.d"
+  "CMakeFiles/yukta_controllers.dir/multilayer.cpp.o"
+  "CMakeFiles/yukta_controllers.dir/multilayer.cpp.o.d"
+  "CMakeFiles/yukta_controllers.dir/optimizer.cpp.o"
+  "CMakeFiles/yukta_controllers.dir/optimizer.cpp.o.d"
+  "CMakeFiles/yukta_controllers.dir/pid.cpp.o"
+  "CMakeFiles/yukta_controllers.dir/pid.cpp.o.d"
+  "CMakeFiles/yukta_controllers.dir/ssv_runtime.cpp.o"
+  "CMakeFiles/yukta_controllers.dir/ssv_runtime.cpp.o.d"
+  "libyukta_controllers.a"
+  "libyukta_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yukta_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache.cpp" "src/core/CMakeFiles/yukta_core.dir/cache.cpp.o" "gcc" "src/core/CMakeFiles/yukta_core.dir/cache.cpp.o.d"
+  "/root/repo/src/core/design_flow.cpp" "src/core/CMakeFiles/yukta_core.dir/design_flow.cpp.o" "gcc" "src/core/CMakeFiles/yukta_core.dir/design_flow.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/yukta_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/yukta_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/schemes.cpp" "src/core/CMakeFiles/yukta_core.dir/schemes.cpp.o" "gcc" "src/core/CMakeFiles/yukta_core.dir/schemes.cpp.o.d"
+  "/root/repo/src/core/spec.cpp" "src/core/CMakeFiles/yukta_core.dir/spec.cpp.o" "gcc" "src/core/CMakeFiles/yukta_core.dir/spec.cpp.o.d"
+  "/root/repo/src/core/training.cpp" "src/core/CMakeFiles/yukta_core.dir/training.cpp.o" "gcc" "src/core/CMakeFiles/yukta_core.dir/training.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/yukta_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/yukta_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/controllers/CMakeFiles/yukta_controllers.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysid/CMakeFiles/yukta_sysid.dir/DependInfo.cmake"
+  "/root/repo/build/src/robust/CMakeFiles/yukta_robust.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/yukta_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/yukta_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/yukta_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

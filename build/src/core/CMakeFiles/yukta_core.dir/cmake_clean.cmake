@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yukta_core.dir/cache.cpp.o"
+  "CMakeFiles/yukta_core.dir/cache.cpp.o.d"
+  "CMakeFiles/yukta_core.dir/design_flow.cpp.o"
+  "CMakeFiles/yukta_core.dir/design_flow.cpp.o.d"
+  "CMakeFiles/yukta_core.dir/report.cpp.o"
+  "CMakeFiles/yukta_core.dir/report.cpp.o.d"
+  "CMakeFiles/yukta_core.dir/schemes.cpp.o"
+  "CMakeFiles/yukta_core.dir/schemes.cpp.o.d"
+  "CMakeFiles/yukta_core.dir/spec.cpp.o"
+  "CMakeFiles/yukta_core.dir/spec.cpp.o.d"
+  "CMakeFiles/yukta_core.dir/training.cpp.o"
+  "CMakeFiles/yukta_core.dir/training.cpp.o.d"
+  "CMakeFiles/yukta_core.dir/validation.cpp.o"
+  "CMakeFiles/yukta_core.dir/validation.cpp.o.d"
+  "libyukta_core.a"
+  "libyukta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yukta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

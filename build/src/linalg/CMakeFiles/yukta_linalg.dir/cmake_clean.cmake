@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yukta_linalg.dir/cmatrix.cpp.o"
+  "CMakeFiles/yukta_linalg.dir/cmatrix.cpp.o.d"
+  "CMakeFiles/yukta_linalg.dir/eig.cpp.o"
+  "CMakeFiles/yukta_linalg.dir/eig.cpp.o.d"
+  "CMakeFiles/yukta_linalg.dir/expm.cpp.o"
+  "CMakeFiles/yukta_linalg.dir/expm.cpp.o.d"
+  "CMakeFiles/yukta_linalg.dir/lu.cpp.o"
+  "CMakeFiles/yukta_linalg.dir/lu.cpp.o.d"
+  "CMakeFiles/yukta_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/yukta_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/yukta_linalg.dir/qr.cpp.o"
+  "CMakeFiles/yukta_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/yukta_linalg.dir/svd.cpp.o"
+  "CMakeFiles/yukta_linalg.dir/svd.cpp.o.d"
+  "CMakeFiles/yukta_linalg.dir/vector.cpp.o"
+  "CMakeFiles/yukta_linalg.dir/vector.cpp.o.d"
+  "libyukta_linalg.a"
+  "libyukta_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yukta_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/apps.cpp" "src/platform/CMakeFiles/yukta_platform.dir/apps.cpp.o" "gcc" "src/platform/CMakeFiles/yukta_platform.dir/apps.cpp.o.d"
+  "/root/repo/src/platform/board.cpp" "src/platform/CMakeFiles/yukta_platform.dir/board.cpp.o" "gcc" "src/platform/CMakeFiles/yukta_platform.dir/board.cpp.o.d"
+  "/root/repo/src/platform/config.cpp" "src/platform/CMakeFiles/yukta_platform.dir/config.cpp.o" "gcc" "src/platform/CMakeFiles/yukta_platform.dir/config.cpp.o.d"
+  "/root/repo/src/platform/dvfs.cpp" "src/platform/CMakeFiles/yukta_platform.dir/dvfs.cpp.o" "gcc" "src/platform/CMakeFiles/yukta_platform.dir/dvfs.cpp.o.d"
+  "/root/repo/src/platform/power_thermal.cpp" "src/platform/CMakeFiles/yukta_platform.dir/power_thermal.cpp.o" "gcc" "src/platform/CMakeFiles/yukta_platform.dir/power_thermal.cpp.o.d"
+  "/root/repo/src/platform/scheduler.cpp" "src/platform/CMakeFiles/yukta_platform.dir/scheduler.cpp.o" "gcc" "src/platform/CMakeFiles/yukta_platform.dir/scheduler.cpp.o.d"
+  "/root/repo/src/platform/sensors.cpp" "src/platform/CMakeFiles/yukta_platform.dir/sensors.cpp.o" "gcc" "src/platform/CMakeFiles/yukta_platform.dir/sensors.cpp.o.d"
+  "/root/repo/src/platform/tmu.cpp" "src/platform/CMakeFiles/yukta_platform.dir/tmu.cpp.o" "gcc" "src/platform/CMakeFiles/yukta_platform.dir/tmu.cpp.o.d"
+  "/root/repo/src/platform/trace_io.cpp" "src/platform/CMakeFiles/yukta_platform.dir/trace_io.cpp.o" "gcc" "src/platform/CMakeFiles/yukta_platform.dir/trace_io.cpp.o.d"
+  "/root/repo/src/platform/workload.cpp" "src/platform/CMakeFiles/yukta_platform.dir/workload.cpp.o" "gcc" "src/platform/CMakeFiles/yukta_platform.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/yukta_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yukta_platform.dir/apps.cpp.o"
+  "CMakeFiles/yukta_platform.dir/apps.cpp.o.d"
+  "CMakeFiles/yukta_platform.dir/board.cpp.o"
+  "CMakeFiles/yukta_platform.dir/board.cpp.o.d"
+  "CMakeFiles/yukta_platform.dir/config.cpp.o"
+  "CMakeFiles/yukta_platform.dir/config.cpp.o.d"
+  "CMakeFiles/yukta_platform.dir/dvfs.cpp.o"
+  "CMakeFiles/yukta_platform.dir/dvfs.cpp.o.d"
+  "CMakeFiles/yukta_platform.dir/power_thermal.cpp.o"
+  "CMakeFiles/yukta_platform.dir/power_thermal.cpp.o.d"
+  "CMakeFiles/yukta_platform.dir/scheduler.cpp.o"
+  "CMakeFiles/yukta_platform.dir/scheduler.cpp.o.d"
+  "CMakeFiles/yukta_platform.dir/sensors.cpp.o"
+  "CMakeFiles/yukta_platform.dir/sensors.cpp.o.d"
+  "CMakeFiles/yukta_platform.dir/tmu.cpp.o"
+  "CMakeFiles/yukta_platform.dir/tmu.cpp.o.d"
+  "CMakeFiles/yukta_platform.dir/trace_io.cpp.o"
+  "CMakeFiles/yukta_platform.dir/trace_io.cpp.o.d"
+  "CMakeFiles/yukta_platform.dir/workload.cpp.o"
+  "CMakeFiles/yukta_platform.dir/workload.cpp.o.d"
+  "libyukta_platform.a"
+  "libyukta_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yukta_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libyukta_platform.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robust/dk.cpp" "src/robust/CMakeFiles/yukta_robust.dir/dk.cpp.o" "gcc" "src/robust/CMakeFiles/yukta_robust.dir/dk.cpp.o.d"
+  "/root/repo/src/robust/hinf.cpp" "src/robust/CMakeFiles/yukta_robust.dir/hinf.cpp.o" "gcc" "src/robust/CMakeFiles/yukta_robust.dir/hinf.cpp.o.d"
+  "/root/repo/src/robust/mu.cpp" "src/robust/CMakeFiles/yukta_robust.dir/mu.cpp.o" "gcc" "src/robust/CMakeFiles/yukta_robust.dir/mu.cpp.o.d"
+  "/root/repo/src/robust/ssv_design.cpp" "src/robust/CMakeFiles/yukta_robust.dir/ssv_design.cpp.o" "gcc" "src/robust/CMakeFiles/yukta_robust.dir/ssv_design.cpp.o.d"
+  "/root/repo/src/robust/uncertainty.cpp" "src/robust/CMakeFiles/yukta_robust.dir/uncertainty.cpp.o" "gcc" "src/robust/CMakeFiles/yukta_robust.dir/uncertainty.cpp.o.d"
+  "/root/repo/src/robust/weights.cpp" "src/robust/CMakeFiles/yukta_robust.dir/weights.cpp.o" "gcc" "src/robust/CMakeFiles/yukta_robust.dir/weights.cpp.o.d"
+  "/root/repo/src/robust/worst_case.cpp" "src/robust/CMakeFiles/yukta_robust.dir/worst_case.cpp.o" "gcc" "src/robust/CMakeFiles/yukta_robust.dir/worst_case.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/control/CMakeFiles/yukta_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/yukta_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

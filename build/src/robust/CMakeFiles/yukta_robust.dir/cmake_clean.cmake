@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yukta_robust.dir/dk.cpp.o"
+  "CMakeFiles/yukta_robust.dir/dk.cpp.o.d"
+  "CMakeFiles/yukta_robust.dir/hinf.cpp.o"
+  "CMakeFiles/yukta_robust.dir/hinf.cpp.o.d"
+  "CMakeFiles/yukta_robust.dir/mu.cpp.o"
+  "CMakeFiles/yukta_robust.dir/mu.cpp.o.d"
+  "CMakeFiles/yukta_robust.dir/ssv_design.cpp.o"
+  "CMakeFiles/yukta_robust.dir/ssv_design.cpp.o.d"
+  "CMakeFiles/yukta_robust.dir/uncertainty.cpp.o"
+  "CMakeFiles/yukta_robust.dir/uncertainty.cpp.o.d"
+  "CMakeFiles/yukta_robust.dir/weights.cpp.o"
+  "CMakeFiles/yukta_robust.dir/weights.cpp.o.d"
+  "CMakeFiles/yukta_robust.dir/worst_case.cpp.o"
+  "CMakeFiles/yukta_robust.dir/worst_case.cpp.o.d"
+  "libyukta_robust.a"
+  "libyukta_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yukta_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yukta_sysid.dir/arx.cpp.o"
+  "CMakeFiles/yukta_sysid.dir/arx.cpp.o.d"
+  "CMakeFiles/yukta_sysid.dir/excitation.cpp.o"
+  "CMakeFiles/yukta_sysid.dir/excitation.cpp.o.d"
+  "CMakeFiles/yukta_sysid.dir/validate.cpp.o"
+  "CMakeFiles/yukta_sysid.dir/validate.cpp.o.d"
+  "libyukta_sysid.a"
+  "libyukta_sysid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yukta_sysid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/control/hinf_norm_test.cpp" "tests/CMakeFiles/test_control.dir/control/hinf_norm_test.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/hinf_norm_test.cpp.o.d"
+  "/root/repo/tests/control/interconnect_test.cpp" "tests/CMakeFiles/test_control.dir/control/interconnect_test.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/interconnect_test.cpp.o.d"
+  "/root/repo/tests/control/realization_test.cpp" "tests/CMakeFiles/test_control.dir/control/realization_test.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/realization_test.cpp.o.d"
+  "/root/repo/tests/control/solvers_test.cpp" "tests/CMakeFiles/test_control.dir/control/solvers_test.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/solvers_test.cpp.o.d"
+  "/root/repo/tests/control/state_space_test.cpp" "tests/CMakeFiles/test_control.dir/control/state_space_test.cpp.o" "gcc" "tests/CMakeFiles/test_control.dir/control/state_space_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/control/CMakeFiles/yukta_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/yukta_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_control.dir/control/hinf_norm_test.cpp.o"
+  "CMakeFiles/test_control.dir/control/hinf_norm_test.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/interconnect_test.cpp.o"
+  "CMakeFiles/test_control.dir/control/interconnect_test.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/realization_test.cpp.o"
+  "CMakeFiles/test_control.dir/control/realization_test.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/solvers_test.cpp.o"
+  "CMakeFiles/test_control.dir/control/solvers_test.cpp.o.d"
+  "CMakeFiles/test_control.dir/control/state_space_test.cpp.o"
+  "CMakeFiles/test_control.dir/control/state_space_test.cpp.o.d"
+  "test_control"
+  "test_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

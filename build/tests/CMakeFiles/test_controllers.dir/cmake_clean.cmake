@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controllers.dir/controllers/heuristics_test.cpp.o"
+  "CMakeFiles/test_controllers.dir/controllers/heuristics_test.cpp.o.d"
+  "CMakeFiles/test_controllers.dir/controllers/pid_test.cpp.o"
+  "CMakeFiles/test_controllers.dir/controllers/pid_test.cpp.o.d"
+  "CMakeFiles/test_controllers.dir/controllers/runtime_test.cpp.o"
+  "CMakeFiles/test_controllers.dir/controllers/runtime_test.cpp.o.d"
+  "test_controllers"
+  "test_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/linalg/eig_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/eig_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/expm_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/expm_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/lu_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/lu_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/matrix_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/matrix_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/qr_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/qr_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/svd_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/svd_test.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/vector_test.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/vector_test.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/robust/edge_cases_test.cpp" "tests/CMakeFiles/test_robust.dir/robust/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/test_robust.dir/robust/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/robust/hinf_test.cpp" "tests/CMakeFiles/test_robust.dir/robust/hinf_test.cpp.o" "gcc" "tests/CMakeFiles/test_robust.dir/robust/hinf_test.cpp.o.d"
+  "/root/repo/tests/robust/mu_test.cpp" "tests/CMakeFiles/test_robust.dir/robust/mu_test.cpp.o" "gcc" "tests/CMakeFiles/test_robust.dir/robust/mu_test.cpp.o.d"
+  "/root/repo/tests/robust/ssv_design_test.cpp" "tests/CMakeFiles/test_robust.dir/robust/ssv_design_test.cpp.o" "gcc" "tests/CMakeFiles/test_robust.dir/robust/ssv_design_test.cpp.o.d"
+  "/root/repo/tests/robust/worst_case_test.cpp" "tests/CMakeFiles/test_robust.dir/robust/worst_case_test.cpp.o" "gcc" "tests/CMakeFiles/test_robust.dir/robust/worst_case_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/robust/CMakeFiles/yukta_robust.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/yukta_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/yukta_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_robust.dir/robust/edge_cases_test.cpp.o"
+  "CMakeFiles/test_robust.dir/robust/edge_cases_test.cpp.o.d"
+  "CMakeFiles/test_robust.dir/robust/hinf_test.cpp.o"
+  "CMakeFiles/test_robust.dir/robust/hinf_test.cpp.o.d"
+  "CMakeFiles/test_robust.dir/robust/mu_test.cpp.o"
+  "CMakeFiles/test_robust.dir/robust/mu_test.cpp.o.d"
+  "CMakeFiles/test_robust.dir/robust/ssv_design_test.cpp.o"
+  "CMakeFiles/test_robust.dir/robust/ssv_design_test.cpp.o.d"
+  "CMakeFiles/test_robust.dir/robust/worst_case_test.cpp.o"
+  "CMakeFiles/test_robust.dir/robust/worst_case_test.cpp.o.d"
+  "test_robust"
+  "test_robust.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_robust.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

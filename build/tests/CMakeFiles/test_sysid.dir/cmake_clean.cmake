@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysid.dir/sysid/sysid_test.cpp.o"
+  "CMakeFiles/test_sysid.dir/sysid/sysid_test.cpp.o.d"
+  "CMakeFiles/test_sysid.dir/sysid/validate_test.cpp.o"
+  "CMakeFiles/test_sysid.dir/sysid/validate_test.cpp.o.d"
+  "test_sysid"
+  "test_sysid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

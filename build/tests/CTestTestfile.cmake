@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_linalg "/root/repo/build/tests/test_linalg")
+set_tests_properties(test_linalg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;yukta_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_control "/root/repo/build/tests/test_control")
+set_tests_properties(test_control PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;yukta_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_robust "/root/repo/build/tests/test_robust")
+set_tests_properties(test_robust PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;29;yukta_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_sysid "/root/repo/build/tests/test_sysid")
+set_tests_properties(test_sysid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;38;yukta_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_platform "/root/repo/build/tests/test_platform")
+set_tests_properties(test_platform PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;44;yukta_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_controllers "/root/repo/build/tests/test_controllers")
+set_tests_properties(test_controllers PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;51;yukta_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;58;yukta_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;64;yukta_add_test;/root/repo/tests/CMakeLists.txt;0;")
