@@ -57,14 +57,24 @@ main()
 {
     auto cfg = platform::BoardConfig::odroidXu3();
     auto artifacts = bench::defaultArtifacts();
-    const char* apps[] = {"blackscholes", "gamess", "streamcluster"};
+    const std::vector<std::string> apps = {"blackscholes", "gamess",
+                                           "streamcluster"};
+
+    // All standard-scheme runs (ablations 1 and 3 reference them) go
+    // through the sweep engine in one parallel batch; only the
+    // custom blind-controller systems below run ad hoc.
+    runner::SweepSpec sweep;
+    sweep.schemes = {core::Scheme::kYuktaHwSsvOsHeuristic,
+                     core::Scheme::kDecoupledLqg};
+    sweep.workloads = apps;
+    sweep.max_seconds = bench::kMaxSeconds;
+    auto result = bench::runBenchSweep(artifacts, sweep);
 
     // ---- 1. Coordination (external signals) ablation. ----
     std::printf("=== Ablation 1: external-signal coordination ===\n");
-    for (const char* app : apps) {
-        auto full = bench::runScheme(
-            artifacts, core::Scheme::kYuktaHwSsvOsHeuristic,
-            platform::Workload(platform::AppCatalog::get(app)));
+    for (const std::string& app : apps) {
+        const auto& full =
+            *result.metricsFor(core::Scheme::kYuktaHwSsvOsHeuristic, app);
 
         const Vector& mean = artifacts.hw_ssv.model.uMean();
         Vector e_mean = mean.segment(4, 3);
@@ -80,7 +90,7 @@ main()
 
         std::printf("%-14s coordinated ExD %9.0f | blind ExD %9.0f "
                     "(%.2fx)\n",
-                    app, full.exd, blind.exd,
+                    app.c_str(), full.exd, blind.exd,
                     full.exd > 0 ? blind.exd / full.exd : 0.0);
         std::fflush(stdout);
     }
@@ -104,16 +114,14 @@ main()
     std::printf("\n=== Ablation 3: quantization-aware actuation ===\n");
     std::printf("The SSV runtime snaps to the declared grids; the LQG "
                 "runtime emits raw commands that the actuators clamp.\n");
-    for (const char* app : apps) {
-        auto ssv = bench::runScheme(
-            artifacts, core::Scheme::kYuktaHwSsvOsHeuristic,
-            platform::Workload(platform::AppCatalog::get(app)));
-        auto lqg = bench::runScheme(
-            artifacts, core::Scheme::kDecoupledLqg,
-            platform::Workload(platform::AppCatalog::get(app)));
+    for (const std::string& app : apps) {
+        const auto& ssv =
+            *result.metricsFor(core::Scheme::kYuktaHwSsvOsHeuristic, app);
+        const auto& lqg =
+            *result.metricsFor(core::Scheme::kDecoupledLqg, app);
         std::printf("%-14s quantization-aware ExD %9.0f | oblivious "
                     "(LQG) ExD %9.0f\n",
-                    app, ssv.exd, lqg.exd);
+                    app.c_str(), ssv.exd, lqg.exd);
         std::fflush(stdout);
     }
     return 0;

@@ -8,17 +8,70 @@
  * scheme execution, and normalized-table printing.
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/yukta.h"
+#include "runner/sweep.h"
 
 namespace yukta::bench {
 
 /** Time budget per run; generous relative to paper run times. */
 inline constexpr double kMaxSeconds = 1200.0;
+
+/**
+ * Worker-pool size for sweep-driven benches: YUKTA_WORKERS when set,
+ * else every hardware thread.
+ */
+inline std::size_t
+sweepWorkers()
+{
+    if (const char* env = std::getenv("YUKTA_WORKERS")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n > 0) {
+            return static_cast<std::size_t>(n);
+        }
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+/** Engine options shared by the figure benches: parallel workers,
+ *  shared run cache, progress on stderr. */
+inline runner::RunnerOptions
+benchRunnerOptions()
+{
+    runner::RunnerOptions options;
+    options.workers = sweepWorkers();
+    options.progress = &std::cerr;
+    return options;
+}
+
+/**
+ * Runs a sweep against the paper-default artifacts and aborts the
+ * bench when any run failed: the tables below index results by
+ * (scheme, workload) and must not silently print holes.
+ */
+inline runner::SweepResult
+runBenchSweep(const core::Artifacts& artifacts,
+              const runner::SweepSpec& spec)
+{
+    auto result = runner::runSweep(artifacts, spec, benchRunnerOptions());
+    for (const auto& r : result.records) {
+        if (r.status != runner::TaskOutcome::Status::kOk) {
+            std::fprintf(stderr, "run %s/%s/%u failed: %s\n",
+                         runner::schemeId(r.scheme).c_str(),
+                         r.workload.c_str(), r.seed, r.error.c_str());
+            std::exit(1);
+        }
+    }
+    return result;
+}
 
 /** Builds (or loads from ./yukta_cache) the paper-default artifacts. */
 inline core::Artifacts

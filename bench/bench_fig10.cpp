@@ -17,18 +17,25 @@ main()
     using namespace yukta;
     auto artifacts = bench::defaultArtifacts();
 
-    const core::Scheme schemes[] = {
+    const std::vector<core::Scheme> schemes = {
         core::Scheme::kCoordinatedHeuristic,
         core::Scheme::kDecoupledHeuristic,
         core::Scheme::kYuktaHwSsvOsHeuristic,
         core::Scheme::kYuktaFull,
     };
 
+    // Traced runs through the sweep engine (traces bypass the result
+    // cache); the per-scheme sections print in Fig. 10 order from the
+    // index-ordered records, independent of worker count.
+    runner::SweepSpec sweep;
+    sweep.schemes = schemes;
+    sweep.workloads = {"blackscholes"};
+    sweep.max_seconds = bench::kMaxSeconds;
+    sweep.trace_interval = 2.0;
+    auto result = bench::runBenchSweep(artifacts, sweep);
+
     for (core::Scheme scheme : schemes) {
-        auto m = bench::runScheme(
-            artifacts, scheme,
-            platform::Workload(platform::AppCatalog::get("blackscholes")),
-            1, 2.0);
+        const auto& m = *result.metricsFor(scheme, "blackscholes");
 
         std::printf("=== %s ===\n", core::schemeName(scheme).c_str());
         std::printf("t(s)\tP_big(W)\n");

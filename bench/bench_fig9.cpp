@@ -30,6 +30,14 @@ main()
     std::vector<std::string> apps = spec_apps;
     apps.insert(apps.end(), parsec_apps.begin(), parsec_apps.end());
 
+    // All (scheme x app) runs through the parallel sweep engine; the
+    // table below is assembled from the aggregated records.
+    runner::SweepSpec sweep;
+    sweep.schemes = schemes;
+    sweep.workloads = apps;
+    sweep.max_seconds = bench::kMaxSeconds;
+    auto result = bench::runBenchSweep(artifacts, sweep);
+
     // rel_exd[scheme][app], rel_time[scheme][app].
     std::vector<std::vector<double>> rel_exd(schemes.size());
     std::vector<std::vector<double>> rel_time(schemes.size());
@@ -45,11 +53,9 @@ main()
         std::vector<double> exd(schemes.size());
         std::vector<double> time(schemes.size());
         for (std::size_t s = 0; s < schemes.size(); ++s) {
-            auto m = bench::runScheme(
-                artifacts, schemes[s],
-                platform::Workload(platform::AppCatalog::get(app)));
-            exd[s] = m.exd;
-            time[s] = m.exec_time;
+            const auto* m = result.metricsFor(schemes[s], app);
+            exd[s] = m->exd;
+            time[s] = m->exec_time;
         }
         std::printf("%-14s", platform::AppCatalog::shortLabel(app).c_str());
         for (std::size_t s = 0; s < schemes.size(); ++s) {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + tests, then the concurrency-sensitive
+# runner tests again under ThreadSanitizer (and, optionally, the whole
+# suite under ASan/UBSan with YUKTA_CI_ASAN=1).
+#
+# Usage: ci/run_ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "=== tier-1: default build + full ctest ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== runner tests under ThreadSanitizer ==="
+cmake -B build-tsan -S . -DYUKTA_SANITIZE=thread \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j "$JOBS" --target test_runner
+# halt_on_error so a reported race fails CI instead of scrolling by.
+TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan -R '^test_runner$' --output-on-failure
+
+if [[ "${YUKTA_CI_ASAN:-0}" == "1" ]]; then
+    echo "=== full suite under AddressSanitizer + UBSan ==="
+    cmake -B build-asan -S . -DYUKTA_SANITIZE=address,undefined \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build build-asan -j "$JOBS"
+    ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+echo "CI OK"

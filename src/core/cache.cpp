@@ -1,9 +1,15 @@
 #include "core/cache.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <sstream>
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
 
 namespace yukta::core {
 
@@ -64,18 +70,49 @@ cachePath(const std::string& key)
 }
 
 bool
-saveStateSpace(const std::string& path, const StateSpace& sys)
+atomicWriteFile(const std::string& path, const std::string& contents)
 {
-    std::ofstream os(path);
-    if (!os) {
+    static std::atomic<unsigned> counter{0};
+#ifdef __unix__
+    const long pid = static_cast<long>(::getpid());
+#else
+    const long pid = 0;
+#endif
+    const std::string tmp = path + ".tmp." + std::to_string(pid) + "." +
+                            std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            return false;
+        }
+        os << contents;
+        os.flush();
+        if (!os) {
+            std::error_code ec;
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::error_code ec2;
+        std::filesystem::remove(tmp, ec2);
         return false;
     }
+    return true;
+}
+
+bool
+saveStateSpace(const std::string& path, const StateSpace& sys)
+{
+    std::ostringstream os;
     os << "yukta-ss " << kFormatVersion << "\n" << sys.ts << "\n";
     writeMatrix(os, sys.a);
     writeMatrix(os, sys.b);
     writeMatrix(os, sys.c);
     writeMatrix(os, sys.d);
-    return static_cast<bool>(os);
+    return atomicWriteFile(path, os.str());
 }
 
 std::optional<StateSpace>
@@ -111,10 +148,7 @@ bool
 saveSsvController(const std::string& path,
                   const robust::SsvController& ctrl)
 {
-    std::ofstream os(path);
-    if (!os) {
-        return false;
-    }
+    std::ostringstream os;
     os << "yukta-ssv " << kFormatVersion << "\n";
     os << std::setprecision(17);
     os << ctrl.mu_peak << " " << ctrl.min_s << " " << ctrl.gamma << " "
@@ -132,7 +166,7 @@ saveSsvController(const std::string& path,
     writeMatrix(os, ctrl.k.b);
     writeMatrix(os, ctrl.k.c);
     writeMatrix(os, ctrl.k.d);
-    return static_cast<bool>(os);
+    return atomicWriteFile(path, os.str());
 }
 
 std::optional<robust::SsvController>

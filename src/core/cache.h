@@ -21,6 +21,14 @@ namespace yukta::core {
 /** @return the active cache directory (created on demand). */
 std::string cacheDir();
 
+/**
+ * Writes @p contents to @p path atomically: the bytes land in a
+ * unique sibling temp file first and are renamed into place, so
+ * concurrent readers (and readers after a crash) only ever see a
+ * complete old or complete new file, never a torn write.
+ */
+bool atomicWriteFile(const std::string& path, const std::string& contents);
+
 /** Writes a state-space system to @p path; returns success. */
 bool saveStateSpace(const std::string& path,
                     const control::StateSpace& sys);

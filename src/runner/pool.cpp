@@ -1,0 +1,106 @@
+#include "runner/pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace yukta::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Executes tasks[i] for every i handed out by the shared counter.
+ * The atomic fetch-and-increment is the "stealing": an idle worker
+ * grabs the next undone run regardless of how the sweep was sliced,
+ * so load imbalance never leaves a worker parked.
+ */
+void
+workerLoop(const std::vector<Task>& tasks, std::atomic<std::size_t>& next,
+           std::vector<TaskOutcome>& outcomes,
+           const std::atomic<bool>& stop, double timeout_seconds,
+           const TaskCallback& on_complete)
+{
+    for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) {
+            return;
+        }
+        TaskOutcome& out = outcomes[i];
+        const Clock::time_point start = Clock::now();
+        const bool has_deadline = timeout_seconds > 0.0;
+        const Clock::time_point deadline =
+            has_deadline ? start + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(timeout_seconds))
+                         : Clock::time_point{};
+        CancelToken token(&stop, deadline, has_deadline);
+        try {
+            tasks[i](token);
+            out.status = TaskOutcome::Status::kOk;
+        } catch (const std::exception& e) {
+            out.status = TaskOutcome::Status::kError;
+            out.error = e.what();
+        } catch (...) {
+            out.status = TaskOutcome::Status::kError;
+            out.error = "unknown exception";
+        }
+        const Clock::time_point end = Clock::now();
+        out.wall_seconds =
+            std::chrono::duration<double>(end - start).count();
+        if (out.status == TaskOutcome::Status::kOk && has_deadline &&
+            end >= deadline) {
+            out.status = TaskOutcome::Status::kTimeout;
+        }
+        if (on_complete) {
+            on_complete(i, out);
+        }
+    }
+}
+
+}  // namespace
+
+std::string
+taskStatusName(TaskOutcome::Status status)
+{
+    switch (status) {
+      case TaskOutcome::Status::kOk:
+        return "ok";
+      case TaskOutcome::Status::kError:
+        return "error";
+      case TaskOutcome::Status::kTimeout:
+        return "timeout";
+    }
+    return "unknown";
+}
+
+std::vector<TaskOutcome>
+runOnPool(const std::vector<Task>& tasks, std::size_t num_workers,
+          double timeout_seconds, const TaskCallback& on_complete)
+{
+    std::vector<TaskOutcome> outcomes(tasks.size());
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> stop{false};
+
+    if (num_workers <= 1) {
+        workerLoop(tasks, next, outcomes, stop, timeout_seconds,
+                   on_complete);
+        return outcomes;
+    }
+
+    const std::size_t n = std::min(num_workers, tasks.size());
+    std::vector<std::thread> workers;
+    workers.reserve(n);
+    for (std::size_t w = 0; w < n; ++w) {
+        workers.emplace_back([&] {
+            workerLoop(tasks, next, outcomes, stop, timeout_seconds,
+                       on_complete);
+        });
+    }
+    for (std::thread& t : workers) {
+        t.join();
+    }
+    return outcomes;
+}
+
+}  // namespace yukta::runner

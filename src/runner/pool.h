@@ -1,0 +1,110 @@
+#ifndef YUKTA_RUNNER_POOL_H_
+#define YUKTA_RUNNER_POOL_H_
+
+/**
+ * @file
+ * Fixed-size worker pool for experiment sweeps. Workers steal runs
+ * from a shared queue, so long runs do not serialize behind short
+ * ones. Each task gets cooperative cancellation (a deadline token it
+ * may poll) and exception capture: one diverging or throwing run is
+ * reported in its outcome instead of killing the sweep.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace yukta::runner {
+
+/**
+ * Cooperative cancellation handle passed to every pool task. Long
+ * tasks should poll expired() at convenient boundaries (e.g. once per
+ * simulated control period) and return early when it fires.
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    CancelToken(const std::atomic<bool>* stop,
+                std::chrono::steady_clock::time_point deadline,
+                bool has_deadline)
+        : stop_(stop), deadline_(deadline), has_deadline_(has_deadline)
+    {
+    }
+
+    /** True once the pool is shutting down or the deadline passed. */
+    bool expired() const
+    {
+        if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) {
+            return true;
+        }
+        return has_deadline_ &&
+               std::chrono::steady_clock::now() >= deadline_;
+    }
+
+    /** True when only the per-task deadline (not shutdown) fired. */
+    bool deadlinePassed() const
+    {
+        return has_deadline_ &&
+               std::chrono::steady_clock::now() >= deadline_;
+    }
+
+  private:
+    const std::atomic<bool>* stop_ = nullptr;
+    std::chrono::steady_clock::time_point deadline_{};
+    bool has_deadline_ = false;
+};
+
+/** What happened to one pool task. */
+struct TaskOutcome
+{
+    enum class Status
+    {
+        kOk,       ///< Ran to completion.
+        kError,    ///< Threw; .error holds the message.
+        kTimeout,  ///< Finished after (or stopped at) its deadline.
+    };
+
+    Status status = Status::kOk;
+    std::string error;          ///< Exception text for kError.
+    double wall_seconds = 0.0;  ///< Wall-clock time inside the task.
+};
+
+/** @return a human-readable name for @p status. */
+std::string taskStatusName(TaskOutcome::Status status);
+
+/** A pool task; poll the token to honor timeouts. */
+using Task = std::function<void(const CancelToken&)>;
+
+/**
+ * Per-task completion hook, called by the worker that ran the task
+ * right after its outcome is final. Called concurrently from
+ * different workers; the callee synchronizes.
+ */
+using TaskCallback =
+    std::function<void(std::size_t index, const TaskOutcome& outcome)>;
+
+/**
+ * Runs @p tasks on a fixed-size pool and returns outcomes aligned
+ * with the task indices (order-independent of execution order).
+ *
+ * @param tasks the work items; each is invoked exactly once.
+ * @param num_workers worker threads; 0 or 1 runs inline on the
+ *   calling thread (no threads spawned), useful for determinism
+ *   baselines.
+ * @param timeout_seconds per-task wall-clock deadline; <= 0 disables.
+ *   A task whose wall time exceeds the deadline is reported as
+ *   kTimeout whether or not it polled the token.
+ * @param on_complete optional per-task completion hook.
+ */
+std::vector<TaskOutcome> runOnPool(const std::vector<Task>& tasks,
+                                   std::size_t num_workers,
+                                   double timeout_seconds = 0.0,
+                                   const TaskCallback& on_complete = {});
+
+}  // namespace yukta::runner
+
+#endif  // YUKTA_RUNNER_POOL_H_

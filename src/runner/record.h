@@ -1,0 +1,72 @@
+#ifndef YUKTA_RUNNER_RECORD_H_
+#define YUKTA_RUNNER_RECORD_H_
+
+/**
+ * @file
+ * Structured run records for the sweep engine. Every run produces one
+ * RunRecord (what was run, what came out, where it came from), which
+ * serializes to one JSON line so sweep outputs can be appended,
+ * grepped, and aggregated without a parser dependency.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+#include "controllers/multilayer.h"
+#include "core/schemes.h"
+#include "runner/pool.h"
+
+namespace yukta::runner {
+
+/** One experiment run: identity, provenance, and results. */
+struct RunRecord
+{
+    std::size_t index = 0;       ///< Position in the expanded sweep.
+    std::string key;             ///< Content hash of the run config.
+    core::Scheme scheme = core::Scheme::kCoordinatedHeuristic;
+    std::string workload;        ///< App or mix name.
+    std::uint32_t seed = 1;
+    TaskOutcome::Status status = TaskOutcome::Status::kOk;
+    std::string error;           ///< Exception text when status=error.
+    bool cache_hit = false;      ///< Metrics came from the run cache.
+    double wall_seconds = 0.0;   ///< Wall-clock cost of this run.
+    controllers::RunMetrics metrics;  ///< Empty unless status=ok.
+};
+
+/**
+ * @return @p record as one JSON object on a single line (no trailing
+ * newline). The trace is summarized by its sample count; use
+ * trace_interval runs directly when the full trace is needed.
+ */
+std::string toJsonLine(const RunRecord& record);
+
+/** Writes @p record to @p os as a JSONL row (with newline). */
+void writeJsonLine(std::ostream& os, const RunRecord& record);
+
+/**
+ * Thread-safe progress reporter: one short line per completed run.
+ * Null @p os disables reporting (all calls become no-ops).
+ */
+class ProgressReporter
+{
+  public:
+    explicit ProgressReporter(std::ostream* os, std::size_t total)
+        : os_(os), total_(total)
+    {
+    }
+
+    /** Reports one completed run; safe from any worker thread. */
+    void report(const RunRecord& record);
+
+  private:
+    std::ostream* os_;
+    std::size_t total_;
+    std::size_t done_ = 0;
+    std::mutex mutex_;
+};
+
+}  // namespace yukta::runner
+
+#endif  // YUKTA_RUNNER_RECORD_H_

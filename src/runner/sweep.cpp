@@ -1,0 +1,338 @@
+#include "runner/sweep.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/cache.h"
+#include "platform/apps.h"
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
+namespace yukta::runner {
+
+using controllers::RunMetrics;
+
+namespace {
+
+constexpr int kRunFormatVersion = 1;
+
+/**
+ * Process-wide lock for the shared cache directory: an in-process
+ * mutex (flock does not exclude threads sharing one file
+ * description) plus an advisory flock on <cachedir>/.lock so
+ * concurrently-running benches can share yukta_cache. Readers do not
+ * take the lock: atomicWriteFile's rename guarantees they always see
+ * a complete file.
+ */
+class CacheLockGuard
+{
+  public:
+    CacheLockGuard() : guard_(processMutex())
+    {
+#ifdef __unix__
+        fd_ = lockFd();
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_EX);
+        }
+#endif
+    }
+
+    ~CacheLockGuard()
+    {
+#ifdef __unix__
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+        }
+#endif
+    }
+
+    CacheLockGuard(const CacheLockGuard&) = delete;
+    CacheLockGuard& operator=(const CacheLockGuard&) = delete;
+
+  private:
+    static std::mutex& processMutex()
+    {
+        static std::mutex m;
+        return m;
+    }
+
+#ifdef __unix__
+    static int lockFd()
+    {
+        static const int fd = ::open(
+            (core::cacheDir() + "/.lock").c_str(), O_CREAT | O_RDWR, 0644);
+        return fd;
+    }
+
+    int fd_ = -1;
+#endif
+    std::lock_guard<std::mutex> guard_;
+};
+
+/** 64-bit FNV-1a over the canonical run description. */
+std::uint64_t
+fnv1a(const std::string& s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+canonicalDouble(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(17) << v;
+    return os.str();
+}
+
+}  // namespace
+
+std::string
+schemeId(core::Scheme scheme)
+{
+    switch (scheme) {
+      case core::Scheme::kCoordinatedHeuristic:
+        return "coordinated";
+      case core::Scheme::kDecoupledHeuristic:
+        return "decoupled";
+      case core::Scheme::kYuktaHwSsvOsHeuristic:
+        return "yukta-hw";
+      case core::Scheme::kYuktaFull:
+        return "yukta-full";
+      case core::Scheme::kDecoupledLqg:
+        return "lqg-decoupled";
+      case core::Scheme::kMonolithicLqg:
+        return "lqg-mono";
+    }
+    return "unknown";
+}
+
+std::optional<core::Scheme>
+schemeFromId(const std::string& id)
+{
+    for (core::Scheme s : core::allSchemes()) {
+        if (schemeId(s) == id) {
+            return s;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<RunSpec>
+expandSweep(const SweepSpec& spec)
+{
+    std::vector<RunSpec> runs;
+    runs.reserve(spec.schemes.size() * spec.workloads.size() *
+                 spec.seeds.size());
+    for (core::Scheme scheme : spec.schemes) {
+        for (const std::string& workload : spec.workloads) {
+            for (std::uint32_t seed : spec.seeds) {
+                RunSpec run;
+                run.scheme = scheme;
+                run.workload = workload;
+                run.seed = seed;
+                run.max_seconds = spec.max_seconds;
+                run.trace_interval = spec.trace_interval;
+                runs.push_back(std::move(run));
+            }
+        }
+    }
+    return runs;
+}
+
+std::string
+runKey(const RunSpec& run, const std::string& artifact_tag)
+{
+    std::ostringstream os;
+    os << "run|v" << kRunFormatVersion << "|" << artifact_tag << "|"
+       << schemeId(run.scheme) << "|" << run.workload << "|" << run.seed
+       << "|" << canonicalDouble(run.max_seconds) << "|"
+       << canonicalDouble(run.trace_interval);
+    std::ostringstream hex;
+    hex << std::hex << std::setw(16) << std::setfill('0')
+        << fnv1a(os.str());
+    return hex.str();
+}
+
+platform::Workload
+makeWorkload(const std::string& name)
+{
+    auto mixes = platform::AppCatalog::mixNames();
+    if (std::find(mixes.begin(), mixes.end(), name) != mixes.end()) {
+        return platform::AppCatalog::getMix(name);
+    }
+    return platform::Workload(platform::AppCatalog::get(name));
+}
+
+bool
+saveRunMetrics(const std::string& path, const RunMetrics& m)
+{
+    std::ostringstream os;
+    os << "yukta-run " << kRunFormatVersion << "\n";
+    os << std::setprecision(17);
+    os << m.exec_time << " " << m.energy << " " << m.exd << " "
+       << (m.completed ? 1 : 0) << " " << m.emergency_time << " "
+       << m.periods << "\n";
+    CacheLockGuard lock;
+    return core::atomicWriteFile(path, os.str());
+}
+
+std::optional<RunMetrics>
+loadRunMetrics(const std::string& path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        return std::nullopt;
+    }
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version) || magic != "yukta-run" ||
+        version != kRunFormatVersion) {
+        return std::nullopt;
+    }
+    RunMetrics m;
+    int completed = 0;
+    if (!(is >> m.exec_time >> m.energy >> m.exd >> completed >>
+          m.emergency_time >> m.periods)) {
+        return std::nullopt;
+    }
+    m.completed = completed != 0;
+    return m;
+}
+
+std::size_t
+SweepResult::countStatus(TaskOutcome::Status status) const
+{
+    std::size_t n = 0;
+    for (const RunRecord& r : records) {
+        if (r.status == status) {
+            ++n;
+        }
+    }
+    return n;
+}
+
+const RunMetrics*
+SweepResult::metricsFor(core::Scheme scheme, const std::string& workload,
+                        std::uint32_t seed) const
+{
+    for (const RunRecord& r : records) {
+        if (r.scheme == scheme && r.workload == workload &&
+            r.seed == seed && r.status == TaskOutcome::Status::kOk) {
+            return &r.metrics;
+        }
+    }
+    return nullptr;
+}
+
+SweepResult
+runAll(const core::Artifacts& artifacts, const std::vector<RunSpec>& runs,
+       const std::string& artifact_tag, const RunnerOptions& options)
+{
+    SweepResult result;
+    result.records.resize(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        RunRecord& r = result.records[i];
+        r.index = i;
+        r.key = runKey(runs[i], artifact_tag);
+        r.scheme = runs[i].scheme;
+        r.workload = runs[i].workload;
+        r.seed = runs[i].seed;
+    }
+
+    ProgressReporter progress(options.progress, runs.size());
+
+    std::vector<Task> tasks;
+    tasks.reserve(runs.size());
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        tasks.push_back([&, i](const CancelToken& token) {
+            const RunSpec& run = runs[i];
+            RunRecord& record = result.records[i];
+            // Traced runs carry their full trace in memory and are
+            // never persisted, so they bypass the result cache.
+            const bool cacheable =
+                options.use_cache && run.trace_interval <= 0.0;
+            if (cacheable) {
+                auto cached = loadRunMetrics(
+                    core::cachePath("run-" + record.key));
+                if (cached) {
+                    record.metrics = std::move(*cached);
+                    record.cache_hit = true;
+                    return;
+                }
+            }
+            if (token.expired()) {
+                throw std::runtime_error(
+                    "cancelled before the run started");
+            }
+            auto system = core::makeSystem(run.scheme, artifacts,
+                                           makeWorkload(run.workload),
+                                           run.seed);
+            if (run.trace_interval > 0.0) {
+                system.enableTrace(run.trace_interval);
+            }
+            record.metrics = system.run(run.max_seconds);
+            if (cacheable) {
+                saveRunMetrics(core::cachePath("run-" + record.key),
+                               record.metrics);
+            }
+        });
+    }
+
+    TaskCallback on_complete;
+    if (options.progress != nullptr) {
+        on_complete = [&](std::size_t i, const TaskOutcome& outcome) {
+            // The record's identity and result fields were written by
+            // this same worker; merge the outcome into a copy so the
+            // live feed shows the final status.
+            RunRecord r = result.records[i];
+            r.status = outcome.status;
+            r.error = outcome.error;
+            r.wall_seconds = outcome.wall_seconds;
+            progress.report(r);
+        };
+    }
+
+    std::vector<TaskOutcome> outcomes = runOnPool(
+        tasks, options.workers, options.run_timeout_seconds, on_complete);
+
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        RunRecord& r = result.records[i];
+        r.status = outcomes[i].status;
+        r.error = outcomes[i].error;
+        r.wall_seconds = outcomes[i].wall_seconds;
+    }
+
+    // Progress is emitted per-run by workers in completion order; the
+    // JSONL stream instead gets the records post-hoc in index order,
+    // so the file is deterministic regardless of worker count.
+    if (options.jsonl != nullptr) {
+        for (const RunRecord& r : result.records) {
+            writeJsonLine(*options.jsonl, r);
+        }
+    }
+    return result;
+}
+
+SweepResult
+runSweep(const core::Artifacts& artifacts, const SweepSpec& spec,
+         const RunnerOptions& options)
+{
+    return runAll(artifacts, expandSweep(spec), spec.artifact_tag, options);
+}
+
+}  // namespace yukta::runner

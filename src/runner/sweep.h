@@ -1,0 +1,142 @@
+#ifndef YUKTA_RUNNER_SWEEP_H_
+#define YUKTA_RUNNER_SWEEP_H_
+
+/**
+ * @file
+ * Declarative experiment sweeps over (scheme x workload x seed) with
+ * a work-stealing pool and a persistent, concurrency-safe run-result
+ * cache layered on core/cache.
+ *
+ * A sweep expands to a deterministic run list; each run is keyed by a
+ * content hash of everything that determines its outcome, so results
+ * can be reused across bench invocations (and shared between
+ * concurrently-running benches: cache writes go through an atomic
+ * temp-file + rename protected by a process-wide file lock).
+ * Aggregated results are index-ordered and therefore independent of
+ * worker count and completion order.
+ */
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/schemes.h"
+#include "platform/workload.h"
+#include "runner/record.h"
+
+namespace yukta::runner {
+
+/** Stable short identifier for CLI flags and run keys. */
+std::string schemeId(core::Scheme scheme);
+
+/** Parses a schemeId() string (e.g. "yukta-full"). */
+std::optional<core::Scheme> schemeFromId(const std::string& id);
+
+/** One fully-specified experiment run. */
+struct RunSpec
+{
+    core::Scheme scheme = core::Scheme::kCoordinatedHeuristic;
+    std::string workload;         ///< App name or Sec. VI-C mix name.
+    std::uint32_t seed = 1;
+    double max_seconds = 1200.0;  ///< Simulated-time budget.
+    double trace_interval = 0.0;  ///< >0 records a trace (uncached).
+};
+
+/** A declarative sweep: the cross product of the axes. */
+struct SweepSpec
+{
+    std::vector<core::Scheme> schemes;
+    std::vector<std::string> workloads;
+    std::vector<std::uint32_t> seeds = {1};
+    double max_seconds = 1200.0;
+    double trace_interval = 0.0;
+
+    /**
+     * Folded into every run key; must identify the artifact bundle
+     * the runs execute against (reuse ArtifactOptions::cache_tag plus
+     * any option overrides).
+     */
+    std::string artifact_tag = "paper";
+};
+
+/**
+ * Expands the cross product in deterministic scheme-major order:
+ * schemes x workloads x seeds.
+ */
+std::vector<RunSpec> expandSweep(const SweepSpec& spec);
+
+/**
+ * @return the content hash (hex) keying one run's cached result:
+ * covers scheme, workload, seed, budget, trace interval, artifact
+ * tag, and the cache format version.
+ */
+std::string runKey(const RunSpec& run, const std::string& artifact_tag);
+
+/** Resolves an app or mix name to a runnable workload. */
+platform::Workload makeWorkload(const std::string& name);
+
+/**
+ * Serializes run metrics to the result cache at @p path (atomic
+ * temp-file + rename under the process-wide cache lock).
+ * The trace is not persisted.
+ */
+bool saveRunMetrics(const std::string& path,
+                    const controllers::RunMetrics& metrics);
+
+/**
+ * Loads cached run metrics. Unreadable, truncated, or
+ * version-mismatched files are treated as a miss (std::nullopt),
+ * never an error.
+ */
+std::optional<controllers::RunMetrics>
+loadRunMetrics(const std::string& path);
+
+/** Engine knobs. */
+struct RunnerOptions
+{
+    std::size_t workers = 1;     ///< 0/1 = run inline, no threads.
+    bool use_cache = true;       ///< Consult/fill the run cache.
+    double run_timeout_seconds = 0.0;  ///< Wall clock per run; <=0 off.
+    std::ostream* progress = nullptr;  ///< Live one-line-per-run feed.
+    std::ostream* jsonl = nullptr;     ///< Records as JSONL (post-run,
+                                       ///< index order).
+};
+
+/** Aggregated sweep output; records are index-ordered. */
+struct SweepResult
+{
+    std::vector<RunRecord> records;
+
+    /** @return record count with the given status. */
+    std::size_t countStatus(TaskOutcome::Status status) const;
+
+    /**
+     * @return the metrics for (scheme, workload, seed), or nullptr
+     * when that run is absent or did not finish with status ok.
+     */
+    const controllers::RunMetrics* metricsFor(core::Scheme scheme,
+                                              const std::string& workload,
+                                              std::uint32_t seed = 1) const;
+};
+
+/**
+ * Runs every expanded run of @p spec against @p artifacts on a
+ * work-stealing pool and returns index-ordered records. Individual
+ * run failures (throw/timeout) are captured in the records; the
+ * sweep itself always completes.
+ */
+SweepResult runSweep(const core::Artifacts& artifacts,
+                     const SweepSpec& spec,
+                     const RunnerOptions& options = {});
+
+/** As runSweep, for an explicit run list (already expanded). */
+SweepResult runAll(const core::Artifacts& artifacts,
+                   const std::vector<RunSpec>& runs,
+                   const std::string& artifact_tag,
+                   const RunnerOptions& options = {});
+
+}  // namespace yukta::runner
+
+#endif  // YUKTA_RUNNER_SWEEP_H_

@@ -1,0 +1,130 @@
+// Worker-pool semantics: index-aligned outcomes at any worker count,
+// exception capture, cooperative per-task timeouts, and completion
+// callbacks. These properties are what make sweep results
+// order-independent, so they are tested directly at the pool level.
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/pool.h"
+
+namespace yukta::runner {
+namespace {
+
+TEST(Pool, RunsEveryTaskExactlyOnceAtAnyWorkerCount)
+{
+    for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+        constexpr std::size_t kTasks = 64;
+        std::vector<int> results(kTasks, -1);
+        std::atomic<int> calls{0};
+        std::vector<Task> tasks;
+        for (std::size_t i = 0; i < kTasks; ++i) {
+            tasks.push_back([&, i](const CancelToken&) {
+                results[i] = static_cast<int>(i * i);
+                calls.fetch_add(1);
+            });
+        }
+        auto outcomes = runOnPool(tasks, workers);
+        EXPECT_EQ(calls.load(), static_cast<int>(kTasks));
+        ASSERT_EQ(outcomes.size(), kTasks);
+        for (std::size_t i = 0; i < kTasks; ++i) {
+            EXPECT_EQ(outcomes[i].status, TaskOutcome::Status::kOk);
+            EXPECT_EQ(results[i], static_cast<int>(i * i));
+        }
+    }
+}
+
+TEST(Pool, OneThrowingTaskDoesNotKillTheSweep)
+{
+    std::vector<Task> tasks;
+    tasks.push_back([](const CancelToken&) {});
+    tasks.push_back([](const CancelToken&) {
+        throw std::runtime_error("controller diverged");
+    });
+    tasks.push_back([](const CancelToken&) { throw 42; });
+    tasks.push_back([](const CancelToken&) {});
+
+    auto outcomes = runOnPool(tasks, 4);
+    EXPECT_EQ(outcomes[0].status, TaskOutcome::Status::kOk);
+    EXPECT_EQ(outcomes[1].status, TaskOutcome::Status::kError);
+    EXPECT_EQ(outcomes[1].error, "controller diverged");
+    EXPECT_EQ(outcomes[2].status, TaskOutcome::Status::kError);
+    EXPECT_EQ(outcomes[2].error, "unknown exception");
+    EXPECT_EQ(outcomes[3].status, TaskOutcome::Status::kOk);
+}
+
+TEST(Pool, CooperativeTimeoutStopsAndMarksTheSlowRun)
+{
+    std::vector<Task> tasks;
+    // A "diverging" run that honors the token.
+    tasks.push_back([](const CancelToken& token) {
+        const auto give_up =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (!token.expired() &&
+               std::chrono::steady_clock::now() < give_up) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    });
+    tasks.push_back([](const CancelToken&) {});
+
+    auto outcomes = runOnPool(tasks, 2, /*timeout_seconds=*/0.05);
+    EXPECT_EQ(outcomes[0].status, TaskOutcome::Status::kTimeout);
+    EXPECT_LT(outcomes[0].wall_seconds, 5.0);
+    EXPECT_EQ(outcomes[1].status, TaskOutcome::Status::kOk);
+}
+
+TEST(Pool, NoDeadlineWhenTimeoutDisabled)
+{
+    std::vector<Task> tasks;
+    tasks.push_back([](const CancelToken& token) {
+        EXPECT_FALSE(token.expired());
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        EXPECT_FALSE(token.expired());
+    });
+    auto outcomes = runOnPool(tasks, 1, 0.0);
+    EXPECT_EQ(outcomes[0].status, TaskOutcome::Status::kOk);
+}
+
+TEST(Pool, CompletionCallbackSeesEveryTaskWithFinalStatus)
+{
+    constexpr std::size_t kTasks = 16;
+    std::vector<Task> tasks;
+    for (std::size_t i = 0; i < kTasks; ++i) {
+        tasks.push_back([i](const CancelToken&) {
+            if (i == 3) {
+                throw std::runtime_error("boom");
+            }
+        });
+    }
+    std::mutex mutex;
+    std::set<std::size_t> seen;
+    std::size_t errors = 0;
+    auto outcomes = runOnPool(
+        tasks, 4, 0.0,
+        [&](std::size_t index, const TaskOutcome& outcome) {
+            std::lock_guard<std::mutex> lock(mutex);
+            seen.insert(index);
+            if (outcome.status == TaskOutcome::Status::kError) {
+                ++errors;
+            }
+        });
+    EXPECT_EQ(seen.size(), kTasks);
+    EXPECT_EQ(errors, 1u);
+    EXPECT_EQ(outcomes[3].status, TaskOutcome::Status::kError);
+}
+
+TEST(Pool, StatusNames)
+{
+    EXPECT_EQ(taskStatusName(TaskOutcome::Status::kOk), "ok");
+    EXPECT_EQ(taskStatusName(TaskOutcome::Status::kError), "error");
+    EXPECT_EQ(taskStatusName(TaskOutcome::Status::kTimeout), "timeout");
+}
+
+}  // namespace
+}  // namespace yukta::runner
