@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 build + tests, then the concurrency-sensitive
-# runner tests again under ThreadSanitizer (and, optionally, the whole
-# suite under ASan/UBSan with YUKTA_CI_ASAN=1).
+# CI entry point:
+#   1. static analysis: yukta-lint (always) + clang-tidy / cppcheck
+#      when the tools exist on the runner,
+#   2. tier-1 build + full ctest,
+#   3. contracts build (-DYUKTA_CHECKS=ON -DYUKTA_WERROR=ON) + full
+#      ctest with every YUKTA_REQUIRE / YUKTA_ENSURE / CHECK_FINITE
+#      active,
+#   4. runner tests again under ThreadSanitizer (and, optionally, the
+#      whole suite under ASan/UBSan with YUKTA_CI_ASAN=1).
 #
 # Usage: ci/run_ci.sh [jobs]
 set -euo pipefail
@@ -9,10 +15,41 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
+echo "=== static analysis: yukta-lint ==="
+python3 tools/lint/yukta_lint.py --self-test
+python3 tools/lint/yukta_lint.py --jobs "$JOBS"
+
 echo "=== tier-1: default build + full ctest ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+# The generic analyzers read build/compile_commands.json (exported by
+# default), so they run after the configure step. Both are gated on
+# availability: the dev container ships neither, the GitHub runner
+# installs both.
+if command -v clang-tidy >/dev/null 2>&1; then
+    echo "=== static analysis: clang-tidy ==="
+    git ls-files 'src/*.cpp' 'bench/*.cpp' 'tests/*.cpp' \
+        | xargs clang-tidy -p build --quiet --warnings-as-errors='*'
+else
+    echo "=== clang-tidy not installed; skipping ==="
+fi
+
+if command -v cppcheck >/dev/null 2>&1; then
+    echo "=== static analysis: cppcheck ==="
+    cppcheck --project=build/compile_commands.json \
+             --enable=warning,portability --inline-suppr \
+             --suppress='*:*/googletest/*' --suppress='*:*/benchmark/*' \
+             --error-exitcode=1 --quiet -j "$JOBS"
+else
+    echo "=== cppcheck not installed; skipping ==="
+fi
+
+echo "=== contracts build: YUKTA_CHECKS=ON, -Werror + full ctest ==="
+cmake -B build-checks -S . -DYUKTA_CHECKS=ON -DYUKTA_WERROR=ON >/dev/null
+cmake --build build-checks -j "$JOBS"
+ctest --test-dir build-checks --output-on-failure -j "$JOBS"
 
 echo "=== runner tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DYUKTA_SANITIZE=thread \

@@ -120,9 +120,9 @@ main(int argc, char** argv)
             options.use_cache = false;
         } else if (arg == "--quiet") {
             options.progress = nullptr;
-        } else if (const char* v = value("--schemes=")) {
+        } else if (const char* schemes_arg = value("--schemes=")) {
             spec.schemes.clear();
-            for (const std::string& id : splitCsv(v)) {
+            for (const std::string& id : splitCsv(schemes_arg)) {
                 auto s = runner::schemeFromId(id);
                 if (!s) {
                     std::fprintf(stderr, "unknown scheme id '%s' "
@@ -131,25 +131,25 @@ main(int argc, char** argv)
                 }
                 spec.schemes.push_back(*s);
             }
-        } else if (const char* v = value("--workloads=")) {
-            spec.workloads = splitCsv(v);
-        } else if (const char* v = value("--seeds=")) {
+        } else if (const char* workloads_arg = value("--workloads=")) {
+            spec.workloads = splitCsv(workloads_arg);
+        } else if (const char* seeds_arg = value("--seeds=")) {
             spec.seeds.clear();
-            for (const std::string& s : splitCsv(v)) {
+            for (const std::string& s : splitCsv(seeds_arg)) {
                 spec.seeds.push_back(
                     static_cast<std::uint32_t>(std::strtoul(s.c_str(),
                                                             nullptr, 10)));
             }
-        } else if (const char* v = value("--workers=")) {
-            options.workers = std::strtoul(v, nullptr, 10);
-        } else if (const char* v = value("--max-seconds=")) {
-            spec.max_seconds = std::strtod(v, nullptr);
-        } else if (const char* v = value("--trace-interval=")) {
-            spec.trace_interval = std::strtod(v, nullptr);
-        } else if (const char* v = value("--timeout=")) {
-            options.run_timeout_seconds = std::strtod(v, nullptr);
-        } else if (const char* v = value("--jsonl=")) {
-            jsonl_path = v;
+        } else if (const char* workers_arg = value("--workers=")) {
+            options.workers = std::strtoul(workers_arg, nullptr, 10);
+        } else if (const char* max_s_arg = value("--max-seconds=")) {
+            spec.max_seconds = std::strtod(max_s_arg, nullptr);
+        } else if (const char* interval_arg = value("--trace-interval=")) {
+            spec.trace_interval = std::strtod(interval_arg, nullptr);
+        } else if (const char* timeout_arg = value("--timeout=")) {
+            options.run_timeout_seconds = std::strtod(timeout_arg, nullptr);
+        } else if (const char* jsonl_arg = value("--jsonl=")) {
+            jsonl_path = jsonl_arg;
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             usage();

@@ -44,11 +44,14 @@ struct StateSpace
     /** @return a static-gain system y = G u (no states). */
     static StateSpace gain(const linalg::Matrix& g, double ts = 0.0);
 
+    /** Shape accessors: state, input, and output dimensions. */
     std::size_t numStates() const { return a.rows(); }
     std::size_t numInputs() const { return b.cols(); }
     std::size_t numOutputs() const { return c.rows(); }
 
+    /** Sampled-time (ts > 0) vs. continuous-time predicates. */
     bool isDiscrete() const { return ts > 0.0; }
+    // yukta-lint: allow(float-eq) ts==0 is the continuous-time sentinel
     bool isContinuous() const { return ts == 0.0; }
 
     /** @return the poles (eigenvalues of A). */

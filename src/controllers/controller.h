@@ -81,6 +81,7 @@ class OsController
     /** One 500 ms invocation: observe @p s, return placement policy. */
     virtual platform::PlacementPolicy invoke(const OsSignals& s) = 0;
 
+    /** Resets internal state between runs. */
     virtual void reset() {}
 };
 

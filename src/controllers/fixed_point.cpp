@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.h"
+
 namespace yukta::controllers {
 
 namespace {
@@ -33,6 +35,8 @@ FixedPointSsv::FixedPointSsv(const control::StateSpace& k)
 std::int32_t
 FixedPointSsv::toFixed(double v)
 {
+    YUKTA_CHECK_FINITE(v, "FixedPointSsv::toFixed: quantizing a "
+                       "non-finite value");
     double scaled = v * static_cast<double>(1 << kFracBits);
     scaled = std::clamp(scaled, -2147483648.0, 2147483647.0);
     return static_cast<std::int32_t>(std::llround(scaled));

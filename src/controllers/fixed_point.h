@@ -32,6 +32,7 @@ class FixedPointSsv
     /** Converts Q16.16 back to double. */
     static double fromFixed(std::int32_t v);
 
+    /** Shape accessors: states, dy inputs, and u outputs. */
     std::size_t numStates() const { return n_; }
     std::size_t numInputsDy() const { return m_; }
     std::size_t numOutputsU() const { return p_; }

@@ -25,10 +25,12 @@ namespace yukta::controllers {
 class CoordinatedHwHeuristic : public HwController
 {
   public:
+    /** Builds the heuristic for @p cfg with both clusters' tables. */
     CoordinatedHwHeuristic(const platform::BoardConfig& cfg,
                            const platform::DvfsTable& big,
                            const platform::DvfsTable& little);
 
+    /** HwController hooks: one 50 ms step; reset clears the ramp. */
     platform::HardwareInputs invoke(const HwSignals& s) override;
     void reset() override;
 
@@ -44,8 +46,10 @@ class CoordinatedHwHeuristic : public HwController
 class CoordinatedOsHeuristic : public OsController
 {
   public:
+    /** Builds the HMP-like scheduler for @p cfg. */
     explicit CoordinatedOsHeuristic(const platform::BoardConfig& cfg);
 
+    /** One 500 ms step: rebalances threads across the clusters. */
     platform::PlacementPolicy invoke(const OsSignals& s) override;
 
   private:
@@ -56,10 +60,12 @@ class CoordinatedOsHeuristic : public OsController
 class DecoupledHwHeuristic : public HwController
 {
   public:
+    /** Builds the governor-style heuristic for @p cfg. */
     DecoupledHwHeuristic(const platform::BoardConfig& cfg,
                          const platform::DvfsTable& big,
                          const platform::DvfsTable& little);
 
+    /** HwController hooks: threshold rules; reset clears streaks. */
     platform::HardwareInputs invoke(const HwSignals& s) override;
     void reset() override;
 
@@ -75,8 +81,10 @@ class DecoupledHwHeuristic : public HwController
 class DecoupledOsRoundRobin : public OsController
 {
   public:
+    /** Builds the round-robin placer for @p cfg. */
     explicit DecoupledOsRoundRobin(const platform::BoardConfig& cfg);
 
+    /** One 500 ms step: rotates threads over the cores in order. */
     platform::PlacementPolicy invoke(const OsSignals& s) override;
 
   private:

@@ -34,11 +34,14 @@ ExdOptimizer makeMonolithicOptimizer(const platform::BoardConfig& cfg);
 class SsvHwController : public HwController
 {
   public:
+    /** Takes ownership of the synthesized runtime and optimizer. */
     SsvHwController(SsvRuntime runtime, ExdOptimizer optimizer);
 
+    /** HwController hooks: one control period; reset clears state. */
     platform::HardwareInputs invoke(const HwSignals& s) override;
     void reset() override;
 
+    /** Read access to the wrapped runtime and optimizer. */
     const SsvRuntime& runtime() const { return runtime_; }
     const ExdOptimizer& optimizer() const { return optimizer_; }
 
@@ -56,14 +59,18 @@ class SsvHwController : public HwController
 class SsvOsController : public OsController
 {
   public:
+    /** Takes ownership of the synthesized runtime and optimizer. */
     SsvOsController(SsvRuntime runtime, ExdOptimizer optimizer);
 
+    /** OsController hooks: one control period; reset clears state. */
     platform::PlacementPolicy invoke(const OsSignals& s) override;
     void reset() override;
 
+    /** Read access to the wrapped runtime and optimizer. */
     const SsvRuntime& runtime() const { return runtime_; }
     const ExdOptimizer& optimizer() const { return optimizer_; }
 
+    /** Overrides the optimizer with fixed output targets. */
     void holdTargets(linalg::Vector targets);
 
   private:
@@ -77,11 +84,14 @@ class SsvOsController : public OsController
 class LqgHwController : public HwController
 {
   public:
+    /** Takes ownership of the synthesized runtime and optimizer. */
     LqgHwController(LqgRuntime runtime, ExdOptimizer optimizer);
 
+    /** HwController hooks: one control period; reset clears state. */
     platform::HardwareInputs invoke(const HwSignals& s) override;
     void reset() override;
 
+    /** Read access to the wrapped runtime and optimizer. */
     const LqgRuntime& runtime() const { return runtime_; }
     const ExdOptimizer& optimizer() const { return optimizer_; }
 
@@ -94,11 +104,14 @@ class LqgHwController : public HwController
 class LqgOsController : public OsController
 {
   public:
+    /** Takes ownership of the synthesized runtime and optimizer. */
     LqgOsController(LqgRuntime runtime, ExdOptimizer optimizer);
 
+    /** OsController hooks: one control period; reset clears state. */
     platform::PlacementPolicy invoke(const OsSignals& s) override;
     void reset() override;
 
+    /** Read access to the wrapped runtime. */
     const LqgRuntime& runtime() const { return runtime_; }
 
   private:
@@ -112,9 +125,11 @@ class JointController
   public:
     virtual ~JointController() = default;
 
+    /** One joint invocation: both layers' commands from one loop. */
     virtual std::pair<platform::HardwareInputs, platform::PlacementPolicy>
     invoke(const HwSignals& hw, const OsSignals& os) = 0;
 
+    /** Resets internal state between runs. */
     virtual void reset() {}
 };
 
@@ -126,12 +141,16 @@ class JointController
 class MonolithicLqgController : public JointController
 {
   public:
+    /** Takes ownership of the synthesized runtime and optimizer. */
     MonolithicLqgController(LqgRuntime runtime, ExdOptimizer optimizer);
 
+    /** One joint control period over all seven outputs. */
     std::pair<platform::HardwareInputs, platform::PlacementPolicy>
     invoke(const HwSignals& hw, const OsSignals& os) override;
+    /** Resets the LQG state between runs. */
     void reset() override;
 
+    /** Read access to the wrapped runtime. */
     const LqgRuntime& runtime() const { return runtime_; }
 
   private:

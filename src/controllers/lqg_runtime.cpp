@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.h"
+
 namespace yukta::controllers {
 
 using linalg::Vector;
@@ -24,6 +26,8 @@ LqgRuntime::invoke(const Vector& deviations)
     if (deviations.size() != k_.numInputs()) {
         throw std::invalid_argument("LqgRuntime::invoke: size mismatch");
     }
+    YUKTA_CHECK_FINITE(deviations, "LqgRuntime::invoke: non-finite "
+                       "deviation input");
     // The LQG regulator drives its measurement to zero; feeding the
     // negated deviation (y - r) makes it a tracker.
     Vector y_in(deviations.size());
@@ -31,6 +35,8 @@ LqgRuntime::invoke(const Vector& deviations)
         y_in[i] = -deviations[i];
     }
     Vector u_raw = control::stepOnce(k_, x_, y_in);
+    YUKTA_CHECK_FINITE(x_, "LqgRuntime: controller state poisoned after "
+                       "x(T+1) = A x(T) + B dy(T)");
 
     ++total_moves_;
     bool wasted = false;

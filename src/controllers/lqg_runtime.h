@@ -38,6 +38,7 @@ class LqgRuntime
     LqgRuntime(control::StateSpace k, std::vector<InputGrid> grids,
                linalg::Vector u_mean);
 
+    /** Shape accessors: tracked outputs and physical inputs. */
     std::size_t numOutputsTracked() const { return k_.numInputs(); }
     std::size_t numInputs() const { return grids_.size(); }
 
@@ -48,6 +49,7 @@ class LqgRuntime
      */
     linalg::Vector invoke(const linalg::Vector& deviations);
 
+    /** Resets the controller state and the move counters. */
     void reset();
 
     /** Invocations whose raw command exceeded an actuator range. */

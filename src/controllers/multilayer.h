@@ -50,6 +50,7 @@ class MultilayerSystem
      */
     RunMetrics run(double max_seconds);
 
+    /** Access to the simulated board (inspection in tests/benches). */
     platform::Board& board() { return board_; }
 
   private:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/contracts.h"
+
 namespace yukta::controllers {
 
 ExdOptimizer::ExdOptimizer(OptimizerConfig cfg) : cfg_(std::move(cfg))
@@ -87,6 +89,8 @@ ExdOptimizer::applyMove(const linalg::Vector& measured)
 const linalg::Vector&
 ExdOptimizer::update(double exd_metric, const linalg::Vector& measured)
 {
+    YUKTA_CHECK_FINITE(exd_metric, "ExdOptimizer: non-finite E*D metric");
+    YUKTA_CHECK_FINITE(measured, "ExdOptimizer: non-finite measurement");
     // Smooth the metric and the operating-point anchor: workload
     // phases make the instantaneous Power/Perf^2 noisy, and anchoring
     // moves on momentary spikes would let the walk chase its own

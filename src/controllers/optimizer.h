@@ -65,6 +65,7 @@ struct OptimizerConfig
 class ExdOptimizer
 {
   public:
+    /** Builds the optimizer; targets start at the config anchors. */
     explicit ExdOptimizer(OptimizerConfig cfg);
 
     /**

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contracts.h"
+
 #include "controllers/layer_controllers.h"
 
 namespace yukta::controllers {
@@ -17,6 +19,7 @@ Pid::Pid(const Gains& gains, double out_min, double out_max, double ts)
 double
 Pid::step(double error)
 {
+    YUKTA_CHECK_FINITE(error, "Pid::step: non-finite error input");
     // Derivative with EMA filtering (no derivative kick handling
     // needed: targets move slowly).
     double raw_d = first_ ? 0.0 : (error - prev_error_) / ts_;
@@ -37,7 +40,11 @@ Pid::step(double error)
         integ_ = std::clamp(integ_, -span, span);
     }
     double out = gains_.kp * error + integ_ + gains_.kd * deriv_;
-    return std::clamp(out, out_min_, out_max_);
+    out = std::clamp(out, out_min_, out_max_);
+    YUKTA_ENSURE(out >= out_min_ && out <= out_max_,
+                 "Pid: output ", out, " escapes [", out_min_, ", ",
+                 out_max_, "]");
+    return out;
 }
 
 void

@@ -40,8 +40,10 @@ class Pid
     /** One step: error = target - measurement; returns the output. */
     double step(double error);
 
+    /** Resets integrator, derivative filter, and first-step flag. */
     void reset();
 
+    /** @return the current integrator state (for tests). */
     double integrator() const { return integ_; }
 
   private:
@@ -69,12 +71,15 @@ class Pid
 class SisoPidHwController : public HwController
 {
   public:
+    /** Builds the four loops and their optimizer for @p cfg. */
     SisoPidHwController(const platform::BoardConfig& cfg,
                         ExdOptimizer optimizer);
 
+    /** HwController hooks: one control period; reset clears loops. */
     platform::HardwareInputs invoke(const HwSignals& s) override;
     void reset() override;
 
+    /** Read access to the target optimizer. */
     const ExdOptimizer& optimizer() const { return optimizer_; }
 
   private:

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.h"
+
 namespace yukta::controllers {
 
 using linalg::Vector;
@@ -11,6 +13,7 @@ using linalg::Vector;
 double
 InputGrid::quantize(double v) const
 {
+    YUKTA_REQUIRE(min <= max, "InputGrid: min ", min, " > max ", max);
     double clamped = std::clamp(v, min, max);
     if (step <= 0.0) {
         return clamped;
@@ -44,6 +47,10 @@ SsvRuntime::invoke(const Vector& deviations, const Vector& external)
         external.size() != e_mean_.size()) {
         throw std::invalid_argument("SsvRuntime::invoke: size mismatch");
     }
+    YUKTA_CHECK_FINITE(deviations, "SsvRuntime::invoke: non-finite "
+                       "deviation input");
+    YUKTA_CHECK_FINITE(external, "SsvRuntime::invoke: non-finite "
+                       "external input");
     // dy = [deviations (clamped); external - e_mean].
     Vector dy(num_outputs_ + e_mean_.size());
     for (std::size_t i = 0; i < num_outputs_; ++i) {
@@ -60,11 +67,18 @@ SsvRuntime::invoke(const Vector& deviations, const Vector& external)
 
     // Linear state machine (Eqs. 3-4).
     Vector u = control::stepOnce(ctrl_.k, x_, dy);
+    YUKTA_CHECK_FINITE(x_, "SsvRuntime: controller state poisoned after "
+                       "x(T+1) = A x(T) + B dy(T)");
+    YUKTA_CHECK_FINITE(u, "SsvRuntime: non-finite controller output");
 
     // Saturation + quantization of the physical inputs.
     Vector out(grids_.size());
     for (std::size_t i = 0; i < grids_.size(); ++i) {
         out[i] = grids_[i].quantize(u[i] + u_mean_[i]);
+        YUKTA_ENSURE(out[i] >= grids_[i].min && out[i] <= grids_[i].max,
+                     "SsvRuntime: input ", i, " = ", out[i],
+                     " escapes saturation range [", grids_[i].min, ", ",
+                     grids_[i].max, "]");
     }
 
     // Guardband-exhaustion monitor: sustained deviations beyond the

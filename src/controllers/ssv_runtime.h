@@ -49,6 +49,7 @@ class SsvRuntime
     SsvRuntime(robust::SsvController ctrl, std::vector<InputGrid> grids,
                linalg::Vector u_mean, linalg::Vector e_mean);
 
+    /** Shape accessors: outputs, external signals, inputs, order. */
     std::size_t numOutputsTracked() const { return num_outputs_; }
     std::size_t numExternal() const { return e_mean_.size(); }
     std::size_t numInputs() const { return grids_.size(); }

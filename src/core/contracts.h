@@ -1,0 +1,158 @@
+#ifndef YUKTA_CORE_CONTRACTS_H_
+#define YUKTA_CORE_CONTRACTS_H_
+
+/**
+ * @file
+ * Debug-contracts layer: YUKTA_REQUIRE / YUKTA_ENSURE / YUKTA_CHECK_FINITE.
+ *
+ * Robust-control code fails in a characteristic way: a dimension slips
+ * or a NaN enters the controller state, and the run keeps going with
+ * silently corrupted numbers until the final metrics are garbage. The
+ * contracts below turn that corruption into an immediate, attributable
+ * failure at the first violated invariant.
+ *
+ * The macros are active only when the tree is configured with
+ * `-DYUKTA_CHECKS=ON` (which defines `YUKTA_CHECKS=1` for every
+ * target). In a regular build they expand to `((void)0)` and their
+ * argument expressions are not evaluated, so hot paths pay nothing.
+ *
+ *  - `YUKTA_REQUIRE(cond, ...)` — precondition. Throws
+ *    ContractViolation naming the expression, location, and the
+ *    optional streamed message parts (e.g. the offending shape).
+ *  - `YUKTA_ENSURE(cond, ...)`  — postcondition; same mechanics.
+ *  - `YUKTA_CHECK_FINITE(value, ...)` — NaN/Inf poisoning detector.
+ *    Accepts anything with a `yuktaAllFinite` overload found by ADL
+ *    (double, linalg::Vector, linalg::Matrix, linalg::CMatrix).
+ *
+ * ContractViolation derives from std::invalid_argument so existing
+ * call sites and tests that expect std::invalid_argument (or
+ * std::logic_error) on bad inputs keep passing when checks are on.
+ * Message parts are only evaluated on failure, even with checks on.
+ */
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace yukta::contracts {
+
+/** Thrown when an active contract is violated. */
+class ContractViolation : public std::invalid_argument
+{
+  public:
+    /**
+     * @param kind "precondition" | "postcondition" | "finite-check".
+     * @param expr stringified violated expression.
+     * @param file source file of the contract.
+     * @param line source line of the contract.
+     * @param detail caller-supplied context (may be empty).
+     */
+    ContractViolation(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& detail)
+        : std::invalid_argument(compose(kind, expr, file, line, detail)),
+          kind_(kind)
+    {
+    }
+
+    /** @return the contract kind this violation came from. */
+    const char* kind() const { return kind_; }
+
+  private:
+    static std::string compose(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& detail)
+    {
+        std::ostringstream os;
+        os << "contract violation (" << kind << "): " << expr;
+        if (!detail.empty()) {
+            os << " — " << detail;
+        }
+        os << " [" << file << ":" << line << "]";
+        return os.str();
+    }
+
+    const char* kind_;
+};
+
+/** @return true iff checks were compiled in for this translation unit. */
+constexpr bool checksEnabled()
+{
+#ifdef YUKTA_CHECKS
+    return true;
+#else
+    return false;
+#endif
+}
+
+/** Concatenates message parts via operator<<; empty for no parts. */
+template <typename... Parts>
+std::string describe(Parts&&... parts)
+{
+    if constexpr (sizeof...(parts) == 0) {
+        return {};
+    } else {
+        std::ostringstream os;
+        (os << ... << parts);
+        return os.str();
+    }
+}
+
+/** Finite-check customization point: scalar overload. */
+inline bool yuktaAllFinite(double v)
+{
+    return std::isfinite(v);
+}
+
+namespace detail {
+
+/** Raises ContractViolation; out-of-line noreturn keeps callers slim. */
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& detail)
+{
+    throw ContractViolation(kind, expr, file, line, detail);
+}
+
+}  // namespace detail
+}  // namespace yukta::contracts
+
+#ifdef YUKTA_CHECKS
+
+#define YUKTA_REQUIRE(cond, ...)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::yukta::contracts::detail::fail(                             \
+                "precondition", #cond, __FILE__, __LINE__,                \
+                ::yukta::contracts::describe(__VA_ARGS__));               \
+        }                                                                 \
+    } while (0)
+
+#define YUKTA_ENSURE(cond, ...)                                           \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::yukta::contracts::detail::fail(                             \
+                "postcondition", #cond, __FILE__, __LINE__,               \
+                ::yukta::contracts::describe(__VA_ARGS__));               \
+        }                                                                 \
+    } while (0)
+
+#define YUKTA_CHECK_FINITE(value, ...)                                    \
+    do {                                                                  \
+        using ::yukta::contracts::yuktaAllFinite;                         \
+        if (!yuktaAllFinite(value)) {                                     \
+            ::yukta::contracts::detail::fail(                             \
+                "finite-check", #value, __FILE__, __LINE__,               \
+                ::yukta::contracts::describe(__VA_ARGS__));               \
+        }                                                                 \
+    } while (0)
+
+#else
+
+#define YUKTA_REQUIRE(cond, ...) ((void)0)
+#define YUKTA_ENSURE(cond, ...) ((void)0)
+#define YUKTA_CHECK_FINITE(value, ...) ((void)0)
+
+#endif  // YUKTA_CHECKS
+
+#endif  // YUKTA_CORE_CONTRACTS_H_

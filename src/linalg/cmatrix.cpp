@@ -1,9 +1,10 @@
 #include "linalg/cmatrix.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "core/contracts.h"
 
 namespace yukta::linalg {
 
@@ -58,14 +59,16 @@ CMatrix::diag(const std::vector<double>& d)
 Complex&
 CMatrix::operator()(std::size_t r, std::size_t c)
 {
-    assert(r < rows_ && c < cols_);
+    YUKTA_REQUIRE(r < rows_ && c < cols_, "CMatrix(", rows_, "x", cols_,
+                  ") index (", r, ",", c, ")");
     return data_[r * cols_ + c];
 }
 
 Complex
 CMatrix::operator()(std::size_t r, std::size_t c) const
 {
-    assert(r < rows_ && c < cols_);
+    YUKTA_REQUIRE(r < rows_ && c < cols_, "CMatrix(", rows_, "x", cols_,
+                  ") index (", r, ",", c, ")");
     return data_[r * cols_ + c];
 }
 
@@ -208,6 +211,17 @@ CMatrix::isApprox(const CMatrix& rhs, double tol) const
     for (std::size_t i = 0; i < data_.size(); ++i) {
         // Negated <= so that NaNs compare as "not close".
         if (!(std::abs(data_[i] - rhs.data_[i]) <= tol)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+CMatrix::allFinite() const
+{
+    for (const Complex& v : data_) {
+        if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) {
             return false;
         }
     }

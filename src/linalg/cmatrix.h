@@ -27,6 +27,7 @@ class CMatrix
     /** Creates a rows x cols matrix filled with @p fill. */
     CMatrix(std::size_t rows, std::size_t cols, Complex fill = {});
 
+    /** Creates a matrix from nested initializer lists (row major). */
     CMatrix(std::initializer_list<std::initializer_list<Complex>> rows);
 
     /** Promotes a real matrix to a complex one. */
@@ -38,6 +39,7 @@ class CMatrix
     /** @return a square matrix with @p d (real values) on the diagonal. */
     static CMatrix diag(const std::vector<double>& d);
 
+    /** Shape accessors. */
     std::size_t rows() const { return rows_; }
     std::size_t cols() const { return cols_; }
     bool empty() const { return rows_ == 0 || cols_ == 0; }
@@ -78,6 +80,9 @@ class CMatrix
     /** @return true when entries differ from @p rhs by at most @p tol. */
     bool isApprox(const CMatrix& rhs, double tol = 1e-9) const;
 
+    /** @return true when no entry has a NaN or infinite component. */
+    bool allFinite() const;
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
@@ -101,6 +106,9 @@ CMatrix csolve(const CMatrix& a, const CMatrix& b);
 
 /** @return the inverse of a square complex matrix. */
 CMatrix cinverse(const CMatrix& a);
+
+/** YUKTA_CHECK_FINITE customization point (see core/contracts.h). */
+inline bool yuktaAllFinite(const CMatrix& m) { return m.allFinite(); }
 
 }  // namespace yukta::linalg
 

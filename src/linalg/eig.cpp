@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.h"
+
 namespace yukta::linalg {
 
 namespace {
@@ -87,6 +89,8 @@ eigenvalues(const CMatrix& a)
     if (!a.isSquare()) {
         throw std::invalid_argument("eigenvalues: matrix must be square");
     }
+    YUKTA_CHECK_FINITE(a, "eigenvalues: non-finite ", a.rows(), "x",
+                       a.cols(), " input");
     std::size_t n = a.rows();
     std::vector<Complex> eig;
     eig.reserve(n);

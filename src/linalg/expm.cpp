@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.h"
 #include "linalg/lu.h"
 
 namespace yukta::linalg {
@@ -32,6 +33,8 @@ expm(const Matrix& a)
     if (!a.isSquare()) {
         throw std::invalid_argument("expm: matrix must be square");
     }
+    YUKTA_CHECK_FINITE(a, "expm: non-finite ", a.rows(), "x", a.cols(),
+                       " input");
     std::size_t n = a.rows();
     if (n == 0) {
         return a;

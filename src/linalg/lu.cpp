@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.h"
+
 namespace yukta::linalg {
 
 Lu::Lu(const Matrix& a) : lu_(a), piv_(a.rows()), normA_(a.normInf())
@@ -11,6 +13,8 @@ Lu::Lu(const Matrix& a) : lu_(a), piv_(a.rows()), normA_(a.normInf())
     if (!a.isSquare()) {
         throw std::invalid_argument("Lu: matrix must be square");
     }
+    YUKTA_CHECK_FINITE(a, "Lu: non-finite ", a.rows(), "x", a.cols(),
+                       " input");
     std::size_t n = a.rows();
     for (std::size_t i = 0; i < n; ++i) {
         piv_[i] = i;
@@ -53,8 +57,12 @@ Lu::solve(const Matrix& b) const
         throw std::runtime_error("Lu::solve: singular matrix");
     }
     if (b.rows() != lu_.rows()) {
-        throw std::invalid_argument("Lu::solve: shape mismatch");
+        throw std::invalid_argument(
+            "Lu::solve: shape mismatch (A is " + std::to_string(lu_.rows()) +
+            "x" + std::to_string(lu_.cols()) + ", b has " +
+            std::to_string(b.rows()) + " rows)");
     }
+    YUKTA_CHECK_FINITE(b, "Lu::solve: non-finite right-hand side");
     std::size_t n = lu_.rows();
     Matrix x(n, b.cols());
     // Apply the row permutation to b.
@@ -67,7 +75,7 @@ Lu::solve(const Matrix& b) const
     for (std::size_t r = 1; r < n; ++r) {
         for (std::size_t k = 0; k < r; ++k) {
             double f = lu_(r, k);
-            if (f == 0.0) {
+            if (f == 0.0) {  // yukta-lint: allow(float-eq) sparsity skip
                 continue;
             }
             for (std::size_t c = 0; c < x.cols(); ++c) {
@@ -82,7 +90,7 @@ Lu::solve(const Matrix& b) const
         }
         for (std::size_t k = 0; k < r; ++k) {
             double f = lu_(k, r);
-            if (f == 0.0) {
+            if (f == 0.0) {  // yukta-lint: allow(float-eq) sparsity skip
                 continue;
             }
             for (std::size_t c = 0; c < x.cols(); ++c) {
@@ -118,7 +126,7 @@ Lu::determinant() const
 double
 Lu::rcondEstimate() const
 {
-    if (!invertible_ || normA_ == 0.0) {
+    if (!invertible_ || normA_ == 0.0) {  // yukta-lint: allow(float-eq)
         return 0.0;
     }
     double norm_inv = inverse().normInf();

@@ -1,13 +1,14 @@
 #include "linalg/matrix.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdlib>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/contracts.h"
 
 namespace yukta::linalg {
 
@@ -64,14 +65,16 @@ Matrix::diag(const std::vector<double>& d)
 double&
 Matrix::operator()(std::size_t r, std::size_t c)
 {
-    assert(r < rows_ && c < cols_);
+    YUKTA_REQUIRE(r < rows_ && c < cols_, "Matrix(", rows_, "x", cols_,
+                  ") index (", r, ",", c, ")");
     return data_[r * cols_ + c];
 }
 
 double
 Matrix::operator()(std::size_t r, std::size_t c) const
 {
-    assert(r < rows_ && c < cols_);
+    YUKTA_REQUIRE(r < rows_ && c < cols_, "Matrix(", rows_, "x", cols_,
+                  ") index (", r, ",", c, ")");
     return data_[r * cols_ + c];
 }
 
@@ -243,6 +246,17 @@ Matrix::isApprox(const Matrix& rhs, double tol) const
     return true;
 }
 
+bool
+Matrix::allFinite() const
+{
+    for (double v : data_) {
+        if (!std::isfinite(v)) {
+            return false;
+        }
+    }
+    return true;
+}
+
 std::string
 Matrix::toString(int precision) const
 {
@@ -284,13 +298,16 @@ Matrix
 operator*(const Matrix& lhs, const Matrix& rhs)
 {
     if (lhs.cols() != rhs.rows()) {
-        throw std::invalid_argument("Matrix*: shape mismatch");
+        throw std::invalid_argument(
+            "Matrix*: shape mismatch (" + std::to_string(lhs.rows()) + "x" +
+            std::to_string(lhs.cols()) + " * " + std::to_string(rhs.rows()) +
+            "x" + std::to_string(rhs.cols()) + ")");
     }
     Matrix out(lhs.rows(), rhs.cols());
     for (std::size_t i = 0; i < lhs.rows(); ++i) {
         for (std::size_t k = 0; k < lhs.cols(); ++k) {
             double a = lhs(i, k);
-            if (a == 0.0) {
+            if (a == 0.0) {  // yukta-lint: allow(float-eq) sparsity skip
                 continue;
             }
             for (std::size_t j = 0; j < rhs.cols(); ++j) {
@@ -388,7 +405,7 @@ kron(const Matrix& lhs, const Matrix& rhs)
     for (std::size_t i = 0; i < lhs.rows(); ++i) {
         for (std::size_t j = 0; j < lhs.cols(); ++j) {
             double a = lhs(i, j);
-            if (a == 0.0) {
+            if (a == 0.0) {  // yukta-lint: allow(float-eq) sparsity skip
                 continue;
             }
             for (std::size_t k = 0; k < rhs.rows(); ++k) {

@@ -60,7 +60,11 @@ class Matrix
     /** @return true when rows() == cols(). */
     bool isSquare() const { return rows_ == cols_; }
 
-    /** Element access (bounds-checked in debug builds). */
+    /**
+     * Element access. Bounds-checked under YUKTA_CHECKS: out-of-range
+     * access throws a ContractViolation naming the shape, e.g.
+     * `Matrix(4x3) index (5,1)`.
+     */
     double& operator()(std::size_t r, std::size_t c);
     double operator()(std::size_t r, std::size_t c) const;
 
@@ -110,6 +114,9 @@ class Matrix
      */
     bool isApprox(const Matrix& rhs, double tol = 1e-9) const;
 
+    /** @return true when no entry is NaN or infinite. */
+    bool allFinite() const;
+
     /** @return a human-readable multi-line rendering. */
     std::string toString(int precision = 4) const;
 
@@ -147,6 +154,9 @@ Matrix vec(const Matrix& m);
 
 /** Inverse of vec: reshapes an (rows*cols) x 1 matrix column-wise. */
 Matrix unvec(const Matrix& v, std::size_t rows, std::size_t cols);
+
+/** YUKTA_CHECK_FINITE customization point (see core/contracts.h). */
+inline bool yuktaAllFinite(const Matrix& m) { return m.allFinite(); }
 
 }  // namespace yukta::linalg
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.h"
+
 namespace yukta::linalg {
 
 Qr::Qr(const Matrix& a) : qr_(a), rdiag_(a.cols(), 0.0)
@@ -12,6 +14,7 @@ Qr::Qr(const Matrix& a) : qr_(a), rdiag_(a.cols(), 0.0)
     if (m < n) {
         throw std::invalid_argument("Qr: requires rows >= cols");
     }
+    YUKTA_CHECK_FINITE(a, "Qr: non-finite ", m, "x", n, " input");
 
     for (std::size_t k = 0; k < n; ++k) {
         // Compute the Householder reflector for column k.
@@ -55,7 +58,7 @@ Qr::applyQt(Matrix& x) const
     std::size_t m = qr_.rows();
     std::size_t n = qr_.cols();
     for (std::size_t k = 0; k < n; ++k) {
-        if (rdiag_[k] == 0.0) {
+        if (rdiag_[k] == 0.0) {  // yukta-lint: allow(float-eq)
             continue;
         }
         for (std::size_t c = 0; c < x.cols(); ++c) {
@@ -83,7 +86,7 @@ Qr::q() const
         q(i, i) = 1.0;
     }
     for (std::size_t k = n; k-- > 0;) {
-        if (rdiag_[k] == 0.0) {
+        if (rdiag_[k] == 0.0) {  // yukta-lint: allow(float-eq)
             continue;
         }
         for (std::size_t c = 0; c < n; ++c) {

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/contracts.h"
+
 namespace yukta::linalg {
 
 namespace {
@@ -114,6 +116,8 @@ svd(const CMatrix& a)
     if (a.empty()) {
         return {};
     }
+    YUKTA_CHECK_FINITE(a, "svd: non-finite ", a.rows(), "x", a.cols(),
+                       " input");
     if (a.rows() >= a.cols()) {
         return jacobiSvdTall(a);
     }
@@ -173,7 +177,7 @@ pinv(const Matrix& a, double rtol)
     double cutoff = rtol * (d.s.empty() ? 0.0 : d.s.front());
     Matrix out(a.cols(), a.rows());
     for (std::size_t k = 0; k < d.s.size(); ++k) {
-        if (d.s[k] <= cutoff || d.s[k] == 0.0) {
+        if (d.s[k] <= cutoff || d.s[k] == 0.0) {  // yukta-lint: allow(float-eq)
             continue;
         }
         double inv = 1.0 / d.s[k];

@@ -6,6 +6,7 @@
  * Thin dense vector type; interoperates with Matrix (mat * vec).
  */
 
+#include <cmath>
 #include <cstddef>
 #include <initializer_list>
 #include <vector>
@@ -23,6 +24,7 @@ class Vector
     /** Creates a vector of @p n entries, all equal to @p fill. */
     explicit Vector(std::size_t n, double fill = 0.0) : data_(n, fill) {}
 
+    /** Creates a vector from an initializer list of entries. */
     Vector(std::initializer_list<double> init) : data_(init) {}
 
     /** Wraps an existing std::vector. */
@@ -34,6 +36,7 @@ class Vector
     /** @return a vector of @p n ones. */
     static Vector ones(std::size_t n) { return Vector(n, 1.0); }
 
+    /** Size accessors. */
     std::size_t size() const { return data_.size(); }
     bool empty() const { return data_.empty(); }
 
@@ -44,6 +47,7 @@ class Vector
     double& at(std::size_t i) { return data_.at(i); }
     double at(std::size_t i) const { return data_.at(i); }
 
+    /** Direct access to the underlying storage. */
     const std::vector<double>& raw() const { return data_; }
     std::vector<double>& raw() { return data_; }
 
@@ -72,6 +76,17 @@ class Vector
     /** @return true when entries differ from @p rhs by at most @p tol. */
     bool isApprox(const Vector& rhs, double tol = 1e-9) const;
 
+    /** @return true when no entry is NaN or infinite. */
+    bool allFinite() const
+    {
+        for (double v : data_) {
+            if (!std::isfinite(v)) {
+                return false;
+            }
+        }
+        return true;
+    }
+
   private:
     std::vector<double> data_;
 };
@@ -89,6 +104,9 @@ Vector concat(const Vector& lhs, const Vector& rhs);
 
 /** @return the first column of @p m as a Vector (m must be n x 1). */
 Vector toVector(const Matrix& m);
+
+/** YUKTA_CHECK_FINITE customization point (see core/contracts.h). */
+inline bool yuktaAllFinite(const Vector& v) { return v.allFinite(); }
 
 }  // namespace yukta::linalg
 

@@ -145,6 +145,7 @@ class Board
         return c == ClusterId::kBig ? dvfs_big_ : dvfs_little_;
     }
 
+    /** Board configuration and workload state (read-only). */
     const BoardConfig& config() const { return cfg_; }
     const Workload& workload() const { return workload_; }
 
@@ -155,6 +156,7 @@ class Board
     /** Enables trace recording every @p interval seconds. */
     void enableTrace(double interval);
 
+    /** @return the trace samples recorded so far. */
     const std::vector<TraceSample>& trace() const { return trace_; }
 
   private:

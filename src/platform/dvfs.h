@@ -18,6 +18,7 @@ namespace yukta::platform {
 class DvfsTable
 {
   public:
+    /** Builds the table from @p cfg (linear V/f interpolation). */
     explicit DvfsTable(const ClusterConfig& cfg);
 
     /** @return all allowed frequencies in GHz, ascending. */
@@ -38,6 +39,7 @@ class DvfsTable
     /** @return the next level up from @p f, or the ceiling. */
     double stepUp(double f, std::size_t levels = 1) const;
 
+    /** Lowest / highest allowed frequency (GHz). */
     double minFreq() const { return freqs_.front(); }
     double maxFreq() const { return freqs_.back(); }
 

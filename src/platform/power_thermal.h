@@ -30,6 +30,7 @@ struct ClusterActivity
 class PowerModel
 {
   public:
+    /** Builds the model for one cluster and its DVFS table. */
     PowerModel(const ClusterConfig& cfg, const DvfsTable& dvfs);
 
     /**
@@ -55,6 +56,7 @@ class PowerModel
 class ThermalModel
 {
   public:
+    /** Builds the RC model from @p cfg, starting at ambient. */
     explicit ThermalModel(const ThermalConfig& cfg);
 
     /**

@@ -21,6 +21,7 @@ namespace yukta::platform {
 class Sensors
 {
   public:
+    /** Builds the front-end; @p seed drives the noise generator. */
     Sensors(const SensorConfig& cfg, std::uint32_t seed);
 
     /**
@@ -60,6 +61,7 @@ struct PerfCounters
     double instr_big = 0.0;     ///< Giga-instructions retired, big.
     double instr_little = 0.0;  ///< Giga-instructions retired, little.
 
+    /** @return total giga-instructions retired across clusters. */
     double total() const { return instr_big + instr_little; }
 };
 

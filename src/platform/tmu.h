@@ -32,6 +32,7 @@ struct EmergencyCaps
 class Tmu
 {
   public:
+    /** Builds the TMU from its thresholds and the DVFS tables. */
     Tmu(const TmuConfig& cfg, const BoardConfig& board,
         const DvfsTable& big, const DvfsTable& little);
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "control/interconnect.h"
+#include "core/contracts.h"
 #include "linalg/matrix.h"
 
 namespace yukta::robust {
@@ -49,6 +50,14 @@ dkSynthesize(const StateSpace& p, const PlantPartition& part,
         throw std::invalid_argument("dkSynthesize: need at least the "
                                     "performance block");
     }
+    YUKTA_REQUIRE(options.max_iterations >= 1,
+                  "dkSynthesize: max_iterations = ", options.max_iterations);
+    YUKTA_REQUIRE(options.gamma_lo > 0.0 &&
+                      options.gamma_lo < options.gamma_hi,
+                  "dkSynthesize: bad gamma bisection range [",
+                  options.gamma_lo, ", ", options.gamma_hi, "]");
+    YUKTA_REQUIRE(options.mu_grid >= 2, "dkSynthesize: mu_grid = ",
+                  options.mu_grid);
 
     std::vector<double> d(structure.numBlocks(), 1.0);
     std::optional<DkResult> best;
@@ -92,6 +101,12 @@ dkSynthesize(const StateSpace& p, const PlantPartition& part,
         std::vector<double> d_next = sweep.mu[peak_idx].d_scales;
         bool changed = false;
         for (std::size_t i = 0; i < d.size(); ++i) {
+            // A degenerate D fit would silently detune every later
+            // K-step; the scaled plant stays well-posed only for
+            // strictly positive, finite scales.
+            YUKTA_REQUIRE(std::isfinite(d_next[i]) && d_next[i] > 0.0,
+                          "dkSynthesize: degenerate D scale d[", i,
+                          "] = ", d_next[i], " at iteration ", iter);
             if (std::abs(std::log(d_next[i] / d[i])) > 0.05) {
                 changed = true;
             }

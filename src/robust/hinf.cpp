@@ -7,6 +7,7 @@
 #include "control/discretize.h"
 #include "control/interconnect.h"
 #include "control/riccati.h"
+#include "core/contracts.h"
 #include "linalg/eig.h"
 #include "linalg/lu.h"
 #include "linalg/svd.h"
@@ -240,6 +241,12 @@ hinfSynthesize(const StateSpace& p, const PlantPartition& part,
                double gamma_lo, double gamma_hi, int bisection_steps)
 {
     validatePartition(p, part);
+    YUKTA_CHECK_FINITE(p.a, "hinfSynthesize: non-finite plant A matrix");
+    YUKTA_CHECK_FINITE(p.b, "hinfSynthesize: non-finite plant B matrix");
+    YUKTA_CHECK_FINITE(p.c, "hinfSynthesize: non-finite plant C matrix");
+    YUKTA_CHECK_FINITE(p.d, "hinfSynthesize: non-finite plant D matrix");
+    YUKTA_REQUIRE(bisection_steps >= 1, "hinfSynthesize: bisection_steps = ",
+                  bisection_steps);
 
     const bool discrete = p.isDiscrete();
     StateSpace pc = discrete ? control::d2c(p) : p;

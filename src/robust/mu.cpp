@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/contracts.h"
 #include "linalg/svd.h"
 #include "robust/worst_case.h"
 
@@ -81,6 +82,7 @@ computeMu(const CMatrix& m, const BlockStructure& s)
         throw std::invalid_argument("computeMu: M shape does not match "
                                     "the block structure");
     }
+    YUKTA_CHECK_FINITE(m, "computeMu: non-finite frequency response");
 
     MuBound out;
     out.d_scales.assign(s.numBlocks(), 1.0);

@@ -36,6 +36,7 @@ class BlockStructure
     std::size_t add(std::string name, std::size_t out_dim,
                     std::size_t in_dim);
 
+    /** Block count and read access to block @p i. */
     std::size_t numBlocks() const { return blocks_.size(); }
     const UncertaintyBlock& block(std::size_t i) const { return blocks_[i]; }
 

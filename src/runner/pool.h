@@ -28,6 +28,7 @@ class CancelToken
 {
   public:
     CancelToken() = default;
+    /** Wraps the pool's stop flag and an optional deadline. */
     CancelToken(const std::atomic<bool>* stop,
                 std::chrono::steady_clock::time_point deadline,
                 bool has_deadline)

@@ -52,6 +52,7 @@ void writeJsonLine(std::ostream& os, const RunRecord& record);
 class ProgressReporter
 {
   public:
+    /** Reports to @p os (null disables); @p total sizes "k/N". */
     explicit ProgressReporter(std::ostream* os, std::size_t total)
         : os_(os), total_(total)
     {

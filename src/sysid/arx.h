@@ -51,6 +51,7 @@ class ArxModel
              std::vector<linalg::Matrix> b_coeffs, linalg::Vector u_mean,
              linalg::Vector y_mean, double ts, std::size_t b_lag0 = 1);
 
+    /** Model orders: number of A (output) and B (input) blocks. */
     std::size_t orderA() const { return a_.size(); }
     std::size_t orderB() const { return b_.size(); }
 
@@ -60,6 +61,7 @@ class ArxModel
     std::size_t numInputs() const;
     double sampleTime() const { return ts_; }
 
+    /** Coefficient blocks and operating-point offsets (read-only). */
     const linalg::Matrix& aCoeff(std::size_t k) const { return a_[k]; }
     const linalg::Matrix& bCoeff(std::size_t k) const { return b_[k]; }
     const linalg::Vector& uMean() const { return u_mean_; }

@@ -21,7 +21,7 @@ TEST(Excitation, PrbsTwoLevels)
     std::set<double> levels(sig.begin(), sig.end());
     EXPECT_LE(levels.size(), 2u);
     for (double v : sig) {
-        EXPECT_TRUE(v == -1.0 || v == 1.0);
+        EXPECT_TRUE(v == -1.0 || v == 1.0);  // yukta-lint: allow(float-eq)
     }
     // Roughly balanced.
     double mean = 0.0;

@@ -1,0 +1,30 @@
+// Deliberately bad file: every pattern rule must fire on it.
+// Exercised by `yukta_lint.py --self-test` (and the ctest wrapper);
+// excluded from normal tree lints.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+std::string cachePath(const std::string& key);
+
+int main()
+{
+    srand(42);                       // banned-rand
+    double x = static_cast<double>(rand());  // banned-rand
+
+    if (x == 0.1) {                  // float-eq
+        return 1;
+    }
+
+    // cache-bypass: writing to the result cache without the atomic
+    // helper tears files under concurrent sweep workers.
+    std::ofstream out(cachePath("k"));
+    out << x;
+
+    for (int i = 0; i < 3; ++i) {
+        std::cout << i << std::endl;  // endl-in-loop
+    }
+    return 0;
+}

@@ -1,0 +1,16 @@
+#ifndef WRONG_GUARD_NAME
+#define WRONG_GUARD_NAME
+
+// Deliberately bad header for --self-test:
+//  - include guard does not match the path (header-guard)
+//  - uses std::string without including <string>, so it does not
+//    compile standalone (header-self-contained)
+//  - declares a public function with no doc comment (doc-comment)
+
+namespace fixture {
+
+std::string undocumentedFunction(int value);
+
+}  // namespace fixture
+
+#endif  // WRONG_GUARD_NAME

@@ -1,0 +1,25 @@
+// Clean counterpart of bad_fixture.cpp: the linter must report
+// nothing here, including for the suppressed exact comparison.
+#include <cmath>
+#include <iostream>
+#include <random>
+
+int main()
+{
+    std::mt19937 rng(42);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    double x = dist(rng);
+
+    if (x == 0.0) {  // yukta-lint: allow(float-eq) exact sentinel
+        return 1;
+    }
+    if (std::abs(x - 0.1) < 1e-12) {
+        return 2;
+    }
+
+    for (int i = 0; i < 3; ++i) {
+        std::cout << i << "\n";
+    }
+    std::cout << std::endl;  // flush once, outside the loop: fine
+    return 0;
+}

@@ -1,0 +1,33 @@
+#ifndef YUKTA_GOOD_HEADER_H_
+#define YUKTA_GOOD_HEADER_H_
+
+/**
+ * @file
+ * Clean fixture header: self-contained, guard matches the path, and
+ * every public function is documented.
+ */
+
+#include <string>
+
+namespace fixture {
+
+/** @return @p value rendered as a decimal string. */
+std::string documentedFunction(int value);
+
+/** A documented class with documented public members. */
+class Documented
+{
+  public:
+    /** Creates an empty instance. */
+    Documented() = default;
+
+    /** @return the stored label. */
+    const std::string& label() const { return label_; }
+
+  private:
+    std::string label_;
+};
+
+}  // namespace fixture
+
+#endif  // YUKTA_GOOD_HEADER_H_
