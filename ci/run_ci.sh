@@ -51,6 +51,12 @@ cmake -B build-checks -S . -DYUKTA_CHECKS=ON -DYUKTA_WERROR=ON >/dev/null
 cmake --build build-checks -j "$JOBS"
 ctest --test-dir build-checks --output-on-failure -j "$JOBS"
 
+echo "=== fault matrix: supervised vs unsupervised smoke ==="
+# With contracts on, any NaN escaping the supervisor aborts the run;
+# the bench itself fails unless supervision strictly reduces
+# constraint-violation time in every fault scenario.
+./build-checks/bench/bench_faults --quick
+
 echo "=== runner tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DYUKTA_SANITIZE=thread \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
@@ -65,6 +71,7 @@ if [[ "${YUKTA_CI_ASAN:-0}" == "1" ]]; then
           -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
     cmake --build build-asan -j "$JOBS"
     ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+    ./build-asan/bench/bench_faults --quick
 fi
 
 echo "CI OK"

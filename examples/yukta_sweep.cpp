@@ -45,6 +45,11 @@ usage()
         "  --trace-interval=S   record traces every S simulated\n"
         "                       seconds (disables the result cache)\n"
         "  --timeout=S          wall-clock timeout per run\n"
+        "  --faults=SPEC        inject faults, e.g.\n"
+        "                       'seed=1;p_big:nan@10+5;act:ignore@20+4'\n"
+        "  --supervised         run the controller supervisor\n"
+        "  --attempts=N         retry failed runs up to N attempts\n"
+        "  --retry-backoff=S    linear backoff between attempts\n"
         "  --jsonl=FILE         append one JSON record per run\n"
         "  --no-cache           ignore and do not fill the run cache\n"
         "  --quiet              no per-run progress lines\n"
@@ -148,6 +153,15 @@ main(int argc, char** argv)
             spec.trace_interval = std::strtod(interval_arg, nullptr);
         } else if (const char* timeout_arg = value("--timeout=")) {
             options.run_timeout_seconds = std::strtod(timeout_arg, nullptr);
+        } else if (const char* faults_arg = value("--faults=")) {
+            spec.fault_plan = faults_arg;
+        } else if (arg == "--supervised") {
+            spec.supervised = true;
+        } else if (const char* attempts_arg = value("--attempts=")) {
+            options.run_attempts =
+                static_cast<int>(std::strtol(attempts_arg, nullptr, 10));
+        } else if (const char* backoff_arg = value("--retry-backoff=")) {
+            options.retry_backoff_seconds = std::strtod(backoff_arg, nullptr);
         } else if (const char* jsonl_arg = value("--jsonl=")) {
             jsonl_path = jsonl_arg;
         } else {
@@ -163,7 +177,16 @@ main(int argc, char** argv)
         return 2;
     }
 
-    // Validate workload names before paying for artifact synthesis.
+    // Validate the fault plan and workload names before paying for
+    // artifact synthesis.
+    if (!spec.fault_plan.empty()) {
+        try {
+            (void)fault::FaultPlan::parse(spec.fault_plan);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "bad --faults spec: %s\n", e.what());
+            return 2;
+        }
+    }
     for (const std::string& w : spec.workloads) {
         try {
             (void)runner::makeWorkload(w);

@@ -7,6 +7,7 @@ namespace yukta::controllers {
 using platform::ClusterId;
 using platform::HardwareInputs;
 using platform::PlacementPolicy;
+using platform::SensorReadings;
 
 MultilayerSystem::MultilayerSystem(platform::Board board,
                                    std::unique_ptr<HwController> hw,
@@ -31,15 +32,27 @@ MultilayerSystem::enableTrace(double interval)
     board_.enableTrace(interval);
 }
 
+void
+MultilayerSystem::attachFaultInjector(const fault::FaultPlan& plan)
+{
+    injector_ = std::make_unique<fault::FaultInjector>(plan);
+}
+
+void
+MultilayerSystem::enableSupervisor(const SupervisorConfig& cfg)
+{
+    supervisor_ = std::make_unique<Supervisor>(board_.config(), cfg);
+}
+
 HwSignals
-MultilayerSystem::gatherHw() const
+MultilayerSystem::gatherHw(const SensorReadings& obs) const
 {
     HwSignals s;
-    double instr = board_.perfCounters().total();
+    double instr = obs.instr_big + obs.instr_little;
     s.perf_bips = (instr - last_instr_total_) / kControlPeriod;
-    s.p_big = board_.sensedPowerBig();
-    s.p_little = board_.sensedPowerLittle();
-    s.temp = board_.sensedTemperature();
+    s.p_big = obs.p_big;
+    s.p_little = obs.p_little;
+    s.temp = obs.temp;
     // External signals: the OS layer's current inputs.
     s.threads_big = last_policy_.threads_big;
     s.tpc_big = last_policy_.tpc_big;
@@ -48,18 +61,15 @@ MultilayerSystem::gatherHw() const
 }
 
 OsSignals
-MultilayerSystem::gatherOs() const
+MultilayerSystem::gatherOs(const SensorReadings& obs) const
 {
     OsSignals s;
-    s.perf_big = (board_.perfCounters().instr_big - last_instr_big_) /
-                 kControlPeriod;
-    s.perf_little =
-        (board_.perfCounters().instr_little - last_instr_little_) /
-        kControlPeriod;
+    s.perf_big = (obs.instr_big - last_instr_big_) / kControlPeriod;
+    s.perf_little = (obs.instr_little - last_instr_little_) / kControlPeriod;
     s.d_spare = board_.spareCompute(ClusterId::kBig) -
                 board_.spareCompute(ClusterId::kLittle);
     s.num_threads = board_.threadsRunning();
-    s.total_power = board_.sensedPowerBig() + board_.sensedPowerLittle();
+    s.total_power = obs.p_big + obs.p_little;
     // External signals: the HW layer's current inputs.
     const HardwareInputs& hw = board_.requestedHardware();
     s.big_cores = static_cast<double>(hw.big_cores);
@@ -85,6 +95,9 @@ MultilayerSystem::applyIfChanged(const HardwareInputs& hw,
                std::abs(policy.tpc_big - last_policy_.tpc_big) > 0.25 ||
                std::abs(policy.tpc_little - last_policy_.tpc_little) > 0.25;
     };
+    // NaN-valued commands compare false against the thresholds above
+    // and are therefore dropped here; the unsupervised stack survives
+    // them, it just keeps flying on its previous settings.
     if (hwDiffers()) {
         board_.applyHardwareInputs(hw);
         last_hw_ = hw;
@@ -101,28 +114,90 @@ MultilayerSystem::run(double max_seconds)
     RunMetrics metrics;
     double t = 0.0;
     while (!board_.done() && t < max_seconds) {
-        HwSignals hw_sig = gatherHw();
-        OsSignals os_sig = gatherOs();
-
-        HardwareInputs hw_in = last_hw_;
-        PlacementPolicy policy = last_policy_;
-        if (joint_) {
-            auto [h, p] = joint_->invoke(hw_sig, os_sig);
-            hw_in = h;
-            policy = p;
+        const int period = metrics.periods;
+        if (injector_ && injector_->dropTick(t, period)) {
+            // Timing fault: the controllers never run this tick; the
+            // plant keeps evolving under the previous commands.
+            if (supervisor_) {
+                supervisor_->noteSkippedTick();
+            }
         } else {
-            if (hw_) {
-                hw_in = hw_->invoke(hw_sig);
+            SensorReadings obs = board_.readings();
+            if (injector_) {
+                obs = injector_->corruptReadings(t, obs);
             }
-            if (os_) {
-                policy = os_->invoke(os_sig);
-            }
-        }
-        applyIfChanged(hw_in, policy);
 
-        last_instr_total_ = board_.perfCounters().total();
-        last_instr_big_ = board_.perfCounters().instr_big;
-        last_instr_little_ = board_.perfCounters().instr_little;
+            SupervisorMode mode = SupervisorMode::kNominal;
+            if (supervisor_) {
+                SupervisorDecision d = supervisor_->assess(period, t, obs);
+                obs = d.readings;
+                mode = d.mode;
+                if (d.reset_primaries) {
+                    if (hw_) {
+                        hw_->reset();
+                    }
+                    if (os_) {
+                        os_->reset();
+                    }
+                    if (joint_) {
+                        joint_->reset();
+                    }
+                }
+            }
+
+            HwSignals hw_sig = gatherHw(obs);
+            OsSignals os_sig = gatherOs(obs);
+
+            HardwareInputs hw_in = last_hw_;
+            PlacementPolicy policy = last_policy_;
+            switch (mode) {
+              case SupervisorMode::kNominal:
+                if (joint_) {
+                    auto [h, p] = joint_->invoke(hw_sig, os_sig);
+                    hw_in = h;
+                    policy = p;
+                } else {
+                    if (hw_) {
+                        hw_in = hw_->invoke(hw_sig);
+                    }
+                    if (os_) {
+                        policy = os_->invoke(os_sig);
+                    }
+                }
+                break;
+              case SupervisorMode::kHold:
+                break;  // Last commands stay in force.
+              case SupervisorMode::kFallback:
+                hw_in = supervisor_->fallbackHardware(hw_sig);
+                policy = supervisor_->fallbackPolicy(os_sig);
+                break;
+              case SupervisorMode::kSafe:
+                hw_in = supervisor_->safeHardware();
+                policy = supervisor_->safePolicy();
+                break;
+            }
+
+            if (supervisor_) {
+                hw_in = supervisor_->guardHardware(hw_in);
+                policy = supervisor_->guardPolicy(policy);
+                // The supervisor judges counter staleness against the
+                // placement it commanded, not what a (possibly
+                // faulty) actuator did with it.
+                supervisor_->notePlacement(policy);
+            }
+            if (injector_) {
+                hw_in = injector_->corruptHardware(t, last_hw_, hw_in);
+                policy = injector_->corruptPolicy(t, last_policy_, policy);
+            }
+            applyIfChanged(hw_in, policy);
+
+            // Marks advance in observation space, so corrupted (or
+            // repaired) counters stay consistent with the BIPS deltas
+            // the controllers were shown.
+            last_instr_big_ = obs.instr_big;
+            last_instr_little_ = obs.instr_little;
+            last_instr_total_ = obs.instr_big + obs.instr_little;
+        }
 
         board_.run(kControlPeriod);
         t += kControlPeriod;
@@ -134,6 +209,14 @@ MultilayerSystem::run(double max_seconds)
     metrics.exd = board_.energyDelay();
     metrics.completed = board_.done();
     metrics.emergency_time = board_.emergencyTime();
+    metrics.violation_time = board_.constraintViolationTime();
+    metrics.supervised = supervisor_ != nullptr;
+    if (supervisor_) {
+        metrics.supervisor = supervisor_->report();
+    }
+    if (injector_) {
+        metrics.faults = injector_->stats();
+    }
     metrics.trace = board_.trace();
     return metrics;
 }

@@ -7,6 +7,16 @@
  * controller and a software controller (or one monolithic joint
  * controller) to the simulated board, invoking them every 500 ms and
  * ferrying the external signals between layers.
+ *
+ * Two optional stages sit at the platform boundary:
+ *
+ *   board -> [FaultInjector] -> [Supervisor] -> controllers
+ *   controllers -> [Supervisor guard] -> [FaultInjector] -> board
+ *
+ * The injector (attachFaultInjector) deterministically corrupts the
+ * observations and actuation per a FaultPlan; the supervisor
+ * (enableSupervisor) validates what the controllers see and walks the
+ * degradation ladder when telemetry goes bad.
  */
 
 #include <memory>
@@ -14,6 +24,9 @@
 
 #include "controllers/controller.h"
 #include "controllers/layer_controllers.h"
+#include "controllers/supervisor.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "platform/board.h"
 
 namespace yukta::controllers {
@@ -27,6 +40,10 @@ struct RunMetrics
     bool completed = false;   ///< false = hit the time budget.
     double emergency_time = 0.0;  ///< Seconds with TMU caps in force.
     int periods = 0;          ///< Controller invocations.
+    double violation_time = 0.0;  ///< Seconds any true P/T cap exceeded.
+    bool supervised = false;      ///< Supervisor was active.
+    fault::FaultStats faults;     ///< Injector tallies (zero if none).
+    SupervisorReport supervisor;  ///< Ladder log (empty if none).
     std::vector<platform::TraceSample> trace;  ///< When tracing is on.
 };
 
@@ -45,6 +62,12 @@ class MultilayerSystem
     /** Enables board tracing at @p interval seconds. */
     void enableTrace(double interval);
 
+    /** Injects faults per @p plan at the platform boundary. */
+    void attachFaultInjector(const fault::FaultPlan& plan);
+
+    /** Wraps the controllers in a supervisor with @p cfg. */
+    void enableSupervisor(const SupervisorConfig& cfg = {});
+
     /**
      * Runs until the workload completes or @p max_seconds elapses.
      */
@@ -53,11 +76,16 @@ class MultilayerSystem
     /** Access to the simulated board (inspection in tests/benches). */
     platform::Board& board() { return board_; }
 
+    /** Supervisor, or nullptr when not enabled. */
+    const Supervisor* supervisor() const { return supervisor_.get(); }
+
   private:
     platform::Board board_;
     std::unique_ptr<HwController> hw_;
     std::unique_ptr<OsController> os_;
     std::unique_ptr<JointController> joint_;
+    std::unique_ptr<fault::FaultInjector> injector_;
+    std::unique_ptr<Supervisor> supervisor_;
 
     platform::HardwareInputs last_hw_;
     platform::PlacementPolicy last_policy_;
@@ -65,8 +93,8 @@ class MultilayerSystem
     double last_instr_big_ = 0.0;
     double last_instr_little_ = 0.0;
 
-    HwSignals gatherHw() const;
-    OsSignals gatherOs() const;
+    HwSignals gatherHw(const platform::SensorReadings& obs) const;
+    OsSignals gatherOs(const platform::SensorReadings& obs) const;
     void applyIfChanged(const platform::HardwareInputs& hw,
                         const platform::PlacementPolicy& policy);
 };

@@ -17,7 +17,10 @@
  */
 
 #include "controllers/multilayer.h"
+#include "controllers/supervisor.h"
 #include "core/design_flow.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "core/report.h"
 #include "core/schemes.h"
 #include "core/spec.h"

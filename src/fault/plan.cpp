@@ -1,0 +1,240 @@
+#include "fault/plan.h"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace yukta::fault {
+
+namespace {
+
+/** Fault classes; a kind is only valid on targets of its class. */
+enum class Class
+{
+    kSensor,
+    kActuator,
+    kTiming,
+};
+
+Class
+targetClass(FaultTarget t)
+{
+    switch (t) {
+      case FaultTarget::kActuator:
+        return Class::kActuator;
+      case FaultTarget::kTiming:
+        return Class::kTiming;
+      default:
+        return Class::kSensor;
+    }
+}
+
+Class
+kindClass(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::kActIgnore:
+      case FaultKind::kActPartial:
+      case FaultKind::kActQuantStuck:
+        return Class::kActuator;
+      case FaultKind::kTickMiss:
+      case FaultKind::kTickDouble:
+        return Class::kTiming;
+      default:
+        return Class::kSensor;
+    }
+}
+
+struct TargetName
+{
+    const char* id;
+    FaultTarget target;
+};
+
+struct KindName
+{
+    const char* id;
+    FaultKind kind;
+};
+
+constexpr TargetName kTargets[] = {
+    {"p_big", FaultTarget::kPowerBig},
+    {"p_little", FaultTarget::kPowerLittle},
+    {"temp", FaultTarget::kTemp},
+    {"perf_big", FaultTarget::kPerfBig},
+    {"perf_little", FaultTarget::kPerfLittle},
+    {"all", FaultTarget::kAll},
+    {"act", FaultTarget::kActuator},
+    {"tick", FaultTarget::kTiming},
+};
+
+constexpr KindName kKinds[] = {
+    {"nan", FaultKind::kNan},
+    {"inf", FaultKind::kInf},
+    {"stuck", FaultKind::kStuck},
+    {"freeze", FaultKind::kFreeze},
+    {"spike", FaultKind::kSpike},
+    {"drop", FaultKind::kDrop},
+    {"ignore", FaultKind::kActIgnore},
+    {"partial", FaultKind::kActPartial},
+    {"quantstuck", FaultKind::kActQuantStuck},
+    {"miss", FaultKind::kTickMiss},
+    {"double", FaultKind::kTickDouble},
+};
+
+[[noreturn]] void
+bad(const std::string& entry, const std::string& why)
+{
+    throw std::invalid_argument("FaultPlan::parse: '" + entry + "': " +
+                                why);
+}
+
+double
+parseNumber(const std::string& entry, const std::string& text,
+            const std::string& what)
+{
+    char* end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+        bad(entry, "malformed " + what + " '" + text + "'");
+    }
+    return v;
+}
+
+std::string
+formatNumber(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(12) << v;
+    return os.str();
+}
+
+}  // namespace
+
+std::string
+faultTargetId(FaultTarget target)
+{
+    for (const TargetName& t : kTargets) {
+        if (t.target == target) {
+            return t.id;
+        }
+    }
+    return "unknown";
+}
+
+std::string
+faultKindId(FaultKind kind)
+{
+    for (const KindName& k : kKinds) {
+        if (k.kind == kind) {
+            return k.id;
+        }
+    }
+    return "unknown";
+}
+
+std::string
+FaultPlan::canonical() const
+{
+    std::ostringstream os;
+    os << "seed=" << seed;
+    for (const FaultWindow& w : windows) {
+        os << ";" << faultTargetId(w.target) << ":" << faultKindId(w.kind)
+           << "@" << formatNumber(w.start) << "+"
+           << formatNumber(w.duration);
+        if (w.magnitude > 0.0) {
+            os << "*" << formatNumber(w.magnitude);
+        }
+    }
+    return os.str();
+}
+
+FaultPlan
+FaultPlan::parse(const std::string& spec)
+{
+    FaultPlan plan;
+    std::stringstream ss(spec);
+    std::string entry;
+    while (std::getline(ss, entry, ';')) {
+        if (entry.empty()) {
+            continue;
+        }
+        if (entry.rfind("seed=", 0) == 0) {
+            const std::string v = entry.substr(5);
+            char* end = nullptr;
+            unsigned long s = std::strtoul(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0') {
+                bad(entry, "malformed seed");
+            }
+            plan.seed = static_cast<std::uint32_t>(s);
+            continue;
+        }
+
+        const std::size_t colon = entry.find(':');
+        const std::size_t at = entry.find('@');
+        const std::size_t plus = entry.find('+', at == std::string::npos
+                                                     ? 0
+                                                     : at + 1);
+        if (colon == std::string::npos || at == std::string::npos ||
+            plus == std::string::npos || colon > at) {
+            bad(entry, "expected <target>:<kind>@<start>+<duration>");
+        }
+
+        FaultWindow w;
+        const std::string target_id = entry.substr(0, colon);
+        const std::string kind_id = entry.substr(colon + 1, at - colon - 1);
+        bool found = false;
+        for (const TargetName& t : kTargets) {
+            if (target_id == t.id) {
+                w.target = t.target;
+                found = true;
+            }
+        }
+        if (!found) {
+            bad(entry, "unknown target '" + target_id + "'");
+        }
+        found = false;
+        for (const KindName& k : kKinds) {
+            if (kind_id == k.id) {
+                w.kind = k.kind;
+                found = true;
+            }
+        }
+        if (!found) {
+            bad(entry, "unknown kind '" + kind_id + "'");
+        }
+        if (kindClass(w.kind) != targetClass(w.target)) {
+            bad(entry, "kind '" + kind_id + "' does not apply to target '" +
+                           target_id + "'");
+        }
+
+        std::string times = entry.substr(at + 1);
+        const std::size_t p = times.find('+');
+        std::string dur = times.substr(p + 1);
+        const std::size_t star = dur.find('*');
+        if (star != std::string::npos) {
+            w.magnitude =
+                parseNumber(entry, dur.substr(star + 1), "magnitude");
+            if (w.magnitude <= 0.0) {
+                bad(entry, "magnitude must be positive");
+            }
+            dur = dur.substr(0, star);
+        }
+        w.start = parseNumber(entry, times.substr(0, p), "start");
+        w.duration = parseNumber(entry, dur, "duration");
+        if (w.start < 0.0) {
+            bad(entry, "start must be >= 0");
+        }
+        if (w.duration <= 0.0) {
+            bad(entry, "duration must be > 0");
+        }
+        if (w.kind == FaultKind::kActPartial && w.magnitude > 1.0) {
+            bad(entry, "partial magnitude must be in (0, 1]");
+        }
+        plan.windows.push_back(w);
+    }
+    return plan;
+}
+
+}  // namespace yukta::fault

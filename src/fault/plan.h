@@ -1,0 +1,122 @@
+#ifndef YUKTA_FAULT_PLAN_H_
+#define YUKTA_FAULT_PLAN_H_
+
+/**
+ * @file
+ * Declarative fault schedules. A FaultPlan is a seeded list of fault
+ * windows, each corrupting one target (a sensor signal, the actuation
+ * path, or the control-tick timing) with one fault kind over a
+ * simulated-time interval. Plans parse from a compact spec string so
+ * sweeps can carry them in run keys and JSONL records:
+ *
+ *   seed=7;p_big:nan@20+10;temp:stuck@40+15;act:ignore@60+5
+ *
+ * Grammar (';'-separated entries, no whitespace):
+ *   seed=<uint>                       RNG seed (default 1)
+ *   <target>:<kind>@<start>+<duration>[*<magnitude>]
+ *
+ * Targets: p_big p_little temp perf_big perf_little all act tick.
+ * Sensor kinds (p_*, temp, perf_*, all):
+ *   nan    reading becomes NaN
+ *   inf    reading becomes +Inf
+ *   stuck  reading latches the value at window entry
+ *   freeze alias of stuck, intended for `all` (stale snapshot)
+ *   spike  reading is multiplied by magnitude (default 8) with
+ *          seeded per-tick jitter
+ *   drop   reading becomes 0 (sensor dropout)
+ * Actuator kinds (act):
+ *   ignore     commands in the window are discarded (previous kept)
+ *   partial    commands apply fractionally: prev + mag*(cmd - prev),
+ *              magnitude in (0,1], default 0.3
+ *   quantstuck DVFS writes are ignored (frequencies latch), core and
+ *              placement commands still apply
+ * Timing kinds (tick):
+ *   miss    every control tick in the window is skipped
+ *   double  every second tick is skipped (period doubles)
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace yukta::fault {
+
+/** What a fault window corrupts. */
+enum class FaultTarget
+{
+    kPowerBig,    ///< Big-cluster power sensor.
+    kPowerLittle, ///< Little-cluster power sensor.
+    kTemp,        ///< Temperature sensor.
+    kPerfBig,     ///< Big-cluster instruction counter.
+    kPerfLittle,  ///< Little-cluster instruction counter.
+    kAll,         ///< The whole sensor bundle.
+    kActuator,    ///< The actuation path (HW inputs + placement).
+    kTiming,      ///< The control-tick schedule.
+};
+
+/** How the target misbehaves inside the window. */
+enum class FaultKind
+{
+    kNan,        ///< Sensor: NaN.
+    kInf,        ///< Sensor: +Inf.
+    kStuck,      ///< Sensor: stuck at the value on window entry.
+    kFreeze,     ///< Sensor: same latch; spelled for stale bundles.
+    kSpike,      ///< Sensor: multiplied by magnitude, seeded jitter.
+    kDrop,       ///< Sensor: dropout to zero.
+    kActIgnore,  ///< Actuator: command discarded.
+    kActPartial, ///< Actuator: fractional application.
+    kActQuantStuck, ///< Actuator: DVFS writes ignored.
+    kTickMiss,   ///< Timing: tick skipped.
+    kTickDouble, ///< Timing: every second tick skipped.
+};
+
+/** @return the spec-string id of @p target (e.g. "p_big"). */
+std::string faultTargetId(FaultTarget target);
+
+/** @return the spec-string id of @p kind (e.g. "nan"). */
+std::string faultKindId(FaultKind kind);
+
+/** One scheduled fault: target, kind, and the time window. */
+struct FaultWindow
+{
+    FaultTarget target = FaultTarget::kAll;
+    FaultKind kind = FaultKind::kFreeze;
+    double start = 0.0;      ///< Simulated seconds.
+    double duration = 0.0;   ///< Simulated seconds (> 0).
+    double magnitude = 0.0;  ///< 0 = kind-specific default.
+
+    /** @return true when @p t falls inside the window. */
+    bool active(double t) const
+    {
+        return t >= start && t < start + duration;
+    }
+};
+
+/** A complete, seeded fault schedule. */
+struct FaultPlan
+{
+    std::uint32_t seed = 1;
+    std::vector<FaultWindow> windows;
+
+    /** @return true when the plan schedules nothing. */
+    bool empty() const { return windows.empty(); }
+
+    /**
+     * @return the normalized spec string (stable across parse
+     * round-trips; suitable for run keys and logs).
+     */
+    std::string canonical() const;
+
+    /**
+     * Parses a spec string (see the file comment for the grammar).
+     * An empty string yields an empty plan.
+     * @throws std::invalid_argument on malformed entries, unknown
+     * targets/kinds, kind/target class mismatches, or non-positive
+     * durations.
+     */
+    static FaultPlan parse(const std::string& spec);
+};
+
+}  // namespace yukta::fault
+
+#endif  // YUKTA_FAULT_PLAN_H_

@@ -32,7 +32,7 @@ threadRate(const ThreadInfo& info, ClusterId cluster, double freq,
 Board::Board(BoardConfig cfg, Workload workload, std::uint32_t seed)
     : cfg_(cfg), dvfs_big_(cfg.big), dvfs_little_(cfg.little),
       power_big_(cfg.big, dvfs_big_), power_little_(cfg.little, dvfs_little_),
-      thermal_(cfg.thermal), sensors_(cfg.sensors, seed),
+      thermal_(cfg.thermal), sensors_(cfg.sensors, cfg.thermal.ambient, seed),
       tmu_(cfg.tmu, cfg_, dvfs_big_, dvfs_little_),
       workload_(std::move(workload))
 {
@@ -47,14 +47,29 @@ Board::Board(BoardConfig cfg, Workload workload, std::uint32_t seed)
 void
 Board::applyHardwareInputs(const HardwareInputs& in)
 {
-    requested_ = in;
+    // A non-finite frequency request is rejected field-wise and the
+    // previous setting kept, the way a sysfs write of garbage fails
+    // with -EINVAL and leaves the governor untouched. This keeps the
+    // platform NaN-free even when an (unsupervised) controller was
+    // poisoned by corrupted telemetry.
+    HardwareInputs want = in;
+    if (!std::isfinite(want.freq_big)) {
+        want.freq_big = requested_.freq_big;
+        ++rejected_inputs_;
+    }
+    if (!std::isfinite(want.freq_little)) {
+        want.freq_little = requested_.freq_little;
+        ++rejected_inputs_;
+    }
+    requested_ = want;
     // Quantize/clamp like cpufreq + hotplug would.
     requested_.big_cores =
-        std::clamp<std::size_t>(in.big_cores, 1, cfg_.big.num_cores);
+        std::clamp<std::size_t>(want.big_cores, 1, cfg_.big.num_cores);
     requested_.little_cores =
-        std::clamp<std::size_t>(in.little_cores, 1, cfg_.little.num_cores);
-    requested_.freq_big = dvfs_big_.quantize(in.freq_big);
-    requested_.freq_little = dvfs_little_.quantize(in.freq_little);
+        std::clamp<std::size_t>(want.little_cores, 1,
+                                cfg_.little.num_cores);
+    requested_.freq_big = dvfs_big_.quantize(want.freq_big);
+    requested_.freq_little = dvfs_little_.quantize(want.freq_little);
     refreshApplied();
     refreshPlacement(true);
     migration_stall_left_ = cfg_.migration_stall;
@@ -63,9 +78,37 @@ Board::applyHardwareInputs(const HardwareInputs& in)
 void
 Board::applyPlacementPolicy(const PlacementPolicy& policy)
 {
-    policy_ = policy;
+    // Same rejection rule as applyHardwareInputs: placeThreads rounds
+    // and casts the policy knobs, so letting a NaN through would be
+    // undefined behavior, not just a bad placement.
+    PlacementPolicy want = policy;
+    if (!std::isfinite(want.threads_big)) {
+        want.threads_big = policy_.threads_big;
+        ++rejected_inputs_;
+    }
+    if (!std::isfinite(want.tpc_big)) {
+        want.tpc_big = policy_.tpc_big;
+        ++rejected_inputs_;
+    }
+    if (!std::isfinite(want.tpc_little)) {
+        want.tpc_little = policy_.tpc_little;
+        ++rejected_inputs_;
+    }
+    policy_ = want;
     refreshPlacement(true);
     migration_stall_left_ = cfg_.migration_stall;
+}
+
+SensorReadings
+Board::readings() const
+{
+    SensorReadings r;
+    r.p_big = sensors_.powerBig();
+    r.p_little = sensors_.powerLittle();
+    r.temp = sensors_.temperature();
+    r.instr_big = counters_.instr_big;
+    r.instr_little = counters_.instr_little;
+    return r;
 }
 
 void
@@ -256,6 +299,13 @@ Board::stepOnce()
 
     // --- Sensors. ---
     sensors_.step(dt, true_p_big_, true_p_little_, thermal_.hotspot());
+
+    // --- Constraint-violation accounting (true state, not sensed).
+    if (true_p_big_ > cfg_.power_limit_big ||
+        true_p_little_ > cfg_.power_limit_little ||
+        thermal_.hotspot() > cfg_.temp_limit) {
+        violation_time_ += dt;
+    }
 
     time_ += dt;
 

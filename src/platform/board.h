@@ -104,6 +104,16 @@ class Board
     /** Sampled hot-spot temperature, C. */
     double sensedTemperature() const { return sensors_.temperature(); }
 
+    /**
+     * One complete sensor snapshot (powers, temperature, cumulative
+     * perf counters) — the observation boundary the fault layer
+     * corrupts and the supervisor validates.
+     */
+    SensorReadings readings() const;
+
+    /** Access to the sensor front-end (clamp counters, tests). */
+    const Sensors& sensors() const { return sensors_; }
+
     /** True instantaneous values (for tracing / oracle tests). */
     double truePowerBig() const { return true_p_big_; }
     double truePowerLittle() const { return true_p_little_; }
@@ -138,6 +148,21 @@ class Board
 
     /** @return total emergency-active time (s). */
     double emergencyTime() const { return tmu_.emergencyTime(); }
+
+    /**
+     * @return total time (s) the *true* board state violated any of
+     * the paper's operating constraints (P_big, P_little, or T over
+     * their Sec. V-A limits). The robustness benches compare this
+     * between supervised and unsupervised stacks.
+     */
+    double constraintViolationTime() const { return violation_time_; }
+
+    /**
+     * @return actuation requests rejected because a field was
+     * non-finite (NaN/Inf); like a sysfs write of garbage, the
+     * previous setting stays in force.
+     */
+    std::size_t rejectedInputCount() const { return rejected_inputs_; }
 
     /** Access to the DVFS tables (for controllers/heuristics). */
     const DvfsTable& dvfs(ClusterId c) const
@@ -181,6 +206,8 @@ class Board
     double true_p_big_ = 0.0;
     double true_p_little_ = 0.0;
     double migration_stall_left_ = 0.0;
+    double violation_time_ = 0.0;
+    std::size_t rejected_inputs_ = 0;
     PerfCounters counters_;
 
     std::vector<double> rate_scratch_;       ///< Reused per step.

@@ -8,8 +8,17 @@
  * instantaneous power — the paper picks its 500 ms control period
  * from this. Temperature is sampled faster; performance counters
  * (instructions retired) are continuous counters read by perf.
+ *
+ * Physically impossible raw readings (negative power, temperature
+ * below ambient) are clamped at the source and counted, instead of
+ * being passed through silently: real sensor drivers reject such
+ * samples, and downstream validators (controllers/supervisor.h) rely
+ * on clean telemetry meaning "plausible", so corruption past this
+ * point is attributable to fault injection, not the sensor model.
  */
 
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <random>
 
@@ -17,12 +26,43 @@
 
 namespace yukta::platform {
 
+/**
+ * One complete sensor snapshot as a privileged process reads it each
+ * control period: windowed cluster powers, the latest temperature
+ * sample, and the cumulative per-cluster instruction counters.
+ *
+ * This is the boundary type the fault layer (src/fault/) corrupts and
+ * the supervisor validates. Construct it only inside the platform and
+ * fault layers (yukta-lint rule sensor-construction); everything else
+ * receives instances from Board::readings() or by copy.
+ */
+struct SensorReadings
+{
+    double p_big = 0.0;        ///< Windowed big-cluster power (W).
+    double p_little = 0.0;     ///< Windowed little-cluster power (W).
+    double temp = 25.0;        ///< Latest temperature sample (C).
+    double instr_big = 0.0;    ///< Cumulative giga-instr, big.
+    double instr_little = 0.0; ///< Cumulative giga-instr, little.
+};
+
+/** Finite-check customization point (core/contracts.h, via ADL). */
+inline bool yuktaAllFinite(const SensorReadings& r)
+{
+    return std::isfinite(r.p_big) && std::isfinite(r.p_little) &&
+           std::isfinite(r.temp) && std::isfinite(r.instr_big) &&
+           std::isfinite(r.instr_little);
+}
+
 /** Sampled sensor front-end fed by the board's true signals. */
 class Sensors
 {
   public:
-    /** Builds the front-end; @p seed drives the noise generator. */
-    Sensors(const SensorConfig& cfg, std::uint32_t seed);
+    /**
+     * Builds the front-end; @p ambient floors temperature samples
+     * (a heatsink cannot read below the air around it) and @p seed
+     * drives the noise generator.
+     */
+    Sensors(const SensorConfig& cfg, double ambient, std::uint32_t seed);
 
     /**
      * Advances the sensor state by @p dt with the current true
@@ -40,8 +80,15 @@ class Sensors
     /** @return last temperature sample (C). */
     double temperature() const { return temp_; }
 
+    /** @return samples clamped for physically negative power. */
+    std::size_t clampedPowerCount() const { return clamped_power_; }
+
+    /** @return samples clamped for temperature below ambient. */
+    std::size_t clampedTempCount() const { return clamped_temp_; }
+
   private:
     SensorConfig cfg_;
+    double ambient_ = 25.0;
     std::mt19937 rng_;
     std::normal_distribution<double> gauss_{0.0, 1.0};
 
@@ -53,6 +100,9 @@ class Sensors
     double win_big_ = 0.0;
     double win_little_ = 0.0;
     double temp_timer_ = 0.0;
+
+    std::size_t clamped_power_ = 0;
+    std::size_t clamped_temp_ = 0;
 };
 
 /** Per-cluster instructions-retired counters (perf-style). */

@@ -1,8 +1,15 @@
 #include "runner/pool.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <exception>
+#include <memory>
 #include <thread>
+#include <typeinfo>
+
+#if defined(__GNUG__)
+#include <cxxabi.h>
+#endif
 
 namespace yukta::runner {
 
@@ -20,7 +27,7 @@ void
 workerLoop(const std::vector<Task>& tasks, std::atomic<std::size_t>& next,
            std::vector<TaskOutcome>& outcomes,
            const std::atomic<bool>& stop, double timeout_seconds,
-           const TaskCallback& on_complete)
+           const TaskCallback& on_complete, const RetryPolicy& retry)
 {
     for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -35,15 +42,31 @@ workerLoop(const std::vector<Task>& tasks, std::atomic<std::size_t>& next,
                                std::chrono::duration<double>(timeout_seconds))
                          : Clock::time_point{};
         CancelToken token(&stop, deadline, has_deadline);
-        try {
-            tasks[i](token);
-            out.status = TaskOutcome::Status::kOk;
-        } catch (const std::exception& e) {
-            out.status = TaskOutcome::Status::kError;
-            out.error = e.what();
-        } catch (...) {
-            out.status = TaskOutcome::Status::kError;
-            out.error = "unknown exception";
+        const int max_attempts = std::max(1, retry.max_attempts);
+        for (;;) {
+            ++out.attempts;
+            out.error.clear();
+            out.error_type.clear();
+            try {
+                tasks[i](token);
+                out.status = TaskOutcome::Status::kOk;
+            } catch (const std::exception& e) {
+                out.status = TaskOutcome::Status::kError;
+                out.error = e.what();
+                out.error_type = exceptionTypeName(e);
+            } catch (...) {
+                out.status = TaskOutcome::Status::kError;
+                out.error = "unknown exception";
+                out.error_type = "unknown";
+            }
+            if (out.status != TaskOutcome::Status::kError ||
+                out.attempts >= max_attempts || token.expired()) {
+                break;
+            }
+            if (retry.backoff_seconds > 0.0) {
+                std::this_thread::sleep_for(std::chrono::duration<double>(
+                    retry.backoff_seconds * out.attempts));
+            }
         }
         const Clock::time_point end = Clock::now();
         out.wall_seconds =
@@ -61,6 +84,21 @@ workerLoop(const std::vector<Task>& tasks, std::atomic<std::size_t>& next,
 }  // namespace
 
 std::string
+exceptionTypeName(const std::exception& e)
+{
+    const char* raw = typeid(e).name();
+#if defined(__GNUG__)
+    int status = 0;
+    std::unique_ptr<char, void (*)(void*)> demangled(
+        abi::__cxa_demangle(raw, nullptr, nullptr, &status), std::free);
+    if (status == 0 && demangled) {
+        return demangled.get();
+    }
+#endif
+    return raw;
+}
+
+std::string
 taskStatusName(TaskOutcome::Status status)
 {
     switch (status) {
@@ -76,7 +114,8 @@ taskStatusName(TaskOutcome::Status status)
 
 std::vector<TaskOutcome>
 runOnPool(const std::vector<Task>& tasks, std::size_t num_workers,
-          double timeout_seconds, const TaskCallback& on_complete)
+          double timeout_seconds, const TaskCallback& on_complete,
+          const RetryPolicy& retry)
 {
     std::vector<TaskOutcome> outcomes(tasks.size());
     std::atomic<std::size_t> next{0};
@@ -84,7 +123,7 @@ runOnPool(const std::vector<Task>& tasks, std::size_t num_workers,
 
     if (num_workers <= 1) {
         workerLoop(tasks, next, outcomes, stop, timeout_seconds,
-                   on_complete);
+                   on_complete, retry);
         return outcomes;
     }
 
@@ -94,7 +133,7 @@ runOnPool(const std::vector<Task>& tasks, std::size_t num_workers,
     for (std::size_t w = 0; w < n; ++w) {
         workers.emplace_back([&] {
             workerLoop(tasks, next, outcomes, stop, timeout_seconds,
-                       on_complete);
+                       on_complete, retry);
         });
     }
     for (std::thread& t : workers) {

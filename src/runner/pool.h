@@ -71,11 +71,29 @@ struct TaskOutcome
 
     Status status = Status::kOk;
     std::string error;          ///< Exception text for kError.
-    double wall_seconds = 0.0;  ///< Wall-clock time inside the task.
+    std::string error_type;     ///< Demangled exception type for kError.
+    int attempts = 0;           ///< Times the task body was entered.
+    double wall_seconds = 0.0;  ///< Wall-clock time across attempts.
 };
 
 /** @return a human-readable name for @p status. */
 std::string taskStatusName(TaskOutcome::Status status);
+
+/** @return the demangled dynamic type name of @p e (best effort). */
+std::string exceptionTypeName(const std::exception& e);
+
+/**
+ * Bounded retry for transient task failures. Only kError outcomes are
+ * retried (a timeout would just time out again, and retrying past the
+ * pool's stop flag would stall shutdown); the task body must therefore
+ * be idempotent. Backoff is linear: attempt k sleeps
+ * k * backoff_seconds before re-entering the body.
+ */
+struct RetryPolicy
+{
+    int max_attempts = 1;         ///< Total tries; <= 1 disables retry.
+    double backoff_seconds = 0.0; ///< Linear backoff base.
+};
 
 /** A pool task; poll the token to honor timeouts. */
 using Task = std::function<void(const CancelToken&)>;
@@ -100,11 +118,13 @@ using TaskCallback =
  *   A task whose wall time exceeds the deadline is reported as
  *   kTimeout whether or not it polled the token.
  * @param on_complete optional per-task completion hook.
+ * @param retry bounded retry-with-backoff for throwing tasks.
  */
 std::vector<TaskOutcome> runOnPool(const std::vector<Task>& tasks,
                                    std::size_t num_workers,
                                    double timeout_seconds = 0.0,
-                                   const TaskCallback& on_complete = {});
+                                   const TaskCallback& on_complete = {},
+                                   const RetryPolicy& retry = {});
 
 }  // namespace yukta::runner
 

@@ -28,8 +28,12 @@ struct RunRecord
     core::Scheme scheme = core::Scheme::kCoordinatedHeuristic;
     std::string workload;        ///< App or mix name.
     std::uint32_t seed = 1;
+    std::string fault_plan;      ///< Fault plan spec; "" = clean run.
+    bool supervised = false;     ///< Supervisor was enabled.
     TaskOutcome::Status status = TaskOutcome::Status::kOk;
     std::string error;           ///< Exception text when status=error.
+    std::string error_type;      ///< Exception type when status=error.
+    int attempts = 0;            ///< Pool attempts (retries included).
     bool cache_hit = false;      ///< Metrics came from the run cache.
     double wall_seconds = 0.0;   ///< Wall-clock cost of this run.
     controllers::RunMetrics metrics;  ///< Empty unless status=ok.

@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "core/cache.h"
+#include "fault/plan.h"
 #include "platform/apps.h"
 
 #ifdef __unix__
@@ -24,7 +25,9 @@ using controllers::RunMetrics;
 
 namespace {
 
-constexpr int kRunFormatVersion = 1;
+// v2: adds violation time, supervision flag, fault-injection tallies,
+// and the supervisor summary to the cached result format.
+constexpr int kRunFormatVersion = 2;
 
 /**
  * Process-wide lock for the shared cache directory: an in-process
@@ -147,6 +150,8 @@ expandSweep(const SweepSpec& spec)
                 run.seed = seed;
                 run.max_seconds = spec.max_seconds;
                 run.trace_interval = spec.trace_interval;
+                run.fault_plan = spec.fault_plan;
+                run.supervised = spec.supervised;
                 runs.push_back(std::move(run));
             }
         }
@@ -161,7 +166,8 @@ runKey(const RunSpec& run, const std::string& artifact_tag)
     os << "run|v" << kRunFormatVersion << "|" << artifact_tag << "|"
        << schemeId(run.scheme) << "|" << run.workload << "|" << run.seed
        << "|" << canonicalDouble(run.max_seconds) << "|"
-       << canonicalDouble(run.trace_interval);
+       << canonicalDouble(run.trace_interval) << "|" << run.fault_plan
+       << "|" << (run.supervised ? 1 : 0);
     std::ostringstream hex;
     hex << std::hex << std::setw(16) << std::setfill('0')
         << fnv1a(os.str());
@@ -187,6 +193,18 @@ saveRunMetrics(const std::string& path, const RunMetrics& m)
     os << m.exec_time << " " << m.energy << " " << m.exd << " "
        << (m.completed ? 1 : 0) << " " << m.emergency_time << " "
        << m.periods << "\n";
+    // v2 robustness block: board-truth violation time, whether the
+    // supervisor ran, injector tallies, and the supervisor summary
+    // (events, like traces, are not persisted).
+    os << m.violation_time << " " << (m.supervised ? 1 : 0) << " "
+       << m.faults.corrupted_ticks << " " << m.faults.corrupted_fields
+       << " " << m.faults.actuator_faults << " " << m.faults.dropped_ticks
+       << " " << m.supervisor.transition_count << " "
+       << m.supervisor.invalid_ticks << " " << m.supervisor.repaired_fields
+       << " " << m.supervisor.repaired_commands << " "
+       << m.supervisor.skipped_ticks << " " << m.supervisor.time_nominal
+       << " " << m.supervisor.time_hold << " " << m.supervisor.time_fallback
+       << " " << m.supervisor.time_safe << "\n";
     CacheLockGuard lock;
     return core::atomicWriteFile(path, os.str());
 }
@@ -211,6 +229,18 @@ loadRunMetrics(const std::string& path)
         return std::nullopt;
     }
     m.completed = completed != 0;
+    int supervised = 0;
+    if (!(is >> m.violation_time >> supervised >>
+          m.faults.corrupted_ticks >> m.faults.corrupted_fields >>
+          m.faults.actuator_faults >> m.faults.dropped_ticks >>
+          m.supervisor.transition_count >> m.supervisor.invalid_ticks >>
+          m.supervisor.repaired_fields >> m.supervisor.repaired_commands >>
+          m.supervisor.skipped_ticks >> m.supervisor.time_nominal >>
+          m.supervisor.time_hold >> m.supervisor.time_fallback >>
+          m.supervisor.time_safe)) {
+        return std::nullopt;
+    }
+    m.supervised = supervised != 0;
     return m;
 }
 
@@ -252,6 +282,8 @@ runAll(const core::Artifacts& artifacts, const std::vector<RunSpec>& runs,
         r.scheme = runs[i].scheme;
         r.workload = runs[i].workload;
         r.seed = runs[i].seed;
+        r.fault_plan = runs[i].fault_plan;
+        r.supervised = runs[i].supervised;
     }
 
     ProgressReporter progress(options.progress, runs.size());
@@ -285,6 +317,15 @@ runAll(const core::Artifacts& artifacts, const std::vector<RunSpec>& runs,
             if (run.trace_interval > 0.0) {
                 system.enableTrace(run.trace_interval);
             }
+            // Parsed inside the task so a malformed plan fails only
+            // this run (captured in its record), not the whole sweep.
+            if (!run.fault_plan.empty()) {
+                system.attachFaultInjector(
+                    fault::FaultPlan::parse(run.fault_plan));
+            }
+            if (run.supervised) {
+                system.enableSupervisor();
+            }
             record.metrics = system.run(run.max_seconds);
             if (cacheable) {
                 saveRunMetrics(core::cachePath("run-" + record.key),
@@ -302,18 +343,26 @@ runAll(const core::Artifacts& artifacts, const std::vector<RunSpec>& runs,
             RunRecord r = result.records[i];
             r.status = outcome.status;
             r.error = outcome.error;
+            r.error_type = outcome.error_type;
+            r.attempts = outcome.attempts;
             r.wall_seconds = outcome.wall_seconds;
             progress.report(r);
         };
     }
 
-    std::vector<TaskOutcome> outcomes = runOnPool(
-        tasks, options.workers, options.run_timeout_seconds, on_complete);
+    RetryPolicy retry;
+    retry.max_attempts = options.run_attempts;
+    retry.backoff_seconds = options.retry_backoff_seconds;
+    std::vector<TaskOutcome> outcomes =
+        runOnPool(tasks, options.workers, options.run_timeout_seconds,
+                  on_complete, retry);
 
     for (std::size_t i = 0; i < runs.size(); ++i) {
         RunRecord& r = result.records[i];
         r.status = outcomes[i].status;
         r.error = outcomes[i].error;
+        r.error_type = outcomes[i].error_type;
+        r.attempts = outcomes[i].attempts;
         r.wall_seconds = outcomes[i].wall_seconds;
     }
 

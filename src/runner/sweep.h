@@ -42,6 +42,8 @@ struct RunSpec
     std::uint32_t seed = 1;
     double max_seconds = 1200.0;  ///< Simulated-time budget.
     double trace_interval = 0.0;  ///< >0 records a trace (uncached).
+    std::string fault_plan;       ///< fault::FaultPlan spec; "" = none.
+    bool supervised = false;      ///< Wrap controllers in a Supervisor.
 };
 
 /** A declarative sweep: the cross product of the axes. */
@@ -52,6 +54,8 @@ struct SweepSpec
     std::vector<std::uint32_t> seeds = {1};
     double max_seconds = 1200.0;
     double trace_interval = 0.0;
+    std::string fault_plan;   ///< Applied to every expanded run.
+    bool supervised = false;  ///< Applied to every expanded run.
 
     /**
      * Folded into every run key; must identify the artifact bundle
@@ -69,8 +73,8 @@ std::vector<RunSpec> expandSweep(const SweepSpec& spec);
 
 /**
  * @return the content hash (hex) keying one run's cached result:
- * covers scheme, workload, seed, budget, trace interval, artifact
- * tag, and the cache format version.
+ * covers scheme, workload, seed, budget, trace interval, fault plan,
+ * supervision flag, artifact tag, and the cache format version.
  */
 std::string runKey(const RunSpec& run, const std::string& artifact_tag);
 
@@ -102,6 +106,8 @@ struct RunnerOptions
     std::ostream* progress = nullptr;  ///< Live one-line-per-run feed.
     std::ostream* jsonl = nullptr;     ///< Records as JSONL (post-run,
                                        ///< index order).
+    int run_attempts = 1;              ///< Retries per throwing run.
+    double retry_backoff_seconds = 0.0;  ///< Linear backoff base.
 };
 
 /** Aggregated sweep output; records are index-ordered. */

@@ -1,0 +1,314 @@
+// Degradation-ladder semantics: every fault class drives the expected
+// transitions, recovery is hysteretic (no oscillation on alternating
+// telemetry), the safe state really satisfies the paper's caps, and
+// the command guard never lets NaN actuation through.
+// yukta-lint: allow-file(sensor-construction) tests forge readings
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "controllers/supervisor.h"
+#include "platform/apps.h"
+
+namespace yukta::controllers {
+namespace {
+
+using platform::BoardConfig;
+using platform::HardwareInputs;
+using platform::PlacementPolicy;
+using platform::SensorReadings;
+
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+
+BoardConfig boardCfg()
+{
+    return BoardConfig::odroidXu3();
+}
+
+/** Plausible, tick-varying telemetry (defeats the stuck detector). */
+SensorReadings
+goodObs(int tick)
+{
+    SensorReadings obs;
+    obs.p_big = 1.5 + 0.001 * tick;
+    obs.p_little = 0.10 + 0.0001 * tick;
+    obs.temp = 50.0 + 0.01 * tick;
+    obs.instr_big = 2.0 * (tick + 1);
+    obs.instr_little = 0.5 * (tick + 1);
+    return obs;
+}
+
+double tickTime(int tick)
+{
+    return kControlPeriod * tick;
+}
+
+TEST(Supervisor, CleanTelemetryStaysNominal)
+{
+    Supervisor sup(boardCfg());
+    for (int tick = 0; tick < 20; ++tick) {
+        auto d = sup.assess(tick, tickTime(tick), goodObs(tick));
+        EXPECT_EQ(d.mode, SupervisorMode::kNominal);
+        EXPECT_FALSE(d.reset_primaries);
+    }
+    EXPECT_EQ(sup.report().transitions(), 0);
+    EXPECT_EQ(sup.report().invalid_ticks, 0);
+    EXPECT_EQ(sup.report().repaired_fields, 0);
+    EXPECT_EQ(sup.report().timeDegraded(), 0.0);
+}
+
+TEST(Supervisor, SustainedNanWalksTheWholeLadder)
+{
+    SupervisorConfig cfg;  // hold_limit=2, fallback_limit=8
+    Supervisor sup(boardCfg(), cfg);
+    for (int tick = 0; tick < 5; ++tick) {
+        sup.assess(tick, tickTime(tick), goodObs(tick));
+    }
+    for (int tick = 5; tick < 25; ++tick) {
+        SensorReadings obs = goodObs(tick);
+        obs.p_big = kNan;
+        auto d = sup.assess(tick, tickTime(tick), obs);
+        // Repaired readings are always finite.
+        EXPECT_TRUE(std::isfinite(d.readings.p_big));
+    }
+    EXPECT_EQ(sup.mode(), SupervisorMode::kSafe);
+    const auto& events = sup.report().events;
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].from, SupervisorMode::kNominal);
+    EXPECT_EQ(events[0].to, SupervisorMode::kHold);
+    EXPECT_NE(events[0].reason.find("p_big:non-finite"),
+              std::string::npos);
+    EXPECT_EQ(events[1].to, SupervisorMode::kFallback);
+    EXPECT_EQ(events[2].to, SupervisorMode::kSafe);
+    // Degradation spacing follows the configured budgets.
+    EXPECT_EQ(events[0].period, 5);
+    EXPECT_EQ(events[1].period, 5 + cfg.hold_limit);
+    EXPECT_EQ(events[2].period, 5 + cfg.fallback_limit);
+}
+
+TEST(Supervisor, RecoveryClimbsOneRungPerHealthyWindow)
+{
+    SupervisorConfig cfg;
+    Supervisor sup(boardCfg(), cfg);
+    int tick = 0;
+    for (; tick < 15; ++tick) {
+        SensorReadings obs = goodObs(tick);
+        obs.temp = kNan;
+        sup.assess(tick, tickTime(tick), obs);
+    }
+    ASSERT_EQ(sup.mode(), SupervisorMode::kSafe);
+
+    bool saw_reset = false;
+    for (int good = 0; good < 3 * cfg.recovery_ticks; ++good, ++tick) {
+        auto d = sup.assess(tick, tickTime(tick), goodObs(tick));
+        saw_reset = saw_reset || d.reset_primaries;
+    }
+    EXPECT_EQ(sup.mode(), SupervisorMode::kNominal);
+    EXPECT_TRUE(saw_reset);
+    const auto& events = sup.report().events;
+    // kSafe -> kFallback -> kHold -> kNominal, one per window.
+    ASSERT_GE(events.size(), 6u);
+    const auto n = events.size();
+    EXPECT_EQ(events[n - 3].to, SupervisorMode::kFallback);
+    EXPECT_EQ(events[n - 2].to, SupervisorMode::kHold);
+    EXPECT_EQ(events[n - 1].to, SupervisorMode::kNominal);
+    EXPECT_EQ(events[n - 2].period - events[n - 3].period,
+              cfg.recovery_ticks);
+    EXPECT_EQ(events[n - 1].period - events[n - 2].period,
+              cfg.recovery_ticks);
+}
+
+TEST(Supervisor, AlternatingTelemetryDoesNotOscillate)
+{
+    Supervisor sup(boardCfg());
+    for (int tick = 0; tick < 40; ++tick) {
+        SensorReadings obs = goodObs(tick);
+        if (tick % 2 == 1) {
+            obs.p_little = kNan;
+        }
+        sup.assess(tick, tickTime(tick), obs);
+    }
+    // One drop into kHold; never enough consecutive bad ticks to fall
+    // further, never enough consecutive good ticks to climb out.
+    EXPECT_EQ(sup.mode(), SupervisorMode::kHold);
+    EXPECT_EQ(sup.report().transitions(), 1);
+}
+
+TEST(Supervisor, DetectsEverySensorFaultClass)
+{
+    struct Case {
+        const char* name;
+        void (*mutate)(SensorReadings&);
+        const char* reason;
+    };
+    const Case cases[] = {
+        {"nan", [](SensorReadings& o) { o.p_big = kNan; },
+         "p_big:non-finite"},
+        {"inf",
+         [](SensorReadings& o) {
+             o.temp = std::numeric_limits<double>::infinity();
+         },
+         "temp:non-finite"},
+        {"implausible-high",
+         [](SensorReadings& o) { o.temp = 200.0; },
+         "temp:implausible-high"},
+        {"dropout", [](SensorReadings& o) { o.p_big = 0.0; },
+         "p_big:implausible-low"},
+        {"below-ambient", [](SensorReadings& o) { o.temp = 10.0; },
+         "temp:below-ambient"},
+        {"spike", [](SensorReadings& o) { o.p_little = 40.0; },
+         "p_little:implausible-high"},
+        {"counter-reset",
+         [](SensorReadings& o) { o.instr_big = 0.001; },
+         "instr_big:counter-reset"},
+    };
+    for (const Case& c : cases) {
+        SCOPED_TRACE(c.name);
+        Supervisor sup(boardCfg());
+        for (int tick = 0; tick < 5; ++tick) {
+            sup.assess(tick, tickTime(tick), goodObs(tick));
+        }
+        SensorReadings obs = goodObs(5);
+        c.mutate(obs);
+        auto d = sup.assess(5, tickTime(5), obs);
+        EXPECT_EQ(d.mode, SupervisorMode::kHold);
+        ASSERT_EQ(sup.report().events.size(), 1u);
+        EXPECT_NE(sup.report().events[0].reason.find(c.reason),
+                  std::string::npos);
+        EXPECT_GE(sup.report().repaired_fields, 1);
+    }
+}
+
+TEST(Supervisor, BitIdenticalRepeatsMeanStuckSensor)
+{
+    Supervisor sup(boardCfg());
+    for (int tick = 0; tick < 12; ++tick) {
+        SensorReadings obs = goodObs(tick);
+        obs.p_big = 2.0;  // plausible but frozen
+        sup.assess(tick, tickTime(tick), obs);
+    }
+    EXPECT_NE(sup.mode(), SupervisorMode::kNominal);
+    ASSERT_GE(sup.report().events.size(), 1u);
+    EXPECT_NE(sup.report().events[0].reason.find("p_big:stuck"),
+              std::string::npos);
+}
+
+TEST(Supervisor, StaleCountersAreInvalid)
+{
+    Supervisor sup(boardCfg());
+    for (int tick = 0; tick < 5; ++tick) {
+        sup.assess(tick, tickTime(tick), goodObs(tick));
+    }
+    SensorReadings frozen = goodObs(4);  // counters did not advance
+    frozen.p_big += 0.01;  // keep the analog side varying
+    frozen.temp += 0.1;
+    auto d = sup.assess(5, tickTime(5), frozen);
+    EXPECT_EQ(d.mode, SupervisorMode::kHold);
+    EXPECT_NE(sup.report().events[0].reason.find("instr_big:stale"),
+              std::string::npos);
+}
+
+TEST(Supervisor, ParkedBigClusterIsNotAStaleCounterFault)
+{
+    // In kSafe the supervisor's own placement parks the big cluster,
+    // so instr_big legitimately stops advancing. Without the
+    // notePlacement gate that reads as a stale-counter fault and the
+    // ladder locks in kSafe forever.
+    Supervisor sup(boardCfg());
+    for (int tick = 0; tick < 5; ++tick) {
+        sup.assess(tick, tickTime(tick), goodObs(tick));
+    }
+    sup.notePlacement(sup.safePolicy());  // threads_big = 0
+    SensorReadings parked = goodObs(5);
+    parked.instr_big = goodObs(4).instr_big;  // big counter frozen
+    auto d = sup.assess(5, tickTime(5), parked);
+    EXPECT_EQ(d.mode, SupervisorMode::kNominal);
+    EXPECT_EQ(sup.report().invalid_ticks, 0);
+
+    // Once threads are commanded back onto the big cluster, a frozen
+    // counter is a fault again.
+    platform::PlacementPolicy busy = sup.safePolicy();
+    busy.threads_big = 4.0;
+    sup.notePlacement(busy);
+    auto d2 = sup.assess(6, tickTime(6), parked);
+    EXPECT_EQ(d2.mode, SupervisorMode::kHold);
+    EXPECT_NE(sup.report().events[0].reason.find("instr_big:stale"),
+              std::string::npos);
+}
+
+TEST(Supervisor, WarmupSuppressesFloorChecks)
+{
+    // The power windows publish their first value after 260 ms, so
+    // period 0 legitimately reads 0 W; that must not trip the ladder.
+    Supervisor sup(boardCfg());
+    SensorReadings cold;
+    cold.temp = boardCfg().thermal.ambient;
+    auto d = sup.assess(0, 0.0, cold);
+    EXPECT_EQ(d.mode, SupervisorMode::kNominal);
+    EXPECT_EQ(sup.report().invalid_ticks, 0);
+}
+
+TEST(Supervisor, SafeStateSatisfiesTheCapsOnTheBoard)
+{
+    const BoardConfig cfg = boardCfg();
+    Supervisor sup(cfg);
+    platform::Workload workload(platform::AppCatalog::get("swaptions"));
+    platform::Board board(cfg, workload, /*seed=*/1);
+    board.applyHardwareInputs(sup.safeHardware());
+    board.applyPlacementPolicy(sup.safePolicy());
+    board.run(30.0);
+    EXPECT_EQ(board.constraintViolationTime(), 0.0);
+    EXPECT_EQ(board.emergencyTime(), 0.0);
+}
+
+TEST(Supervisor, GuardReplacesNonFiniteCommands)
+{
+    Supervisor sup(boardCfg());
+    HardwareInputs hw = sup.safeHardware();
+    hw.freq_big = kNan;
+    hw.freq_little = std::numeric_limits<double>::infinity();
+    HardwareInputs fixed = sup.guardHardware(hw);
+    EXPECT_TRUE(std::isfinite(fixed.freq_big));
+    EXPECT_TRUE(std::isfinite(fixed.freq_little));
+
+    PlacementPolicy policy;
+    policy.threads_big = kNan;
+    policy.tpc_big = kNan;
+    policy.tpc_little = 2.0;
+    PlacementPolicy fixed_policy = sup.guardPolicy(policy);
+    EXPECT_TRUE(std::isfinite(fixed_policy.threads_big));
+    EXPECT_TRUE(std::isfinite(fixed_policy.tpc_big));
+    EXPECT_EQ(fixed_policy.tpc_little, 2.0);
+    EXPECT_EQ(sup.report().repaired_commands, 4);
+
+    HardwareInputs clean = sup.guardHardware(sup.safeHardware());
+    EXPECT_EQ(clean.freq_big, sup.safeHardware().freq_big);
+    EXPECT_EQ(sup.report().repaired_commands, 4);
+}
+
+TEST(Supervisor, ResetClearsTheLadderAndTheReport)
+{
+    Supervisor sup(boardCfg());
+    for (int tick = 0; tick < 15; ++tick) {
+        SensorReadings obs = goodObs(tick);
+        obs.p_big = kNan;
+        sup.assess(tick, tickTime(tick), obs);
+    }
+    EXPECT_NE(sup.mode(), SupervisorMode::kNominal);
+    sup.reset();
+    EXPECT_EQ(sup.mode(), SupervisorMode::kNominal);
+    EXPECT_EQ(sup.report().transitions(), 0);
+    EXPECT_EQ(sup.report().invalid_ticks, 0);
+}
+
+TEST(Supervisor, ModeNames)
+{
+    EXPECT_EQ(supervisorModeName(SupervisorMode::kNominal), "nominal");
+    EXPECT_EQ(supervisorModeName(SupervisorMode::kHold), "hold");
+    EXPECT_EQ(supervisorModeName(SupervisorMode::kFallback), "fallback");
+    EXPECT_EQ(supervisorModeName(SupervisorMode::kSafe), "safe");
+}
+
+}  // namespace
+}  // namespace yukta::controllers

@@ -292,7 +292,7 @@ TEST(Sensors, PowerUpdatesAtSensorPeriod)
     SensorConfig scfg = cfg.sensors;
     scfg.power_noise = 0.0;
     scfg.temp_noise = 0.0;
-    Sensors s(scfg, 7);
+    Sensors s(scfg, /*ambient=*/25.0, 7);
     // Before a full 260 ms window, the reading stays at initial 0.
     for (int i = 0; i < 200; ++i) {
         s.step(1e-3, 4.0, 0.2, 60.0);
@@ -309,7 +309,7 @@ TEST(Sensors, WindowAveragesPower)
 {
     SensorConfig scfg = cfg.sensors;
     scfg.power_noise = 0.0;
-    Sensors s(scfg, 7);
+    Sensors s(scfg, /*ambient=*/25.0, 7);
     // Half window at 2 W, half at 6 W -> average 4 W.
     for (int i = 0; i < 130; ++i) {
         s.step(1e-3, 2.0, 0.1, 50.0);
@@ -318,6 +318,25 @@ TEST(Sensors, WindowAveragesPower)
         s.step(1e-3, 6.0, 0.3, 50.0);
     }
     EXPECT_NEAR(s.powerBig(), 4.0, 0.25);
+}
+
+TEST(Sensors, ClampsPhysicallyImpossibleReadings)
+{
+    // Exaggerated noise makes raw windows go negative and temperature
+    // samples undershoot ambient; the published readings must stay
+    // physical and the clamps must be counted.
+    SensorConfig scfg = cfg.sensors;
+    scfg.power_noise = 1.0;
+    scfg.temp_noise = 40.0;
+    Sensors s(scfg, /*ambient=*/25.0, 7);
+    for (int i = 0; i < 20000; ++i) {
+        s.step(1e-3, 0.05, 0.01, 26.0);
+        EXPECT_GE(s.powerBig(), 0.0);
+        EXPECT_GE(s.powerLittle(), 0.0);
+        EXPECT_GE(s.temperature(), 25.0);
+    }
+    EXPECT_GT(s.clampedPowerCount(), 0u);
+    EXPECT_GT(s.clampedTempCount(), 0u);
 }
 
 TEST(Tmu, PowerEmergencyCapsFrequency)

@@ -126,5 +126,81 @@ TEST(Pool, StatusNames)
     EXPECT_EQ(taskStatusName(TaskOutcome::Status::kTimeout), "timeout");
 }
 
+TEST(Pool, OutcomesCarryTheExceptionType)
+{
+    std::vector<Task> tasks;
+    tasks.push_back([](const CancelToken&) {
+        throw std::runtime_error("controller diverged");
+    });
+    tasks.push_back([](const CancelToken&) {
+        throw std::invalid_argument("bad plan");
+    });
+    tasks.push_back([](const CancelToken&) { throw 42; });
+    tasks.push_back([](const CancelToken&) {});
+
+    auto outcomes = runOnPool(tasks, 2);
+    EXPECT_EQ(outcomes[0].error_type, "std::runtime_error");
+    EXPECT_EQ(outcomes[1].error_type, "std::invalid_argument");
+    EXPECT_EQ(outcomes[2].error_type, "unknown");
+    EXPECT_TRUE(outcomes[3].error_type.empty());
+    EXPECT_EQ(outcomes[3].attempts, 1);
+}
+
+TEST(Pool, RetrySucceedsAfterTransientFailures)
+{
+    std::atomic<int> calls{0};
+    std::vector<Task> tasks;
+    tasks.push_back([&](const CancelToken&) {
+        if (calls.fetch_add(1) < 2) {
+            throw std::runtime_error("transient");
+        }
+    });
+    RetryPolicy retry;
+    retry.max_attempts = 3;
+    auto outcomes = runOnPool(tasks, 1, 0.0, {}, retry);
+    EXPECT_EQ(outcomes[0].status, TaskOutcome::Status::kOk);
+    EXPECT_EQ(outcomes[0].attempts, 3);
+    EXPECT_TRUE(outcomes[0].error.empty());
+    EXPECT_TRUE(outcomes[0].error_type.empty());
+}
+
+TEST(Pool, RetryExhaustionKeepsTheLastError)
+{
+    std::atomic<int> calls{0};
+    std::vector<Task> tasks;
+    tasks.push_back([&](const CancelToken&) {
+        calls.fetch_add(1);
+        throw std::runtime_error("permanent");
+    });
+    RetryPolicy retry;
+    retry.max_attempts = 3;
+    auto outcomes = runOnPool(tasks, 1, 0.0, {}, retry);
+    EXPECT_EQ(calls.load(), 3);
+    EXPECT_EQ(outcomes[0].status, TaskOutcome::Status::kError);
+    EXPECT_EQ(outcomes[0].attempts, 3);
+    EXPECT_EQ(outcomes[0].error, "permanent");
+    EXPECT_EQ(outcomes[0].error_type, "std::runtime_error");
+}
+
+TEST(Pool, NoRetryByDefault)
+{
+    std::atomic<int> calls{0};
+    std::vector<Task> tasks;
+    tasks.push_back([&](const CancelToken&) {
+        calls.fetch_add(1);
+        throw std::runtime_error("boom");
+    });
+    auto outcomes = runOnPool(tasks, 1);
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(outcomes[0].attempts, 1);
+}
+
+TEST(Pool, ExceptionTypeNameDemanglesDynamicType)
+{
+    const std::runtime_error e("x");
+    const std::exception& base = e;
+    EXPECT_EQ(exceptionTypeName(base), "std::runtime_error");
+}
+
 }  // namespace
 }  // namespace yukta::runner

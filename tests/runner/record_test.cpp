@@ -49,6 +49,50 @@ TEST(Record, JsonLineCarriesTheSchema)
     EXPECT_EQ(line.find('\n'), std::string::npos);
     // No error field unless there is an error.
     EXPECT_EQ(line.find("\"error\""), std::string::npos);
+    // Clean unsupervised run: no fault or supervisor blocks.
+    EXPECT_NE(line.find("\"violation_time\":0"), std::string::npos);
+    EXPECT_NE(line.find("\"supervised\":false"), std::string::npos);
+    EXPECT_EQ(line.find("\"fault_plan\""), std::string::npos);
+    EXPECT_EQ(line.find("\"sup_"), std::string::npos);
+}
+
+TEST(Record, FaultAndSupervisorFieldsAppearWhenPresent)
+{
+    RunRecord r = sampleRecord();
+    r.fault_plan = "seed=7;p_big:nan@20+10";
+    r.supervised = true;
+    r.attempts = 2;
+    r.metrics.violation_time = 3.5;
+    r.metrics.faults.corrupted_ticks = 20;
+    r.metrics.faults.corrupted_fields = 20;
+    r.metrics.supervisor.transition_count = 4;
+    r.metrics.supervisor.invalid_ticks = 20;
+    r.metrics.supervisor.repaired_fields = 20;
+    r.metrics.supervisor.time_hold = 1.5;
+    r.metrics.supervisor.time_fallback = 8.5;
+    const std::string line = toJsonLine(r);
+    EXPECT_NE(line.find("\"fault_plan\":\"seed=7;p_big:nan@20+10\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"supervised\":true"), std::string::npos);
+    EXPECT_NE(line.find("\"attempts\":2"), std::string::npos);
+    EXPECT_NE(line.find("\"violation_time\":3.5"), std::string::npos);
+    EXPECT_NE(line.find("\"faults_fields\":20"), std::string::npos);
+    EXPECT_NE(line.find("\"sup_transitions\":4"), std::string::npos);
+    EXPECT_NE(line.find("\"sup_invalid_ticks\":20"), std::string::npos);
+    EXPECT_NE(line.find("\"sup_time_degraded\":10"), std::string::npos);
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(Record, ErrorTypeIsEmittedAlongsideTheError)
+{
+    RunRecord r = sampleRecord();
+    r.status = TaskOutcome::Status::kError;
+    r.error = "boom";
+    r.error_type = "std::runtime_error";
+    const std::string line = toJsonLine(r);
+    EXPECT_NE(line.find("\"error\":\"boom\""), std::string::npos);
+    EXPECT_NE(line.find("\"error_type\":\"std::runtime_error\""),
+              std::string::npos);
 }
 
 TEST(Record, ErrorsAreEscaped)

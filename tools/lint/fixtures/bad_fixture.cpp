@@ -9,8 +9,19 @@
 
 std::string cachePath(const std::string& key);
 
+namespace yukta::platform {
+struct SensorReadings {
+    double p_big = 0.0;
+};
+}  // namespace yukta::platform
+
 int main()
 {
+    // sensor-construction: only the platform/fault layers may forge
+    // telemetry snapshots.
+    yukta::platform::SensorReadings forged{};
+    forged.p_big = 1.0;
+
     srand(42);                       // banned-rand
     double x = static_cast<double>(rand());  // banned-rand
 

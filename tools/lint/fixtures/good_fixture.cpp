@@ -4,6 +4,19 @@
 #include <iostream>
 #include <random>
 
+namespace yukta::platform {
+struct SensorReadings {
+    double p_big = 0.0;
+};
+}  // namespace yukta::platform
+
+// Consuming readings by reference is fine everywhere; only
+// construction is restricted to the platform/fault layers.
+double readPower(const yukta::platform::SensorReadings& obs)
+{
+    return obs.p_big;
+}
+
 int main()
 {
     std::mt19937 rng(42);

@@ -21,6 +21,10 @@ cannot express:
                         otherwise tear files).
   endl-in-loop          no std::endl inside loops: one flush per
                         iteration serializes the hot reporting paths.
+  sensor-construction   no SensorReadings construction outside the
+                        platform and fault layers; controllers must
+                        consume board.readings() or the supervisor's
+                        validated snapshots, never forge telemetry.
   doc-comment           public functions declared in src headers carry
                         a doc comment.
 
@@ -53,6 +57,7 @@ RULES = (
     "float-eq",
     "cache-bypass",
     "endl-in-loop",
+    "sensor-construction",
     "doc-comment",
 )
 
@@ -179,6 +184,22 @@ CACHE_BYPASS_RE = re.compile(
 ENDL_RE = re.compile(r"std\s*::\s*endl")
 LOOP_KEYWORD_RE = re.compile(r"\b(for|while|do)\b")
 
+# Construction sites only: brace temporaries (`SensorReadings{...}`)
+# and named declarations (`SensorReadings obs;` / `obs{...}`). Leaves
+# alone references, pointers, value/reference parameters, return
+# types on their own line, and copy-initialization from a factory
+# (`SensorReadings obs = board.readings()`).
+SENSOR_CONSTRUCTION_RE = re.compile(
+    r"(?<!struct\s)(?<!class\s)"
+    r"\bSensorReadings\b\s*(\{|[A-Za-z_]\w*\s*[;{])")
+
+# The telemetry producers themselves are the only layers allowed to
+# build readings from scratch.
+SENSOR_EXEMPT_PREFIXES = (
+    os.path.join("src", "platform") + os.sep,
+    os.path.join("src", "fault") + os.sep,
+)
+
 
 def check_patterns(ctx, findings):
     for idx, line in enumerate(ctx.code_lines, start=1):
@@ -201,6 +222,14 @@ def check_patterns(ctx, findings):
                 "direct write to a cache path; route bytes through "
                 "core::atomicWriteFile so concurrent sweeps never see "
                 "torn files"))
+        if SENSOR_CONSTRUCTION_RE.search(line) and \
+                not ctx.rel.startswith(SENSOR_EXEMPT_PREFIXES) and \
+                not ctx.allowed("sensor-construction", idx):
+            findings.append(Finding(
+                ctx.rel, idx, "sensor-construction",
+                "SensorReadings constructed outside the platform/fault "
+                "layers; consume board.readings() or the supervisor's "
+                "validated snapshot instead of forging telemetry"))
 
 
 def check_endl_in_loop(ctx, findings):
@@ -499,7 +528,8 @@ def self_test(root, compiler):
     check_patterns(ctx, bad)
     check_endl_in_loop(ctx, bad)
     got = {f.rule for f in bad}
-    want = {"banned-rand", "float-eq", "cache-bypass", "endl-in-loop"}
+    want = {"banned-rand", "float-eq", "cache-bypass", "endl-in-loop",
+            "sensor-construction"}
     for rule in sorted(want):
         status = "ok" if rule in got else "MISSING"
         print(f"self-test: bad_fixture triggers {rule:<18} {status}")
