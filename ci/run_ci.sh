@@ -7,7 +7,10 @@
 #      ctest with every YUKTA_REQUIRE / YUKTA_ENSURE / CHECK_FINITE
 #      active,
 #   4. runner tests again under ThreadSanitizer (and, optionally, the
-#      whole suite under ASan/UBSan with YUKTA_CI_ASAN=1).
+#      whole suite under ASan/UBSan with YUKTA_CI_ASAN=1),
+#   5. optionally (YUKTA_CI_COVERAGE=1, the GitHub coverage job sets
+#      it), a -DYUKTA_COVERAGE=ON build + ctest and the gcov
+#      line-coverage floor on src/controllers + src/fault.
 #
 # Usage: ci/run_ci.sh [jobs]
 set -euo pipefail
@@ -64,6 +67,14 @@ cmake --build build-tsan -j "$JOBS" --target test_runner
 # halt_on_error so a reported race fails CI instead of scrolling by.
 TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan -R '^test_runner$' --output-on-failure
+
+if [[ "${YUKTA_CI_COVERAGE:-0}" == "1" ]]; then
+    echo "=== coverage build + line-coverage floor ==="
+    cmake -B build-cov -S . -DYUKTA_COVERAGE=ON >/dev/null
+    cmake --build build-cov -j "$JOBS"
+    ctest --test-dir build-cov --output-on-failure -j "$JOBS"
+    python3 tools/coverage_check.py --build-dir build-cov --floor 80
+fi
 
 if [[ "${YUKTA_CI_ASAN:-0}" == "1" ]]; then
     echo "=== full suite under AddressSanitizer + UBSan ==="

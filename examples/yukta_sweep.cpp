@@ -44,6 +44,12 @@ usage()
         "  --max-seconds=S      simulated-time budget per run\n"
         "  --trace-interval=S   record traces every S simulated\n"
         "                       seconds (disables the result cache)\n"
+        "  --trace=DIR          write one structured per-tick event\n"
+        "                       trace per run into DIR (disables the\n"
+        "                       result cache)\n"
+        "  --trace-format=F     jsonl (default), chrome, or both\n"
+        "  --metrics            print the metrics-registry snapshot\n"
+        "                       (JSON) after the sweep\n"
         "  --timeout=S          wall-clock timeout per run\n"
         "  --faults=SPEC        inject faults, e.g.\n"
         "                       'seed=1;p_big:nan@10+5;act:ignore@20+4'\n"
@@ -151,6 +157,12 @@ main(int argc, char** argv)
             spec.max_seconds = std::strtod(max_s_arg, nullptr);
         } else if (const char* interval_arg = value("--trace-interval=")) {
             spec.trace_interval = std::strtod(interval_arg, nullptr);
+        } else if (const char* format_arg = value("--trace-format=")) {
+            options.trace_format = format_arg;
+        } else if (const char* trace_arg = value("--trace=")) {
+            options.trace_dir = trace_arg;
+        } else if (arg == "--metrics") {
+            options.emit_metrics = true;
         } else if (const char* timeout_arg = value("--timeout=")) {
             options.run_timeout_seconds = std::strtod(timeout_arg, nullptr);
         } else if (const char* faults_arg = value("--faults=")) {
@@ -174,6 +186,12 @@ main(int argc, char** argv)
     if (spec.schemes.empty() || spec.workloads.empty() ||
         spec.seeds.empty()) {
         std::fprintf(stderr, "empty sweep (no schemes/workloads/seeds)\n");
+        return 2;
+    }
+    if (options.trace_format != "jsonl" && options.trace_format != "chrome" &&
+        options.trace_format != "both") {
+        std::fprintf(stderr, "bad --trace-format '%s' (want jsonl, "
+                     "chrome, or both)\n", options.trace_format.c_str());
         return 2;
     }
 
@@ -262,6 +280,13 @@ main(int argc, char** argv)
                         runner::schemeId(r.scheme).c_str(),
                         r.workload.c_str(), r.seed, r.error.c_str());
         }
+    }
+    if (!options.trace_dir.empty()) {
+        std::fprintf(stderr, "traces written to %s/\n",
+                     options.trace_dir.c_str());
+    }
+    if (options.emit_metrics) {
+        std::printf("%s\n", result.metrics_json.c_str());
     }
     return errors == 0 && timeouts == 0 ? 0 : 1;
 }

@@ -18,6 +18,10 @@
 #include "platform/board.h"
 #include "platform/scheduler.h"
 
+namespace yukta::obs {
+class TraceSink;
+}  // namespace yukta::obs
+
 namespace yukta::controllers {
 
 /** Control period in seconds (Sec. V-A). */
@@ -70,6 +74,13 @@ class HwController
 
     /** Resets internal state between runs. */
     virtual void reset() {}
+
+    /**
+     * Attaches @p sink for per-tick event tracing (nullptr detaches).
+     * The default implementation ignores the sink; controllers with
+     * internal state worth tracing override it.
+     */
+    virtual void attachTrace(obs::TraceSink* sink) { (void)sink; }
 };
 
 /** Software-layer controller interface. */
@@ -83,6 +94,9 @@ class OsController
 
     /** Resets internal state between runs. */
     virtual void reset() {}
+
+    /** Attaches @p sink for per-tick event tracing (nullptr detaches). */
+    virtual void attachTrace(obs::TraceSink* sink) { (void)sink; }
 };
 
 }  // namespace yukta::controllers

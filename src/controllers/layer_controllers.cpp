@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "obs/trace.h"
 
 namespace yukta::controllers {
 
@@ -92,6 +95,13 @@ SsvHwController::holdTargets(Vector targets)
     hold_ = true;
 }
 
+void
+SsvHwController::attachTrace(obs::TraceSink* sink)
+{
+    trace_ = sink;
+    optimizer_.attachTrace(sink, "opt-hw");
+}
+
 HardwareInputs
 SsvHwController::invoke(const HwSignals& s)
 {
@@ -102,7 +112,22 @@ SsvHwController::invoke(const HwSignals& s)
                     exdMetric(s.p_big + s.p_little, s.perf_bips), y);
     Vector dev = targets - y;
     Vector ext{s.threads_big, s.tpc_big, s.tpc_little};
-    Vector u = runtime_.invoke(dev, ext);
+    SsvInvokeInfo info;
+    Vector u = runtime_.invoke(dev, ext,
+                               trace_ != nullptr ? &info : nullptr);
+    if (trace_ != nullptr) {
+        obs::TraceEvent ev = trace_->makeEvent("hw", "ssv");
+        ev.vec("y", y.raw())
+            .vec("targets", targets.raw())
+            .vec("dy", info.dy.raw())
+            .vec("ext", ext.raw())
+            .vec("x", info.x.raw())
+            .vec("u_raw", info.u_raw.raw())
+            .vec("u", u.raw())
+            .flags("sat", info.saturated)
+            .flags("quant", info.quantized);
+        trace_->record(std::move(ev));
+    }
 
     HardwareInputs out;
     out.big_cores = static_cast<std::size_t>(std::lround(u[0]));
@@ -135,6 +160,13 @@ SsvOsController::holdTargets(Vector targets)
     hold_ = true;
 }
 
+void
+SsvOsController::attachTrace(obs::TraceSink* sink)
+{
+    trace_ = sink;
+    optimizer_.attachTrace(sink, "opt-os");
+}
+
 PlacementPolicy
 SsvOsController::invoke(const OsSignals& s)
 {
@@ -146,7 +178,22 @@ SsvOsController::invoke(const OsSignals& s)
                     y);
     Vector dev = targets - y;
     Vector ext{s.big_cores, s.little_cores, s.freq_big, s.freq_little};
-    Vector u = runtime_.invoke(dev, ext);
+    SsvInvokeInfo info;
+    Vector u = runtime_.invoke(dev, ext,
+                               trace_ != nullptr ? &info : nullptr);
+    if (trace_ != nullptr) {
+        obs::TraceEvent ev = trace_->makeEvent("os", "ssv");
+        ev.vec("y", y.raw())
+            .vec("targets", targets.raw())
+            .vec("dy", info.dy.raw())
+            .vec("ext", ext.raw())
+            .vec("x", info.x.raw())
+            .vec("u_raw", info.u_raw.raw())
+            .vec("u", u.raw())
+            .flags("sat", info.saturated)
+            .flags("quant", info.quantized);
+        trace_->record(std::move(ev));
+    }
 
     PlacementPolicy out;
     // Threads assigned to big cannot exceed the runnable threads.
@@ -173,13 +220,32 @@ LqgHwController::LqgHwController(LqgRuntime runtime, ExdOptimizer optimizer)
 {
 }
 
+void
+LqgHwController::attachTrace(obs::TraceSink* sink)
+{
+    trace_ = sink;
+    optimizer_.attachTrace(sink, "opt-hw");
+}
+
 HardwareInputs
 LqgHwController::invoke(const HwSignals& s)
 {
     Vector y{s.perf_bips, s.p_big, s.p_little, s.temp};
     Vector targets = optimizer_.update(
         exdMetric(s.p_big + s.p_little, s.perf_bips), y);
-    Vector u = runtime_.invoke(targets - y);
+    LqgInvokeInfo info;
+    Vector u = runtime_.invoke(targets - y,
+                               trace_ != nullptr ? &info : nullptr);
+    if (trace_ != nullptr) {
+        obs::TraceEvent ev = trace_->makeEvent("hw", "lqg");
+        ev.vec("y", y.raw())
+            .vec("targets", targets.raw())
+            .vec("x", info.x.raw())
+            .vec("u_raw", info.u_raw.raw())
+            .vec("u", u.raw())
+            .flags("sat", info.saturated);
+        trace_->record(std::move(ev));
+    }
 
     HardwareInputs out;
     out.big_cores = static_cast<std::size_t>(std::lround(u[0]));
@@ -201,13 +267,32 @@ LqgOsController::LqgOsController(LqgRuntime runtime, ExdOptimizer optimizer)
 {
 }
 
+void
+LqgOsController::attachTrace(obs::TraceSink* sink)
+{
+    trace_ = sink;
+    optimizer_.attachTrace(sink, "opt-os");
+}
+
 PlacementPolicy
 LqgOsController::invoke(const OsSignals& s)
 {
     Vector y{s.perf_big, s.perf_little, s.d_spare};
     Vector targets = optimizer_.update(
         exdMetric(s.total_power, s.perf_big + s.perf_little), y);
-    Vector u = runtime_.invoke(targets - y);
+    LqgInvokeInfo info;
+    Vector u = runtime_.invoke(targets - y,
+                               trace_ != nullptr ? &info : nullptr);
+    if (trace_ != nullptr) {
+        obs::TraceEvent ev = trace_->makeEvent("os", "lqg");
+        ev.vec("y", y.raw())
+            .vec("targets", targets.raw())
+            .vec("x", info.x.raw())
+            .vec("u_raw", info.u_raw.raw())
+            .vec("u", u.raw())
+            .flags("sat", info.saturated);
+        trace_->record(std::move(ev));
+    }
 
     PlacementPolicy out;
     out.threads_big =
@@ -234,6 +319,13 @@ MonolithicLqgController::MonolithicLqgController(LqgRuntime runtime,
 {
 }
 
+void
+MonolithicLqgController::attachTrace(obs::TraceSink* sink)
+{
+    trace_ = sink;
+    optimizer_.attachTrace(sink, "opt-joint");
+}
+
 std::pair<HardwareInputs, PlacementPolicy>
 MonolithicLqgController::invoke(const HwSignals& hw, const OsSignals& os)
 {
@@ -241,7 +333,19 @@ MonolithicLqgController::invoke(const HwSignals& hw, const OsSignals& os)
              os.perf_big,  os.perf_little, os.d_spare};
     Vector targets = optimizer_.update(
         exdMetric(hw.p_big + hw.p_little, hw.perf_bips), y);
-    Vector u = runtime_.invoke(targets - y);
+    LqgInvokeInfo info;
+    Vector u = runtime_.invoke(targets - y,
+                               trace_ != nullptr ? &info : nullptr);
+    if (trace_ != nullptr) {
+        obs::TraceEvent ev = trace_->makeEvent("joint", "lqg");
+        ev.vec("y", y.raw())
+            .vec("targets", targets.raw())
+            .vec("x", info.x.raw())
+            .vec("u_raw", info.u_raw.raw())
+            .vec("u", u.raw())
+            .flags("sat", info.saturated);
+        trace_->record(std::move(ev));
+    }
 
     HardwareInputs hin;
     hin.big_cores = static_cast<std::size_t>(std::lround(u[0]));

@@ -41,6 +41,9 @@ class SsvHwController : public HwController
     platform::HardwareInputs invoke(const HwSignals& s) override;
     void reset() override;
 
+    /** Emits per-tick "hw"/"ssv" events to @p sink (nullptr off). */
+    void attachTrace(obs::TraceSink* sink) override;
+
     /** Read access to the wrapped runtime and optimizer. */
     const SsvRuntime& runtime() const { return runtime_; }
     const ExdOptimizer& optimizer() const { return optimizer_; }
@@ -53,6 +56,7 @@ class SsvHwController : public HwController
     ExdOptimizer optimizer_;
     linalg::Vector held_targets_;
     bool hold_ = false;
+    obs::TraceSink* trace_ = nullptr;
 };
 
 /** SSV software controller (Sec. IV-B) + optimizer. */
@@ -66,6 +70,9 @@ class SsvOsController : public OsController
     platform::PlacementPolicy invoke(const OsSignals& s) override;
     void reset() override;
 
+    /** Emits per-tick "os"/"ssv" events to @p sink (nullptr off). */
+    void attachTrace(obs::TraceSink* sink) override;
+
     /** Read access to the wrapped runtime and optimizer. */
     const SsvRuntime& runtime() const { return runtime_; }
     const ExdOptimizer& optimizer() const { return optimizer_; }
@@ -78,6 +85,7 @@ class SsvOsController : public OsController
     ExdOptimizer optimizer_;
     linalg::Vector held_targets_;
     bool hold_ = false;
+    obs::TraceSink* trace_ = nullptr;
 };
 
 /** Decoupled-LQG hardware controller (no external signals). */
@@ -91,6 +99,9 @@ class LqgHwController : public HwController
     platform::HardwareInputs invoke(const HwSignals& s) override;
     void reset() override;
 
+    /** Emits per-tick "hw"/"lqg" events to @p sink (nullptr off). */
+    void attachTrace(obs::TraceSink* sink) override;
+
     /** Read access to the wrapped runtime and optimizer. */
     const LqgRuntime& runtime() const { return runtime_; }
     const ExdOptimizer& optimizer() const { return optimizer_; }
@@ -98,6 +109,7 @@ class LqgHwController : public HwController
   private:
     LqgRuntime runtime_;
     ExdOptimizer optimizer_;
+    obs::TraceSink* trace_ = nullptr;
 };
 
 /** Decoupled-LQG software controller. */
@@ -111,12 +123,16 @@ class LqgOsController : public OsController
     platform::PlacementPolicy invoke(const OsSignals& s) override;
     void reset() override;
 
+    /** Emits per-tick "os"/"lqg" events to @p sink (nullptr off). */
+    void attachTrace(obs::TraceSink* sink) override;
+
     /** Read access to the wrapped runtime. */
     const LqgRuntime& runtime() const { return runtime_; }
 
   private:
     LqgRuntime runtime_;
     ExdOptimizer optimizer_;
+    obs::TraceSink* trace_ = nullptr;
 };
 
 /** Controller that manages both layers from one loop. */
@@ -131,6 +147,9 @@ class JointController
 
     /** Resets internal state between runs. */
     virtual void reset() {}
+
+    /** Attaches @p sink for per-tick event tracing (nullptr detaches). */
+    virtual void attachTrace(obs::TraceSink* sink) { (void)sink; }
 };
 
 /**
@@ -150,12 +169,16 @@ class MonolithicLqgController : public JointController
     /** Resets the LQG state between runs. */
     void reset() override;
 
+    /** Emits per-tick "joint"/"lqg" events to @p sink (nullptr off). */
+    void attachTrace(obs::TraceSink* sink) override;
+
     /** Read access to the wrapped runtime. */
     const LqgRuntime& runtime() const { return runtime_; }
 
   private:
     LqgRuntime runtime_;
     ExdOptimizer optimizer_;
+    obs::TraceSink* trace_ = nullptr;
 };
 
 /** E x D proxy metric (Power / Perf^2) used by the optimizers. */

@@ -21,7 +21,7 @@ LqgRuntime::LqgRuntime(control::StateSpace k, std::vector<InputGrid> grids,
 }
 
 Vector
-LqgRuntime::invoke(const Vector& deviations)
+LqgRuntime::invoke(const Vector& deviations, LqgInvokeInfo* info)
 {
     if (deviations.size() != k_.numInputs()) {
         throw std::invalid_argument("LqgRuntime::invoke: size mismatch");
@@ -39,6 +39,11 @@ LqgRuntime::invoke(const Vector& deviations)
                        "x(T+1) = A x(T) + B dy(T)");
 
     ++total_moves_;
+    if (info != nullptr) {
+        info->x = x_;
+        info->u_raw = Vector(grids_.size());
+        info->saturated.assign(grids_.size(), 0);
+    }
     bool wasted = false;
     Vector out(grids_.size());
     for (std::size_t i = 0; i < grids_.size(); ++i) {
@@ -52,6 +57,11 @@ LqgRuntime::invoke(const Vector& deviations)
             wasted = true;
         }
         out[i] = grids_[i].quantize(cmd);
+        if (info != nullptr) {
+            info->u_raw[i] = cmd;
+            info->saturated[i] =
+                cmd < grids_[i].min || cmd > grids_[i].max ? 1 : 0;
+        }
     }
     if (wasted) {
         ++wasted_moves_;

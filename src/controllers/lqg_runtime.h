@@ -23,6 +23,18 @@
 
 namespace yukta::controllers {
 
+/**
+ * Optional per-invocation introspection record (tracing only): the
+ * updated observer state, the raw command before actuator clamping,
+ * and per-input saturation flags. See obs/trace.h.
+ */
+struct LqgInvokeInfo
+{
+    linalg::Vector x;      ///< State after the observer update.
+    linalg::Vector u_raw;  ///< Physical command before clamping.
+    std::vector<int> saturated;  ///< 1 = command left the grid range.
+};
+
 /** Runtime LQG tracking controller. */
 class LqgRuntime
 {
@@ -45,9 +57,12 @@ class LqgRuntime
     /**
      * One invocation.
      * @param deviations targets - outputs, size = controller inputs.
+     * @param info when non-null, receives the introspection record
+     *   (tracing only; no behavioral effect).
      * @return physically applied inputs (clamped by the actuators).
      */
-    linalg::Vector invoke(const linalg::Vector& deviations);
+    linalg::Vector invoke(const linalg::Vector& deviations,
+                          LqgInvokeInfo* info = nullptr);
 
     /** Resets the controller state and the move counters. */
     void reset();

@@ -1,6 +1,10 @@
 #include "controllers/multilayer.h"
 
 #include <cmath>
+#include <utility>
+
+#include "obs/profile.h"
+#include "obs/trace.h"
 
 namespace yukta::controllers {
 
@@ -36,12 +40,36 @@ void
 MultilayerSystem::attachFaultInjector(const fault::FaultPlan& plan)
 {
     injector_ = std::make_unique<fault::FaultInjector>(plan);
+    injector_->attachTrace(sink_);
 }
 
 void
 MultilayerSystem::enableSupervisor(const SupervisorConfig& cfg)
 {
     supervisor_ = std::make_unique<Supervisor>(board_.config(), cfg);
+    supervisor_->attachTrace(sink_);
+}
+
+void
+MultilayerSystem::attachTraceSink(obs::TraceSink* sink)
+{
+    sink_ = sink;
+    if (hw_) {
+        hw_->attachTrace(sink);
+    }
+    if (os_) {
+        os_->attachTrace(sink);
+    }
+    if (joint_) {
+        joint_->attachTrace(sink);
+    }
+    if (supervisor_) {
+        supervisor_->attachTrace(sink);
+    }
+    if (injector_) {
+        injector_->attachTrace(sink);
+    }
+    board_.attachTraceSink(sink);
 }
 
 HwSignals
@@ -114,7 +142,11 @@ MultilayerSystem::run(double max_seconds)
     RunMetrics metrics;
     double t = 0.0;
     while (!board_.done() && t < max_seconds) {
+        YUKTA_PROFILE_SCOPE("multilayer_tick");
         const int period = metrics.periods;
+        if (sink_ != nullptr) {
+            sink_->beginTick(period, t);
+        }
         if (injector_ && injector_->dropTick(t, period)) {
             // Timing fault: the controllers never run this tick; the
             // plant keeps evolving under the previous commands.
@@ -190,6 +222,22 @@ MultilayerSystem::run(double max_seconds)
                 policy = injector_->corruptPolicy(t, last_policy_, policy);
             }
             applyIfChanged(hw_in, policy);
+            if (sink_ != nullptr) {
+                obs::TraceEvent ev = sink_->makeEvent("sys", "cmd");
+                ev.str("mode", supervisor_ != nullptr
+                                   ? supervisorModeName(mode)
+                                   : std::string("nominal"))
+                    .integer("big_cores",
+                             static_cast<long long>(hw_in.big_cores))
+                    .integer("little_cores",
+                             static_cast<long long>(hw_in.little_cores))
+                    .num("freq_big", hw_in.freq_big)
+                    .num("freq_little", hw_in.freq_little)
+                    .num("threads_big", policy.threads_big)
+                    .num("tpc_big", policy.tpc_big)
+                    .num("tpc_little", policy.tpc_little);
+                sink_->record(std::move(ev));
+            }
 
             // Marks advance in observation space, so corrupted (or
             // repaired) counters stay consistent with the BIPS deltas
@@ -200,6 +248,15 @@ MultilayerSystem::run(double max_seconds)
         }
 
         board_.run(kControlPeriod);
+        if (sink_ != nullptr) {
+            obs::TraceEvent ev = sink_->makeEvent("sys", "plant");
+            ev.num("p_big", board_.truePowerBig())
+                .num("p_little", board_.truePowerLittle())
+                .num("temp", board_.trueTemperature())
+                .num("energy", board_.energy())
+                .integer("emergency", board_.emergencyActive() ? 1 : 0);
+            sink_->record(std::move(ev));
+        }
         t += kControlPeriod;
         ++metrics.periods;
     }

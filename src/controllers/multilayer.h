@@ -69,6 +69,15 @@ class MultilayerSystem
     void enableSupervisor(const SupervisorConfig& cfg = {});
 
     /**
+     * Attaches @p sink for per-tick structured event tracing and
+     * propagates it to every stage (controllers, optimizers,
+     * supervisor, injector, board). nullptr detaches everywhere.
+     * Events are keyed by (tick, layer, kind) and simulated time
+     * only, so a traced run is bit-reproducible.
+     */
+    void attachTraceSink(obs::TraceSink* sink);
+
+    /**
      * Runs until the workload completes or @p max_seconds elapses.
      */
     RunMetrics run(double max_seconds);
@@ -86,6 +95,7 @@ class MultilayerSystem
     std::unique_ptr<JointController> joint_;
     std::unique_ptr<fault::FaultInjector> injector_;
     std::unique_ptr<Supervisor> supervisor_;
+    obs::TraceSink* sink_ = nullptr;
 
     platform::HardwareInputs last_hw_;
     platform::PlacementPolicy last_policy_;

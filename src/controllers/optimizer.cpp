@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "core/contracts.h"
+#include "obs/trace.h"
 
 namespace yukta::controllers {
 
@@ -114,6 +116,7 @@ ExdOptimizer::update(double exd_metric, const linalg::Vector& measured)
     }
     period_count_ = 0;
 
+    bool reversed = false;
     if (last_metric_ >= 0.0 && ema_metric_ > 1.02 * last_metric_) {
         // The last move hurt: flip direction (the re-anchoring to the
         // measured outputs discards the move itself).
@@ -123,6 +126,7 @@ ExdOptimizer::update(double exd_metric, const linalg::Vector& measured)
         }
         ++reversals_;
         ++recent_reversals_;
+        reversed = true;
         if (recent_reversals_ >= 2 && converged_at_ < 0) {
             converged_at_ = moves_;
         }
@@ -131,7 +135,24 @@ ExdOptimizer::update(double exd_metric, const linalg::Vector& measured)
     }
     last_metric_ = ema_metric_;
     applyMove(ema_measured_);
+    if (trace_ != nullptr) {
+        obs::TraceEvent ev = trace_->makeEvent(trace_layer_, "opt_move");
+        ev.num("metric", ema_metric_)
+            .integer("direction", direction_)
+            .integer("channel", last_channel_)
+            .integer("reversed", reversed ? 1 : 0)
+            .integer("move", moves_)
+            .vec("targets", targets_.raw());
+        trace_->record(std::move(ev));
+    }
     return targets_;
+}
+
+void
+ExdOptimizer::attachTrace(obs::TraceSink* sink, std::string layer)
+{
+    trace_ = sink;
+    trace_layer_ = std::move(layer);
 }
 
 void

@@ -18,9 +18,14 @@
  */
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "linalg/vector.h"
+
+namespace yukta::obs {
+class TraceSink;
+}  // namespace yukta::obs
 
 namespace yukta::controllers {
 
@@ -91,6 +96,13 @@ class ExdOptimizer
     /** Resets to the initial targets. */
     void reset();
 
+    /**
+     * Attaches @p sink for target-move tracing; every applied move
+     * emits one "<layer>"/"opt_move" event (targets, smoothed metric,
+     * direction, reversal flag). nullptr detaches.
+     */
+    void attachTrace(obs::TraceSink* sink, std::string layer);
+
     /** @return total optimizer moves taken. */
     int moves() const { return moves_; }
 
@@ -121,6 +133,8 @@ class ExdOptimizer
     int reversals_ = 0;
     int recent_reversals_ = 0;
     int converged_at_ = -1;
+    obs::TraceSink* trace_ = nullptr;
+    std::string trace_layer_;
 
     void applyMove(const linalg::Vector& measured);
 };

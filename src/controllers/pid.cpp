@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/contracts.h"
+#include "obs/trace.h"
 
 #include "controllers/layer_controllers.h"
 
@@ -90,6 +91,13 @@ SisoPidHwController::reset()
     last_.freq_little = 0.8;
 }
 
+void
+SisoPidHwController::attachTrace(obs::TraceSink* sink)
+{
+    trace_ = sink;
+    optimizer_.attachTrace(sink, "opt-hw");
+}
+
 HardwareInputs
 SisoPidHwController::invoke(const HwSignals& s)
 {
@@ -115,6 +123,18 @@ SisoPidHwController::invoke(const HwSignals& s)
         little_.quantize(last_.freq_little + f_lit_delta);
     out.little_cores = last_.little_cores;
     last_ = out;
+    if (trace_ != nullptr) {
+        obs::TraceEvent ev = trace_->makeEvent("hw", "pid");
+        ev.vec("y", y.raw())
+            .vec("targets", targets.raw())
+            .vec("deltas", {f_big_delta, cores_delta, f_lit_delta,
+                            f_big_cap_delta})
+            .num("integ_perf", perf_loop_.integrator())
+            .num("integ_pbig", pbig_loop_.integrator())
+            .num("integ_plittle", plittle_loop_.integrator())
+            .num("integ_temp", temp_loop_.integrator());
+        trace_->record(std::move(ev));
+    }
     return out;
 }
 

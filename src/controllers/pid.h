@@ -79,10 +79,14 @@ class SisoPidHwController : public HwController
     platform::HardwareInputs invoke(const HwSignals& s) override;
     void reset() override;
 
+    /** Emits per-tick "hw"/"pid" events to @p sink (nullptr off). */
+    void attachTrace(obs::TraceSink* sink) override;
+
     /** Read access to the target optimizer. */
     const ExdOptimizer& optimizer() const { return optimizer_; }
 
   private:
+    obs::TraceSink* trace_ = nullptr;
     platform::BoardConfig cfg_;
     platform::DvfsTable big_;
     platform::DvfsTable little_;

@@ -41,7 +41,8 @@ SsvRuntime::SsvRuntime(robust::SsvController ctrl,
 }
 
 Vector
-SsvRuntime::invoke(const Vector& deviations, const Vector& external)
+SsvRuntime::invoke(const Vector& deviations, const Vector& external,
+                   SsvInvokeInfo* info)
 {
     if (deviations.size() != num_outputs_ ||
         external.size() != e_mean_.size()) {
@@ -71,10 +72,25 @@ SsvRuntime::invoke(const Vector& deviations, const Vector& external)
                        "x(T+1) = A x(T) + B dy(T)");
     YUKTA_CHECK_FINITE(u, "SsvRuntime: non-finite controller output");
 
+    if (info != nullptr) {
+        info->dy = dy;
+        info->x = x_;
+        info->u_raw = Vector(grids_.size());
+        info->saturated.assign(grids_.size(), 0);
+        info->quantized.assign(grids_.size(), 0);
+    }
+
     // Saturation + quantization of the physical inputs.
     Vector out(grids_.size());
     for (std::size_t i = 0; i < grids_.size(); ++i) {
-        out[i] = grids_[i].quantize(u[i] + u_mean_[i]);
+        const double raw = u[i] + u_mean_[i];
+        out[i] = grids_[i].quantize(raw);
+        if (info != nullptr) {
+            info->u_raw[i] = raw;
+            const bool sat = raw < grids_[i].min || raw > grids_[i].max;
+            info->saturated[i] = sat ? 1 : 0;
+            info->quantized[i] = !sat && out[i] != raw ? 1 : 0;
+        }
         YUKTA_ENSURE(out[i] >= grids_[i].min && out[i] <= grids_[i].max,
                      "SsvRuntime: input ", i, " = ", out[i],
                      " escapes saturation range [", grids_[i].min, ", ",

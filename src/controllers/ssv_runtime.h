@@ -23,6 +23,22 @@
 
 namespace yukta::controllers {
 
+/**
+ * Optional per-invocation introspection record (filled on request so
+ * the common path pays nothing): the exact dy fed to the state
+ * machine, the updated state, the raw command before the input grids,
+ * and per-input saturation/quantization flags. Consumed by the
+ * observability layer (obs/trace.h) for per-tick events.
+ */
+struct SsvInvokeInfo
+{
+    linalg::Vector dy;     ///< Clamped/centered controller input.
+    linalg::Vector x;      ///< State after x(T+1) = A x + B dy.
+    linalg::Vector u_raw;  ///< Physical command before the grids.
+    std::vector<int> saturated;  ///< 1 = raw command left [min, max].
+    std::vector<int> quantized;  ///< 1 = grid snapping moved it.
+};
+
 /** Per-input saturation/quantization description. */
 struct InputGrid
 {
@@ -66,10 +82,13 @@ class SsvRuntime
      *
      * @param deviations targets - outputs (physical units), size O.
      * @param external external signals (physical units), size E.
+     * @param info when non-null, receives the per-invocation
+     *   introspection record (tracing only; no behavioral effect).
      * @return quantized physical inputs, size I.
      */
     linalg::Vector invoke(const linalg::Vector& deviations,
-                          const linalg::Vector& external);
+                          const linalg::Vector& external,
+                          SsvInvokeInfo* info = nullptr);
 
     /** Resets the controller state and the guardband monitor. */
     void reset();

@@ -1,8 +1,10 @@
 #include "controllers/supervisor.h"
 
 #include <cmath>
+#include <utility>
 
 #include "core/contracts.h"
+#include "obs/trace.h"
 
 namespace yukta::controllers {
 
@@ -179,6 +181,16 @@ Supervisor::transition(int period, double time, SupervisorMode to,
     e.from = mode_;
     e.to = to;
     e.reason = reason;
+    if (trace_ != nullptr) {
+        obs::TraceEvent ev = trace_->makeEvent("supervisor", "transition");
+        ev.str("from", supervisorModeName(e.from))
+            .str("to", supervisorModeName(e.to))
+            .integer("period", e.period)
+            .integer("bad_streak", consecutive_bad_)
+            .integer("good_streak", consecutive_good_)
+            .str("reason", e.reason);
+        trace_->record(std::move(ev));
+    }
     report_.events.push_back(std::move(e));
     ++report_.transition_count;
     mode_ = to;
@@ -195,6 +207,13 @@ Supervisor::assess(int period, double time, const SensorReadings& obs)
         ++consecutive_bad_;
         consecutive_good_ = 0;
         ++report_.invalid_ticks;
+        if (trace_ != nullptr) {
+            obs::TraceEvent ev = trace_->makeEvent("supervisor", "invalid");
+            ev.str("mode", supervisorModeName(mode_))
+                .integer("bad_streak", consecutive_bad_)
+                .str("reasons", reasons);
+            trace_->record(std::move(ev));
+        }
     } else {
         ++consecutive_good_;
         consecutive_bad_ = 0;

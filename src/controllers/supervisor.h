@@ -173,6 +173,12 @@ class Supervisor
     /** Records a control tick lost to a timing fault. */
     void noteSkippedTick();
 
+    /**
+     * Emits "supervisor" events (invalid ticks, ladder transitions)
+     * to @p sink; nullptr detaches.
+     */
+    void attachTrace(obs::TraceSink* sink) { trace_ = sink; }
+
     /** @return the current rung. */
     SupervisorMode mode() const { return mode_; }
 
@@ -204,6 +210,7 @@ class Supervisor
     int stuck_streak_p_little_ = 0;
     int stuck_streak_temp_ = 0;
     SupervisorReport report_;
+    obs::TraceSink* trace_ = nullptr;
 
     std::string validate(int period, const platform::SensorReadings& obs,
                          platform::SensorReadings* repaired);

@@ -30,12 +30,25 @@
  * Message parts are only evaluated on failure, even with checks on.
  */
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace yukta::contracts {
+
+/**
+ * Process-wide count of contract checks evaluated (only advances when
+ * the tree is built with YUKTA_CHECKS=ON). The observability layer
+ * snapshots this into its metrics registry; the counter deliberately
+ * lives here, header-only, so contracts stay dependency-free.
+ */
+inline std::atomic<long long>& checkCount()
+{
+    static std::atomic<long long> count{0};
+    return count;
+}
 
 /** Thrown when an active contract is violated. */
 class ContractViolation : public std::invalid_argument
@@ -120,7 +133,9 @@ namespace detail {
 #ifdef YUKTA_CHECKS
 
 #define YUKTA_REQUIRE(cond, ...)                                          \
-    do {                                                                  \
+    do { /* yukta-lint: allow(doc-comment) */                             \
+        ::yukta::contracts::checkCount().fetch_add(                       \
+            1, std::memory_order_relaxed);                                \
         if (!(cond)) {                                                    \
             ::yukta::contracts::detail::fail(                             \
                 "precondition", #cond, __FILE__, __LINE__,                \
@@ -130,6 +145,8 @@ namespace detail {
 
 #define YUKTA_ENSURE(cond, ...)                                           \
     do {                                                                  \
+        ::yukta::contracts::checkCount().fetch_add(                       \
+            1, std::memory_order_relaxed);                                \
         if (!(cond)) {                                                    \
             ::yukta::contracts::detail::fail(                             \
                 "postcondition", #cond, __FILE__, __LINE__,               \
@@ -139,6 +156,8 @@ namespace detail {
 
 #define YUKTA_CHECK_FINITE(value, ...)                                    \
     do {                                                                  \
+        ::yukta::contracts::checkCount().fetch_add(                       \
+            1, std::memory_order_relaxed);                                \
         using ::yukta::contracts::yuktaAllFinite;                         \
         if (!yuktaAllFinite(value)) {                                     \
             ::yukta::contracts::detail::fail(                             \

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
+
+#include "obs/trace.h"
 
 namespace yukta::fault {
 
@@ -124,6 +127,14 @@ FaultInjector::corruptReadings(double t, const SensorReadings& clean)
     if (fields_hit > 0) {
         ++stats_.corrupted_ticks;
         stats_.corrupted_fields += fields_hit;
+        if (trace_ != nullptr) {
+            obs::TraceEvent ev = trace_->makeEvent("fault", "sensor");
+            ev.integer("fields_hit", static_cast<long long>(fields_hit))
+                .num("p_big", out.p_big)
+                .num("p_little", out.p_little)
+                .num("temp", out.temp);
+            trace_->record(std::move(ev));
+        }
     }
     return out;
 }
@@ -162,6 +173,14 @@ FaultInjector::corruptHardware(double t, const HardwareInputs& prev,
             break;
         }
         ++stats_.actuator_faults;
+        if (trace_ != nullptr) {
+            obs::TraceEvent ev = trace_->makeEvent("fault", "actuator");
+            ev.str("kind", faultKindId(w.kind))
+                .num("freq_big", out.freq_big)
+                .num("freq_little", out.freq_little)
+                .integer("big_cores", static_cast<long long>(out.big_cores));
+            trace_->record(std::move(ev));
+        }
     }
     return out;
 }
@@ -212,6 +231,12 @@ FaultInjector::dropTick(double t, int period)
         if (w.kind == FaultKind::kTickMiss ||
             (w.kind == FaultKind::kTickDouble && period % 2 == 1)) {
             ++stats_.dropped_ticks;
+            if (trace_ != nullptr) {
+                obs::TraceEvent ev = trace_->makeEvent("fault", "drop");
+                ev.str("kind", faultKindId(w.kind))
+                    .integer("period", period);
+                trace_->record(std::move(ev));
+            }
             return true;
         }
     }

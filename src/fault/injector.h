@@ -21,6 +21,10 @@
 #include "platform/scheduler.h"
 #include "platform/sensors.h"
 
+namespace yukta::obs {
+class TraceSink;
+}  // namespace yukta::obs
+
 namespace yukta::fault {
 
 /** Tally of what the injector actually did during a run. */
@@ -69,7 +73,14 @@ class FaultInjector
     /** @return what the injector has done so far. */
     const FaultStats& stats() const { return stats_; }
 
+    /**
+     * Emits "fault" events (sensor/actuator corruption, dropped
+     * ticks) to @p sink; nullptr detaches.
+     */
+    void attachTrace(obs::TraceSink* sink) { trace_ = sink; }
+
   private:
+    obs::TraceSink* trace_ = nullptr;
     FaultPlan plan_;
     std::mt19937 rng_;
     std::uniform_real_distribution<double> jitter_{-1.0, 1.0};

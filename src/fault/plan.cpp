@@ -1,5 +1,6 @@
 #include "fault/plan.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <iomanip>
 #include <sstream>
@@ -94,9 +95,23 @@ double
 parseNumber(const std::string& entry, const std::string& text,
             const std::string& what)
 {
+    // strtod alone is too permissive for a schedule grammar: it
+    // accepts "nan", "inf"/"infinity", hex floats ("0x10"), and
+    // leading whitespace. Restrict to plain decimal notation and
+    // require a finite value.
+    if (text.empty()) {
+        bad(entry, "missing " + what);
+    }
+    for (char c : text) {
+        const bool ok = (c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                        c == 'E' || c == '+' || c == '-';
+        if (!ok) {
+            bad(entry, "malformed " + what + " '" + text + "'");
+        }
+    }
     char* end = nullptr;
-    double v = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0') {
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0' || !std::isfinite(v)) {
         bad(entry, "malformed " + what + " '" + text + "'");
     }
     return v;
@@ -158,10 +173,16 @@ FaultPlan::parse(const std::string& spec)
     std::string entry;
     while (std::getline(ss, entry, ';')) {
         if (entry.empty()) {
-            continue;
+            bad(spec, "empty clause (stray ';')");
         }
         if (entry.rfind("seed=", 0) == 0) {
+            // Plain decimal digits only; strtoul would also accept
+            // whitespace and a sign.
             const std::string v = entry.substr(5);
+            if (v.empty() ||
+                v.find_first_not_of("0123456789") != std::string::npos) {
+                bad(entry, "malformed seed");
+            }
             char* end = nullptr;
             unsigned long s = std::strtoul(v.c_str(), &end, 10);
             if (end == v.c_str() || *end != '\0') {

@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace yukta::obs {
+
+namespace {
+
+/** CAS-loop add for atomic doubles (portable pre-C++20-TS targets). */
+void
+atomicAdd(std::atomic<double>& target, double delta)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds))
+{
+    if (bounds_.empty()) {
+        // Default: a wall-time-friendly ladder (seconds).
+        bounds_ = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+    }
+    std::sort(bounds_.begin(), bounds_.end());
+    buckets_ =
+        std::make_unique<std::atomic<long long>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        buckets_[i].store(0, std::memory_order_relaxed);
+    }
+}
+
+void
+Histogram::observe(double v)
+{
+    std::size_t i =
+        static_cast<std::size_t>(std::upper_bound(bounds_.begin(),
+                                                  bounds_.end(), v) -
+                                 bounds_.begin());
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+}
+
+std::vector<long long>
+Histogram::bucketCounts() const
+{
+    std::vector<long long> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = counters_[name];
+    if (!slot) {
+        slot = std::make_unique<Counter>();
+    }
+    return *slot;
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = gauges_[name];
+    if (!slot) {
+        slot = std::make_unique<Gauge>();
+    }
+    return *slot;
+}
+
+Histogram&
+MetricsRegistry::histogram(const std::string& name,
+                           std::vector<double> bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& slot = histograms_[name];
+    if (!slot) {
+        slot = std::make_unique<Histogram>(std::move(bounds));
+    }
+    return *slot;
+}
+
+std::vector<MetricSample>
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<MetricSample> out;
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, c] : counters_) {
+        MetricSample s;
+        s.name = name;
+        s.type = "counter";
+        s.value = static_cast<double>(c->value());
+        s.count = c->value();
+        out.push_back(std::move(s));
+    }
+    for (const auto& [name, g] : gauges_) {
+        MetricSample s;
+        s.name = name;
+        s.type = "gauge";
+        s.value = g->value();
+        out.push_back(std::move(s));
+    }
+    for (const auto& [name, h] : histograms_) {
+        MetricSample s;
+        s.name = name;
+        s.type = "histogram";
+        s.value = h->sum();
+        s.count = h->count();
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const MetricSample& a, const MetricSample& b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+std::string
+MetricsRegistry::snapshotJson() const
+{
+    std::vector<MetricSample> samples = snapshot();
+    std::string out = "{";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (i > 0) {
+            out += ",";
+        }
+        const MetricSample& s = samples[i];
+        out += "\"" + s.name + "\":{\"type\":\"" + s.type +
+               "\",\"value\":" + canonicalNumber(s.value);
+        if (s.type == "histogram") {
+            out += ",\"count\":" + std::to_string(s.count);
+        }
+        out += "}";
+    }
+    out += "}";
+    return out;
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+MetricsRegistry&
+globalMetrics()
+{
+    static MetricsRegistry* registry = new MetricsRegistry();
+    return *registry;
+}
+
+}  // namespace yukta::obs

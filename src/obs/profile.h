@@ -1,0 +1,70 @@
+#ifndef YUKTA_OBS_PROFILE_H_
+#define YUKTA_OBS_PROFILE_H_
+
+/**
+ * @file
+ * RAII wall-clock profiling scopes for hot paths (H-infinity solves,
+ * sysid fits, D-K iteration, the sweep worker loop).
+ *
+ *     void solve() { YUKTA_PROFILE_SCOPE("robust.hinf_solve"); ... }
+ *
+ * Each scope records its duration into the histogram
+ * "profile.<name>" (seconds) in globalMetrics(). The macro expands to
+ * `((void)0)` unless the tree is configured with -DYUKTA_TRACE=ON, so
+ * instrumented hot paths pay nothing in regular builds — and because
+ * timings land in the metrics registry, never in trace events, the
+ * deterministic-trace guarantee (DESIGN.md §9) is unaffected either
+ * way.
+ */
+
+#ifdef YUKTA_TRACE
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace yukta::obs {
+
+/** Measures the lifetime of one scope into a profile histogram. */
+class ProfileScope
+{
+  public:
+    /** @param name stable scope name ("subsystem.operation"). */
+    explicit ProfileScope(const char* name)
+        : name_(name), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    /** Records the elapsed time into histogram "profile.<name>". */
+    ~ProfileScope()
+    {
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start_;
+        globalMetrics()
+            .histogram(std::string("profile.") + name_)
+            .observe(dt.count());
+    }
+
+    ProfileScope(const ProfileScope&) = delete;
+    ProfileScope& operator=(const ProfileScope&) = delete;
+
+  private:
+    const char* name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace yukta::obs
+
+#define YUKTA_OBS_CONCAT_INNER(a, b) a##b
+#define YUKTA_OBS_CONCAT(a, b) YUKTA_OBS_CONCAT_INNER(a, b)
+#define YUKTA_PROFILE_SCOPE(name)                                         \
+    ::yukta::obs::ProfileScope /* yukta-lint: allow(doc-comment) */       \
+        YUKTA_OBS_CONCAT(yukta_profile_scope_, __LINE__)(name)
+
+#else
+
+#define YUKTA_PROFILE_SCOPE(name) ((void)0)
+
+#endif  // YUKTA_TRACE
+
+#endif  // YUKTA_OBS_PROFILE_H_

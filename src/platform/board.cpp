@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "obs/trace.h"
 
 namespace yukta::platform {
 
@@ -295,6 +298,17 @@ Board::stepOnce()
         caps.max_big_cores != before.max_big_cores) {
         refreshApplied();
         refreshPlacement(true);
+        if (event_trace_ != nullptr) {
+            obs::TraceEvent ev = event_trace_->makeEvent("platform", "tmu");
+            ev.integer("active", caps.active ? 1 : 0)
+                .num("freq_cap_big", caps.freq_cap_big)
+                .num("freq_cap_little", caps.freq_cap_little)
+                .integer("max_big_cores",
+                         static_cast<long long>(caps.max_big_cores))
+                .num("temp", thermal_.hotspot())
+                .num("p_big", true_p_big_);
+            event_trace_->record(std::move(ev));
+        }
     }
 
     // --- Sensors. ---

@@ -24,6 +24,10 @@
 #include "platform/tmu.h"
 #include "platform/workload.h"
 
+namespace yukta::obs {
+class TraceSink;
+}  // namespace yukta::obs
+
 namespace yukta::platform {
 
 /** One row of the optional board trace. */
@@ -184,7 +188,14 @@ class Board
     /** @return the trace samples recorded so far. */
     const std::vector<TraceSample>& trace() const { return trace_; }
 
+    /**
+     * Emits "platform"/"tmu" events whenever the emergency caps
+     * change, to @p sink; nullptr detaches.
+     */
+    void attachTraceSink(obs::TraceSink* sink) { event_trace_ = sink; }
+
   private:
+    obs::TraceSink* event_trace_ = nullptr;
     BoardConfig cfg_;
     DvfsTable dvfs_big_;
     DvfsTable dvfs_little_;

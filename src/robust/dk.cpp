@@ -6,6 +6,7 @@
 #include "control/interconnect.h"
 #include "core/contracts.h"
 #include "linalg/matrix.h"
+#include "obs/profile.h"
 
 namespace yukta::robust {
 
@@ -40,6 +41,7 @@ std::optional<DkResult>
 dkSynthesize(const StateSpace& p, const PlantPartition& part,
              const BlockStructure& structure, const DkOptions& options)
 {
+    YUKTA_PROFILE_SCOPE("dk_synthesize");
     if (structure.totalOutputs() != part.nw ||
         structure.totalInputs() != part.nz) {
         throw std::invalid_argument("dkSynthesize: structure does not "

@@ -11,6 +11,7 @@
 #include "linalg/eig.h"
 #include "linalg/lu.h"
 #include "linalg/svd.h"
+#include "obs/profile.h"
 
 namespace yukta::robust {
 
@@ -240,6 +241,7 @@ std::optional<HinfResult>
 hinfSynthesize(const StateSpace& p, const PlantPartition& part,
                double gamma_lo, double gamma_hi, int bisection_steps)
 {
+    YUKTA_PROFILE_SCOPE("hinf_synthesize");
     validatePartition(p, part);
     YUKTA_CHECK_FINITE(p.a, "hinfSynthesize: non-finite plant A matrix");
     YUKTA_CHECK_FINITE(p.b, "hinfSynthesize: non-finite plant B matrix");

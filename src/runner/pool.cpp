@@ -11,6 +11,8 @@
 #include <cxxabi.h>
 #endif
 
+#include "obs/metrics.h"
+
 namespace yukta::runner {
 
 namespace {
@@ -63,6 +65,7 @@ workerLoop(const std::vector<Task>& tasks, std::atomic<std::size_t>& next,
                 out.attempts >= max_attempts || token.expired()) {
                 break;
             }
+            obs::globalMetrics().counter("runner.retries").add(1);
             if (retry.backoff_seconds > 0.0) {
                 std::this_thread::sleep_for(std::chrono::duration<double>(
                     retry.backoff_seconds * out.attempts));
@@ -74,6 +77,9 @@ workerLoop(const std::vector<Task>& tasks, std::atomic<std::size_t>& next,
         if (out.status == TaskOutcome::Status::kOk && has_deadline &&
             end >= deadline) {
             out.status = TaskOutcome::Status::kTimeout;
+        }
+        if (out.status == TaskOutcome::Status::kTimeout) {
+            obs::globalMetrics().counter("runner.timeouts").add(1);
         }
         if (on_complete) {
             on_complete(i, out);

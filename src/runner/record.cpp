@@ -87,6 +87,9 @@ toJsonLine(const RunRecord& r)
            << ",\"sup_skipped_ticks\":" << sup.skipped_ticks
            << ",\"sup_time_degraded\":" << sup.timeDegraded();
     }
+    if (r.trace_events > 0) {
+        os << ",\"trace_events\":" << r.trace_events;
+    }
     if (!r.error.empty()) {
         os << ",\"error\":\"" << jsonEscape(r.error) << "\"";
     }

@@ -36,6 +36,8 @@ struct RunRecord
     int attempts = 0;            ///< Pool attempts (retries included).
     bool cache_hit = false;      ///< Metrics came from the run cache.
     double wall_seconds = 0.0;   ///< Wall-clock cost of this run.
+    long long trace_events = 0;  ///< Structured events captured (0 =
+                                 ///< event tracing was off).
     controllers::RunMetrics metrics;  ///< Empty unless status=ok.
 };
 

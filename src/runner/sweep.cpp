@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <memory>
 #include <mutex>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/cache.h"
+#include "core/contracts.h"
 #include "fault/plan.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "platform/apps.h"
 
 #ifdef __unix__
@@ -174,6 +179,15 @@ runKey(const RunSpec& run, const std::string& artifact_tag)
     return hex.str();
 }
 
+std::string
+runTraceId(std::size_t index, const RunSpec& run)
+{
+    std::ostringstream os;
+    os << std::setw(3) << std::setfill('0') << index << "-"
+       << schemeId(run.scheme) << "-" << run.workload << "-s" << run.seed;
+    return os.str();
+}
+
 platform::Workload
 makeWorkload(const std::string& name)
 {
@@ -273,6 +287,26 @@ SweepResult
 runAll(const core::Artifacts& artifacts, const std::vector<RunSpec>& runs,
        const std::string& artifact_tag, const RunnerOptions& options)
 {
+    const bool traced = !options.trace_dir.empty();
+    const bool trace_jsonl = options.trace_format == "jsonl" ||
+                             options.trace_format == "both";
+    const bool trace_chrome = options.trace_format == "chrome" ||
+                              options.trace_format == "both";
+    if (traced && !trace_jsonl && !trace_chrome) {
+        throw std::invalid_argument("runAll: trace_format must be "
+                                    "\"jsonl\", \"chrome\", or \"both\"");
+    }
+    // One sink per run, pre-built so the identity (and therefore the
+    // trace content) never depends on which worker executes the run.
+    std::vector<std::unique_ptr<obs::TraceSink>> sinks;
+    if (traced) {
+        sinks.reserve(runs.size());
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            sinks.push_back(
+                std::make_unique<obs::TraceSink>(runTraceId(i, runs[i])));
+        }
+    }
+
     SweepResult result;
     result.records.resize(runs.size());
     for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -294,18 +328,21 @@ runAll(const core::Artifacts& artifacts, const std::vector<RunSpec>& runs,
         tasks.push_back([&, i](const CancelToken& token) {
             const RunSpec& run = runs[i];
             RunRecord& record = result.records[i];
-            // Traced runs carry their full trace in memory and are
-            // never persisted, so they bypass the result cache.
-            const bool cacheable =
-                options.use_cache && run.trace_interval <= 0.0;
+            // Traced runs carry their full trace (or event log) in
+            // memory and are never persisted, so they bypass the
+            // result cache.
+            const bool cacheable = options.use_cache &&
+                                   run.trace_interval <= 0.0 && !traced;
             if (cacheable) {
                 auto cached = loadRunMetrics(
                     core::cachePath("run-" + record.key));
                 if (cached) {
                     record.metrics = std::move(*cached);
                     record.cache_hit = true;
+                    obs::globalMetrics().counter("runner.cache_hit").add(1);
                     return;
                 }
+                obs::globalMetrics().counter("runner.cache_miss").add(1);
             }
             if (token.expired()) {
                 throw std::runtime_error(
@@ -326,10 +363,17 @@ runAll(const core::Artifacts& artifacts, const std::vector<RunSpec>& runs,
             if (run.supervised) {
                 system.enableSupervisor();
             }
+            if (traced) {
+                // A retried run must not replay stale events into its
+                // fresh attempt's trace.
+                sinks[i]->clear();
+                system.attachTraceSink(sinks[i].get());
+            }
             record.metrics = system.run(run.max_seconds);
             if (cacheable) {
                 saveRunMetrics(core::cachePath("run-" + record.key),
                                record.metrics);
+                obs::globalMetrics().counter("runner.cache_store").add(1);
             }
         });
     }
@@ -364,6 +408,31 @@ runAll(const core::Artifacts& artifacts, const std::vector<RunSpec>& runs,
         r.error_type = outcomes[i].error_type;
         r.attempts = outcomes[i].attempts;
         r.wall_seconds = outcomes[i].wall_seconds;
+        obs::globalMetrics()
+            .histogram("runner.run_wall_seconds")
+            .observe(r.wall_seconds);
+    }
+
+    // Trace files are written post-pool in index order, so their names
+    // and contents are independent of worker count and completion
+    // order (the same property the JSONL record stream has).
+    if (traced) {
+        std::filesystem::create_directories(options.trace_dir);
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            result.records[i].trace_events =
+                static_cast<long long>(sinks[i]->eventCount());
+            std::string base = options.trace_dir;
+            base += '/';
+            base += sinks[i]->runId();
+            if (trace_jsonl) {
+                std::ofstream os(base + ".trace.jsonl");
+                sinks[i]->writeJsonl(os);
+            }
+            if (trace_chrome) {
+                std::ofstream os(base + ".chrome.json");
+                sinks[i]->writeChrome(os);
+            }
+        }
     }
 
     // Progress is emitted per-run by workers in completion order; the
@@ -373,6 +442,13 @@ runAll(const core::Artifacts& artifacts, const std::vector<RunSpec>& runs,
         for (const RunRecord& r : result.records) {
             writeJsonLine(*options.jsonl, r);
         }
+    }
+
+    if (options.emit_metrics) {
+        obs::globalMetrics()
+            .gauge("contracts.checks")
+            .set(static_cast<double>(contracts::checkCount().load()));
+        result.metrics_json = obs::globalMetrics().snapshotJson();
     }
     return result;
 }

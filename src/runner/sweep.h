@@ -82,6 +82,12 @@ std::string runKey(const RunSpec& run, const std::string& artifact_tag);
 platform::Workload makeWorkload(const std::string& name);
 
 /**
+ * @return the stable per-run file/run identifier used for event
+ * traces: "NNN-<scheme>-<workload>-sSEED" with a zero-padded index.
+ */
+std::string runTraceId(std::size_t index, const RunSpec& run);
+
+/**
  * Serializes run metrics to the result cache at @p path (atomic
  * temp-file + rename under the process-wide cache lock).
  * The trace is not persisted.
@@ -108,12 +114,38 @@ struct RunnerOptions
                                        ///< index order).
     int run_attempts = 1;              ///< Retries per throwing run.
     double retry_backoff_seconds = 0.0;  ///< Linear backoff base.
+
+    /**
+     * Non-empty = write one per-tick structured event trace per run
+     * into this directory (created if absent). Traced runs bypass the
+     * result cache; the trace files are written post-hoc in index
+     * order and are bit-identical regardless of worker count.
+     */
+    std::string trace_dir;
+
+    /** Trace file format: "jsonl", "chrome", or "both". */
+    std::string trace_format = "jsonl";
+
+    /**
+     * Snapshot the global metrics registry (cache hit rates, retry
+     * counts, wall-time histograms, contract-check count) into
+     * SweepResult::metrics_json after the sweep. Off by default: the
+     * snapshot includes wall-clock-derived values, so it is the one
+     * sweep output that is NOT deterministic.
+     */
+    bool emit_metrics = false;
 };
 
 /** Aggregated sweep output; records are index-ordered. */
 struct SweepResult
 {
     std::vector<RunRecord> records;
+
+    /**
+     * Metrics-registry snapshot (JSON object); empty unless
+     * RunnerOptions::emit_metrics was set.
+     */
+    std::string metrics_json;
 
     /** @return record count with the given status. */
     std::size_t countStatus(TaskOutcome::Status status) const;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "linalg/qr.h"
+#include "obs/profile.h"
 
 namespace yukta::sysid {
 
@@ -124,6 +125,7 @@ ArxModel::toStateSpace() const
 ArxModel
 identifyArx(const IoData& data, double ts, const ArxOptions& options)
 {
+    YUKTA_PROFILE_SCOPE("arx_fit");
     std::size_t nsamp = data.y.size();
     if (data.u.size() != nsamp) {
         throw std::invalid_argument("identifyArx: u/y length mismatch");

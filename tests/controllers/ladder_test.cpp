@@ -1,0 +1,246 @@
+// Exhaustive state-machine test of the supervisor's degradation
+// ladder: every (rung, event) pair is enumerated against the expected
+// next rung, descent and recovery walk adjacent rungs only, and the
+// hysteresis invariant (one rung per full healthy window, counters
+// re-earned) holds under randomized good/bad telemetry.
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "controllers/supervisor.h"
+#include "support/prng.h"
+
+namespace yukta::controllers {
+namespace {
+
+/** Ladder position as an integer: 0 = nominal ... 3 = safe. */
+int
+rungIndex(SupervisorMode mode)
+{
+    switch (mode) {
+      case SupervisorMode::kNominal:
+        return 0;
+      case SupervisorMode::kHold:
+        return 1;
+      case SupervisorMode::kFallback:
+        return 2;
+      case SupervisorMode::kSafe:
+        return 3;
+    }
+    return -1;
+}
+
+/**
+ * Drives a Supervisor with synthetic telemetry. Healthy readings
+ * wobble tick-to-tick (the stuck-sensor detector treats bit-identical
+ * analog values as a fault) and keep the instruction counters
+ * advancing; bad readings carry a non-finite big-cluster power.
+ */
+class LadderDriver
+{
+  public:
+    LadderDriver() : sup_(platform::BoardConfig::odroidXu3(), config()) {}
+
+    /** The explicit knobs the expectations below are written against. */
+    static SupervisorConfig config()
+    {
+        SupervisorConfig cfg;
+        cfg.hold_limit = 2;
+        cfg.fallback_limit = 8;
+        cfg.recovery_ticks = 4;
+        cfg.warmup_periods = 2;
+        return cfg;
+    }
+
+    /** Feeds one tick; @p healthy selects good vs corrupt readings. */
+    SupervisorDecision step(bool healthy)
+    {
+        // yukta-lint: allow(sensor-construction) synthetic telemetry
+        platform::SensorReadings obs;
+        obs.p_big = 1.0 + 0.001 * static_cast<double>(tick_ % 7);
+        obs.p_little = 0.1 + 0.0001 * static_cast<double>(tick_ % 3);
+        obs.temp = 50.0 + 0.01 * static_cast<double>(tick_ % 5);
+        instr_big_ += 0.5;
+        instr_little_ += 0.25;
+        obs.instr_big = instr_big_;
+        obs.instr_little = instr_little_;
+        if (!healthy) {
+            obs.p_big = std::numeric_limits<double>::quiet_NaN();
+        }
+        auto decision = sup_.assess(tick_, 0.5 * tick_, obs);
+        ++tick_;
+        return decision;
+    }
+
+    /**
+     * Feeds ticks (bad for lower rungs, good for kNominal) until the
+     * supervisor sits on @p target; fails the test if it never does.
+     */
+    void driveTo(SupervisorMode target)
+    {
+        for (int i = 0; i < 64; ++i) {
+            if (sup_.mode() == target) {
+                return;
+            }
+            step(target == SupervisorMode::kNominal);
+        }
+        FAIL() << "never reached " << supervisorModeName(target);
+    }
+
+    Supervisor& supervisor() { return sup_; }
+
+  private:
+    Supervisor sup_;
+    int tick_ = 0;
+    double instr_big_ = 0.0;
+    double instr_little_ = 0.0;
+};
+
+/** Asserts every logged transition moved exactly one rung. */
+void
+expectAdjacentTransitionsOnly(const Supervisor& sup)
+{
+    for (const SupervisorEvent& e : sup.report().events) {
+        EXPECT_EQ(std::abs(rungIndex(e.to) - rungIndex(e.from)), 1)
+            << supervisorModeName(e.from) << " -> "
+            << supervisorModeName(e.to) << " at period " << e.period;
+    }
+}
+
+TEST(SupervisorLadder, EveryRungEventPairYieldsTheExpectedNextRung)
+{
+    const SupervisorConfig cfg = LadderDriver::config();
+    struct Case
+    {
+        SupervisorMode start;
+        bool healthy;
+        SupervisorMode expected;
+    };
+    // One event applied right after first reaching the rung: a single
+    // tick never jumps rungs, and a single good tick never recovers
+    // (the window is recovery_ticks long).
+    const Case cases[] = {
+        {SupervisorMode::kNominal, true, SupervisorMode::kNominal},
+        {SupervisorMode::kNominal, false, SupervisorMode::kHold},
+        {SupervisorMode::kHold, true, SupervisorMode::kHold},
+        {SupervisorMode::kHold, false, SupervisorMode::kHold},
+        {SupervisorMode::kFallback, true, SupervisorMode::kFallback},
+        {SupervisorMode::kFallback, false, SupervisorMode::kFallback},
+        {SupervisorMode::kSafe, true, SupervisorMode::kSafe},
+        {SupervisorMode::kSafe, false, SupervisorMode::kSafe},
+    };
+    ASSERT_GT(cfg.hold_limit, 1);      // Else (hold, bad) expectation
+    ASSERT_GT(cfg.recovery_ticks, 1);  // and (hold, good) shift.
+    for (const Case& c : cases) {
+        LadderDriver driver;
+        driver.driveTo(c.start);
+        driver.step(c.healthy);
+        EXPECT_EQ(driver.supervisor().mode(), c.expected)
+            << supervisorModeName(c.start) << " + "
+            << (c.healthy ? "good" : "bad") << " tick";
+        expectAdjacentTransitionsOnly(driver.supervisor());
+    }
+}
+
+TEST(SupervisorLadder, SustainedFaultsDescendRungByRungOnSchedule)
+{
+    const SupervisorConfig cfg = LadderDriver::config();
+    LadderDriver driver;
+    driver.driveTo(SupervisorMode::kNominal);
+
+    std::vector<SupervisorMode> seen;
+    for (int bad = 1; bad <= cfg.fallback_limit + 2; ++bad) {
+        driver.step(false);
+        seen.push_back(driver.supervisor().mode());
+    }
+    // Tick 1 leaves nominal; hold persists through hold_limit bad
+    // ticks; fallback persists through fallback_limit; then safe.
+    for (int bad = 1; bad <= cfg.fallback_limit + 2; ++bad) {
+        SupervisorMode want = SupervisorMode::kHold;
+        if (bad > cfg.fallback_limit) {
+            want = SupervisorMode::kSafe;
+        } else if (bad > cfg.hold_limit) {
+            want = SupervisorMode::kFallback;
+        }
+        EXPECT_EQ(seen[static_cast<std::size_t>(bad - 1)], want)
+            << "after " << bad << " bad tick(s)";
+    }
+    expectAdjacentTransitionsOnly(driver.supervisor());
+}
+
+TEST(SupervisorLadder, RecoveryEarnsExactlyOneRungPerHealthyWindow)
+{
+    const SupervisorConfig cfg = LadderDriver::config();
+    LadderDriver driver;
+    driver.driveTo(SupervisorMode::kSafe);
+
+    // safe -> fallback -> hold -> nominal: each rung requires a full
+    // fresh window; within a window the mode must not move.
+    const SupervisorMode rungs[] = {SupervisorMode::kFallback,
+                                    SupervisorMode::kHold,
+                                    SupervisorMode::kNominal};
+    for (SupervisorMode next : rungs) {
+        for (int good = 1; good < cfg.recovery_ticks; ++good) {
+            const SupervisorMode before = driver.supervisor().mode();
+            driver.step(true);
+            EXPECT_EQ(driver.supervisor().mode(), before)
+                << "recovered early after " << good << " good tick(s)";
+        }
+        const auto decision = driver.step(true);
+        EXPECT_EQ(driver.supervisor().mode(), next);
+        EXPECT_EQ(decision.reset_primaries,
+                  next == SupervisorMode::kNominal)
+            << "primaries must reset exactly on re-entry to nominal";
+    }
+    expectAdjacentTransitionsOnly(driver.supervisor());
+}
+
+TEST(SupervisorLadder, AlternatingTelemetryCannotOscillateTheLadder)
+{
+    LadderDriver driver;
+    driver.driveTo(SupervisorMode::kFallback);
+    // good/bad alternation never completes a healthy window, and the
+    // bad streak restarts every other tick: the rung must not move.
+    for (int i = 0; i < 64; ++i) {
+        driver.step(i % 2 == 0);
+        EXPECT_EQ(driver.supervisor().mode(), SupervisorMode::kFallback)
+            << "tick " << i;
+    }
+}
+
+TEST(SupervisorLadder, RandomizedTelemetryPreservesLadderInvariants)
+{
+    const SupervisorConfig cfg = LadderDriver::config();
+    testsupport::SplitMix64 rng(0x1ADDE25EEDull);
+    LadderDriver driver;
+    driver.driveTo(SupervisorMode::kNominal);
+
+    int good_streak = 0;
+    int prev = rungIndex(driver.supervisor().mode());
+    for (int i = 0; i < 2000; ++i) {
+        const bool healthy = rng.uniform(0.0, 1.0) < 0.6;
+        driver.step(healthy);
+        good_streak = healthy ? good_streak + 1 : 0;
+
+        const int now = rungIndex(driver.supervisor().mode());
+        // One rung per tick, in either direction.
+        EXPECT_LE(std::abs(now - prev), 1) << "tick " << i;
+        // Climbing requires a complete healthy window.
+        if (now < prev) {
+            EXPECT_GE(good_streak, cfg.recovery_ticks) << "tick " << i;
+            good_streak = 0;  // The supervisor re-earns each rung.
+        }
+        // Descending requires a bad tick.
+        if (now > prev) {
+            EXPECT_FALSE(healthy) << "tick " << i;
+        }
+        prev = now;
+    }
+    expectAdjacentTransitionsOnly(driver.supervisor());
+}
+
+}  // namespace
+}  // namespace yukta::controllers

@@ -79,6 +79,51 @@ TEST(FaultPlan, RejectsMalformedSpecs)
     EXPECT_THROW(FaultPlan::parse("p_big:nan"), std::invalid_argument);
 }
 
+TEST(FaultPlan, RejectsNumbersOutsidePlainDecimalNotation)
+{
+    // strtod-isms that must NOT pass as schedule times: non-finite
+    // literals, hex floats, overflow to infinity, and whitespace.
+    EXPECT_THROW(FaultPlan::parse("p_big:nan@nan+6"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("p_big:nan@30+inf"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("p_big:nan@30+infinity"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("p_big:nan@0x10+6"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("p_big:nan@30+0x2"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("p_big:nan@1e999+6"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("p_big:nan@ 30+6"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("p_big:spike@0+10*inf"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("p_big:spike@0+10*0x8"),
+                 std::invalid_argument);
+    // Exponent notation is still plain decimal and stays accepted.
+    EXPECT_EQ(FaultPlan::parse("p_big:nan@1e1+6").windows[0].start, 10.0);
+}
+
+TEST(FaultPlan, RejectsEmptyClausesAndMalformedSeeds)
+{
+    EXPECT_THROW(FaultPlan::parse(";p_big:nan@0+1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("seed=1;;p_big:nan@0+1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("seed=-1"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("seed= 1"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("seed=0x10"), std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("seed="), std::invalid_argument);
+    // The empty spec (no fault plan at all) stays valid, as does a
+    // trailing separator-free multi-clause plan.
+    EXPECT_TRUE(FaultPlan::parse("").windows.empty());
+    EXPECT_EQ(
+        FaultPlan::parse("seed=2;p_big:nan@0+1;act:ignore@2+1").windows
+            .size(),
+        2u);
+}
+
 SensorReadings
 cleanObs(double base)
 {

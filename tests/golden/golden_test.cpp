@@ -1,0 +1,163 @@
+// Golden-trace regression suite: replays the pinned scenarios from
+// scenario.h and byte-compares their event traces against the
+// committed files under tests/golden/. Any divergence is reported as
+// the first diverging tick/field; re-bless deliberate behavior
+// changes with tools/regen_golden.sh.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "golden/scenario.h"
+#include "obs/trace_diff.h"
+
+#ifndef YUKTA_GOLDEN_DIR
+#error "YUKTA_GOLDEN_DIR must point at the committed golden traces"
+#endif
+
+namespace yukta::golden {
+namespace {
+
+/** Points the design/run cache at a private directory. */
+class CacheDirEnvironment : public ::testing::Environment
+{
+  public:
+    void SetUp() override
+    {
+        const std::string dir =
+            (std::filesystem::temp_directory_path() / "yukta_golden_test")
+                .string();
+        std::filesystem::remove_all(dir);
+        ASSERT_EQ(setenv("YUKTA_CACHE_DIR", dir.c_str(), 1), 0);
+    }
+};
+
+::testing::Environment* const cache_env =
+    ::testing::AddGlobalTestEnvironment(new CacheDirEnvironment);
+
+/** One artifact bundle shared by every golden test. */
+class GoldenFixture : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        artifacts_ = new core::Artifacts(goldenArtifacts());
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete artifacts_;
+        artifacts_ = nullptr;
+    }
+
+    static std::filesystem::path goldenPath(const std::string& scheme)
+    {
+        return std::filesystem::path(YUKTA_GOLDEN_DIR) /
+               goldenFileName(scheme);
+    }
+
+    /** Whole committed golden file as bytes; fails if it is absent. */
+    static std::string goldenBytes(const std::string& scheme)
+    {
+        std::ifstream is(goldenPath(scheme), std::ios::binary);
+        EXPECT_TRUE(is.good())
+            << "missing " << goldenPath(scheme)
+            << " -- run tools/regen_golden.sh to (re)create it";
+        std::ostringstream os;
+        os << is.rdbuf();
+        return os.str();
+    }
+
+    /**
+     * Runs the scenario live and asserts its trace is byte-identical
+     * to the committed golden file, reporting the first diverging
+     * tick and field otherwise.
+     */
+    static void expectMatchesGolden(const std::string& scheme)
+    {
+        obs::TraceSink sink("golden-" + scheme);
+        captureGoldenTrace(scheme, *artifacts_, &sink);
+        ASSERT_GT(sink.eventCount(), 0u);
+
+        std::ostringstream live;
+        sink.writeJsonl(live);
+        const std::string expected = goldenBytes(scheme);
+        if (live.str() == expected) {
+            return;
+        }
+        std::istringstream want(expected);
+        std::istringstream got(live.str());
+        auto d = obs::diffJsonlStreams(want, got);
+        ASSERT_TRUE(d.has_value());  // Bytes differ, so events must.
+        FAIL() << "golden trace mismatch for scheme '" << scheme
+               << "': " << obs::describeDivergence(*d)
+               << "\nIf this change is intentional, re-bless with "
+                  "tools/regen_golden.sh.";
+    }
+
+    static core::Artifacts* artifacts_;
+};
+
+core::Artifacts* GoldenFixture::artifacts_ = nullptr;
+
+TEST_F(GoldenFixture, SsvMultilayerTraceMatchesGolden)
+{
+    expectMatchesGolden("ssv");
+}
+
+TEST_F(GoldenFixture, PidBaselineTraceMatchesGolden)
+{
+    expectMatchesGolden("pid");
+}
+
+TEST_F(GoldenFixture, CommittedTracesParseAndCarryBothLayers)
+{
+    for (const char* scheme : kGoldenSchemes) {
+        std::ifstream is(goldenPath(scheme));
+        std::string run_id;
+        auto events = obs::readJsonlTrace(is, &run_id);
+        ASSERT_TRUE(events.has_value()) << scheme;
+        EXPECT_EQ(run_id, "golden-" + std::string(scheme));
+        bool saw_hw = false;
+        bool saw_cmd = false;
+        bool saw_plant = false;
+        for (const obs::TraceEvent& ev : *events) {
+            saw_hw = saw_hw || ev.layer() == "hw";
+            saw_cmd = saw_cmd || (ev.layer() == "sys" && ev.kind() == "cmd");
+            saw_plant =
+                saw_plant || (ev.layer() == "sys" && ev.kind() == "plant");
+        }
+        EXPECT_TRUE(saw_hw) << scheme;
+        EXPECT_TRUE(saw_cmd) << scheme;
+        EXPECT_TRUE(saw_plant) << scheme;
+    }
+}
+
+TEST_F(GoldenFixture, TinyGainPerturbationIsCaughtWithFirstTick)
+{
+    // A 1e-6 bump on one entry of the synthesized SSV controller's
+    // output map must surface as a first-divergent-tick report, not
+    // slip through quantization.
+    core::Artifacts perturbed = *artifacts_;
+    perturbed.hw_ssv.controller.k.c(0, 0) += 1e-6;
+
+    obs::TraceSink sink("golden-ssv");
+    captureGoldenTrace("ssv", perturbed, &sink);
+
+    std::istringstream want(goldenBytes("ssv"));
+    std::ostringstream live;
+    sink.writeJsonl(live);
+    std::istringstream got(live.str());
+    auto d = obs::diffJsonlStreams(want, got);
+    ASSERT_TRUE(d.has_value())
+        << "perturbed controller produced a byte-identical trace";
+    const std::string report = obs::describeDivergence(*d);
+    EXPECT_NE(report.find("tick"), std::string::npos) << report;
+    EXPECT_NE(report.find(d->field), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace yukta::golden

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Regenerates the committed golden traces from the pinned scenarios
+ * in scenario.h. Run through tools/regen_golden.sh after a deliberate
+ * behavior change; never regenerate to silence an unexplained diff.
+ *
+ * Usage: yukta-regen-golden <output-dir>
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "golden/scenario.h"
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: yukta-regen-golden <output-dir>\n");
+        return 2;
+    }
+    const std::filesystem::path out_dir = argv[1];
+    std::filesystem::create_directories(out_dir);
+
+    using namespace yukta;
+    std::fprintf(stderr, "building golden artifacts...\n");
+    const core::Artifacts art = golden::goldenArtifacts();
+
+    for (const char* scheme : golden::kGoldenSchemes) {
+        obs::TraceSink sink("golden-" + std::string(scheme));
+        golden::captureGoldenTrace(scheme, art, &sink);
+
+        const auto path = out_dir / golden::goldenFileName(scheme);
+        std::ofstream os(path, std::ios::binary);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s\n", path.c_str());
+            return 1;
+        }
+        sink.writeJsonl(os);
+        std::fprintf(stderr, "wrote %s (%zu events)\n", path.c_str(),
+                     sink.eventCount());
+    }
+    return 0;
+}

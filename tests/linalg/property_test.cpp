@@ -1,0 +1,123 @@
+// Property-based tests for the dense linear-algebra kernels: instead
+// of a handful of hand-picked matrices, each property runs hundreds
+// of seeded random cases (tests/support/prng.h -- replayable, never
+// rand()) and asserts an algebraic identity with an explicit bound.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "linalg/lu.h"
+#include "linalg/matrix.h"
+#include "linalg/qr.h"
+#include "linalg/vector.h"
+#include "support/prng.h"
+
+namespace yukta::linalg {
+namespace {
+
+using testsupport::SplitMix64;
+
+constexpr int kCases = 300;
+
+TEST(LinalgProperty, SolveInvertsMultiplyForVectors)
+{
+    SplitMix64 rng(0xA11CE5EED5ull);
+    for (int c = 0; c < kCases; ++c) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(1, 7));
+        const Matrix a = testsupport::randomDominant(rng, n);
+        const Vector x = testsupport::randomVector(rng, n, 10.0);
+        const Vector b = a * x;
+        const Vector got = solve(a, b);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(got[i], x[i], 1e-8 * (1.0 + std::abs(x[i])))
+                << "case " << c << " n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(LinalgProperty, SolveInvertsMultiplyForMatrices)
+{
+    SplitMix64 rng(0xB0B5EEDull);
+    for (int c = 0; c < kCases; ++c) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(1, 6));
+        const std::size_t k =
+            static_cast<std::size_t>(rng.uniformInt(1, 4));
+        const Matrix a = testsupport::randomDominant(rng, n);
+        const Matrix x = testsupport::randomMatrix(rng, n, k, 5.0);
+        const Matrix got = solve(a, a * x);
+        EXPECT_LT((got - x).maxAbs(), 1e-8) << "case " << c;
+    }
+}
+
+TEST(LinalgProperty, InverseTimesSelfIsIdentity)
+{
+    SplitMix64 rng(0xC4FE5EEDull);
+    for (int c = 0; c < kCases; ++c) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(1, 6));
+        const Matrix a = testsupport::randomDominant(rng, n);
+        const Matrix left = inverse(a) * a;
+        const Matrix right = a * inverse(a);
+        EXPECT_LT((left - Matrix::identity(n)).maxAbs(), 1e-9)
+            << "case " << c;
+        EXPECT_LT((right - Matrix::identity(n)).maxAbs(), 1e-9)
+            << "case " << c;
+    }
+}
+
+TEST(LinalgProperty, DeterminantIsMultiplicative)
+{
+    SplitMix64 rng(0xDE7E5EEDull);
+    for (int c = 0; c < kCases; ++c) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(1, 5));
+        const Matrix a = testsupport::randomDominant(rng, n);
+        const Matrix b = testsupport::randomDominant(rng, n);
+        const double lhs = determinant(a * b);
+        const double rhs = determinant(a) * determinant(b);
+        EXPECT_NEAR(lhs, rhs, 1e-9 * (1.0 + std::abs(rhs)))
+            << "case " << c;
+    }
+}
+
+TEST(LinalgProperty, CholeskyFactorReconstructsSpdInput)
+{
+    SplitMix64 rng(0xC0015EEDull);
+    for (int c = 0; c < kCases; ++c) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(1, 6));
+        const Matrix a = testsupport::randomSpd(rng, n);
+        const Matrix l = cholesky(a);
+        EXPECT_LT((l * l.transpose() - a).maxAbs(), 1e-9 * (1.0 + a.maxAbs()))
+            << "case " << c;
+        // L is lower triangular with positive diagonal.
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_GT(l(i, i), 0.0) << "case " << c;
+            for (std::size_t j = i + 1; j < n; ++j) {
+                EXPECT_EQ(l(i, j), 0.0) << "case " << c;
+            }
+        }
+    }
+}
+
+TEST(LinalgProperty, LeastSquaresMatchesExactSolveOnSquareSystems)
+{
+    SplitMix64 rng(0x1575EEDull);
+    for (int c = 0; c < kCases; ++c) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(1, 6));
+        const Matrix a = testsupport::randomDominant(rng, n);
+        const Vector b = testsupport::randomVector(rng, n, 3.0);
+        const Vector exact = solve(a, b);
+        const Vector ls = lstsq(a, b);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(ls[i], exact[i], 1e-7 * (1.0 + std::abs(exact[i])))
+                << "case " << c;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace yukta::linalg

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cache.h"
+#include "obs/trace.h"
 #include "runner/sweep.h"
 
 namespace yukta::runner {
@@ -228,6 +229,89 @@ TEST_F(SweepFixture, RunCacheHitsReproduceLiveMetrics)
                   warm.records[i].metrics.exec_time);
         EXPECT_EQ(cold.records[i].metrics.energy,
                   warm.records[i].metrics.energy);
+    }
+}
+
+namespace {
+
+/** Reads a whole file into a string ("" when absent). */
+std::string
+slurp(const std::filesystem::path& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+}  // namespace
+
+TEST_F(SweepFixture, EventTracesAreBitIdenticalAcrossWorkerCounts)
+{
+    SweepSpec spec = smallSweep();
+    spec.workloads = {"swaptions"};
+    spec.seeds = {1};
+    spec.supervised = true;
+    spec.fault_plan = "seed=3;p_big:nan@30+6";
+
+    const auto base =
+        std::filesystem::temp_directory_path() / "yukta_trace_test";
+    std::filesystem::remove_all(base);
+
+    RunnerOptions serial;
+    serial.workers = 1;
+    serial.use_cache = true;  // Must be bypassed: traced runs never cache.
+    serial.trace_dir = (base / "serial").string();
+    serial.trace_format = "both";
+    auto a = runSweep(*artifacts_, spec, serial);
+
+    RunnerOptions parallel = serial;
+    parallel.workers = 4;
+    parallel.trace_dir = (base / "parallel").string();
+    auto b = runSweep(*artifacts_, spec, parallel);
+
+    ASSERT_EQ(a.records.size(), 2u);
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+        EXPECT_EQ(a.records[i].status, TaskOutcome::Status::kOk)
+            << a.records[i].error;
+        EXPECT_FALSE(a.records[i].cache_hit);
+        EXPECT_FALSE(b.records[i].cache_hit);
+        EXPECT_GT(a.records[i].trace_events, 0);
+        EXPECT_EQ(a.records[i].trace_events, b.records[i].trace_events);
+    }
+
+    // Same file names, bit-identical bytes, regardless of pool size.
+    std::vector<std::string> names;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(serial.trace_dir)) {
+        names.push_back(entry.path().filename().string());
+    }
+    ASSERT_EQ(names.size(), 4u);  // 2 runs x {jsonl, chrome}.
+    for (const std::string& name : names) {
+        const std::string sa =
+            slurp(std::filesystem::path(serial.trace_dir) / name);
+        const std::string sb =
+            slurp(std::filesystem::path(parallel.trace_dir) / name);
+        EXPECT_FALSE(sa.empty()) << name;
+        EXPECT_EQ(sa, sb) << name;
+    }
+
+    // The JSONL traces parse and carry supervisor + fault events.
+    for (const std::string& name : names) {
+        if (name.find(".trace.jsonl") == std::string::npos) {
+            continue;
+        }
+        std::ifstream is(std::filesystem::path(serial.trace_dir) / name);
+        auto events = obs::readJsonlTrace(is);
+        ASSERT_TRUE(events.has_value()) << name;
+        bool saw_cmd = false;
+        bool saw_fault = false;
+        for (const auto& ev : *events) {
+            saw_cmd = saw_cmd || (ev.layer() == "sys" && ev.kind() == "cmd");
+            saw_fault = saw_fault || ev.layer() == "fault";
+        }
+        EXPECT_TRUE(saw_cmd) << name;
+        EXPECT_TRUE(saw_fault) << name;
     }
 }
 

@@ -1,0 +1,151 @@
+#ifndef YUKTA_TESTS_SUPPORT_PRNG_H_
+#define YUKTA_TESTS_SUPPORT_PRNG_H_
+
+/**
+ * @file
+ * Seeded generators for the property-based tests. Deliberately NOT
+ * std::rand() or std::mt19937-with-time: every case is derived from
+ * an explicit 64-bit seed, so a failing property prints its case
+ * index and replays exactly.
+ */
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+
+namespace yukta::testsupport {
+
+/** splitmix64: tiny, fast, full-period 64-bit generator. */
+class SplitMix64
+{
+  public:
+    /** Seeds the stream; equal seeds yield equal sequences. */
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /** @return the next raw 64-bit draw. */
+    std::uint64_t next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** @return a uniform double in [lo, hi). */
+    double uniform(double lo, double hi)
+    {
+        const double u =
+            static_cast<double>(next() >> 11) * 0x1.0p-53;  // [0, 1)
+        return lo + u * (hi - lo);
+    }
+
+    /** @return a uniform integer in [lo, hi] (inclusive). */
+    int uniformInt(int lo, int hi)
+    {
+        const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+        return lo + static_cast<int>(next() % span);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/** @return an r x c matrix with entries uniform in [-scale, scale). */
+inline linalg::Matrix
+randomMatrix(SplitMix64& rng, std::size_t r, std::size_t c,
+             double scale = 1.0)
+{
+    linalg::Matrix m(r, c);
+    for (std::size_t i = 0; i < r; ++i) {
+        for (std::size_t j = 0; j < c; ++j) {
+            m(i, j) = rng.uniform(-scale, scale);
+        }
+    }
+    return m;
+}
+
+/** @return a length-n vector with entries uniform in [-scale, scale). */
+inline linalg::Vector
+randomVector(SplitMix64& rng, std::size_t n, double scale = 1.0)
+{
+    linalg::Vector v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = rng.uniform(-scale, scale);
+    }
+    return v;
+}
+
+/**
+ * @return an n x n strictly diagonally dominant matrix -- invertible
+ * and well-conditioned, so solve/inverse round trips hold tightly.
+ */
+inline linalg::Matrix
+randomDominant(SplitMix64& rng, std::size_t n)
+{
+    linalg::Matrix m = randomMatrix(rng, n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            row += m(i, j) < 0.0 ? -m(i, j) : m(i, j);
+        }
+        m(i, i) += (m(i, i) < 0.0 ? -1.0 : 1.0) * (row + 1.0);
+    }
+    return m;
+}
+
+/** @return a random symmetric n x n matrix, (M + M^T) / 2. */
+inline linalg::Matrix
+randomSymmetric(SplitMix64& rng, std::size_t n, double scale = 1.0)
+{
+    linalg::Matrix m = randomMatrix(rng, n, n, scale);
+    linalg::Matrix s = m + m.transpose();
+    s *= 0.5;
+    return s;
+}
+
+/** @return a symmetric positive definite matrix M M^T + eps I. */
+inline linalg::Matrix
+randomSpd(SplitMix64& rng, std::size_t n, double eps = 0.1)
+{
+    linalg::Matrix m = randomMatrix(rng, n, n);
+    linalg::Matrix spd = m * m.transpose();
+    for (std::size_t i = 0; i < n; ++i) {
+        spd(i, i) += eps;
+    }
+    return spd;
+}
+
+/**
+ * @return an n x n matrix with spectral radius < @p rho (a discrete-
+ * time stable A), scaled through the infinity norm bound.
+ */
+inline linalg::Matrix
+randomStableDiscrete(SplitMix64& rng, std::size_t n, double rho = 0.9)
+{
+    linalg::Matrix m = randomMatrix(rng, n, n);
+    const double norm = m.normInf();
+    if (norm > 0.0) {
+        m *= rho / norm;
+    }
+    return m;
+}
+
+/**
+ * @return an n x n Hurwitz matrix (all eigenvalue real parts < 0):
+ * a random matrix shifted left by its infinity norm plus a margin.
+ */
+inline linalg::Matrix
+randomStableContinuous(SplitMix64& rng, std::size_t n, double margin = 0.5)
+{
+    linalg::Matrix m = randomMatrix(rng, n, n);
+    const double shift = m.normInf() + margin;
+    for (std::size_t i = 0; i < n; ++i) {
+        m(i, i) -= shift;
+    }
+    return m;
+}
+
+}  // namespace yukta::testsupport
+
+#endif  // YUKTA_TESTS_SUPPORT_PRNG_H_

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Re-blesses the committed golden traces under tests/golden/ from the
+# pinned scenarios in tests/golden/scenario.h.
+#
+# Only run this after a *deliberate* behavior change (new controller
+# math, new trace fields, plant model fix). Never run it to silence a
+# diff you cannot explain -- the diff IS the regression report.
+#
+# Usage: tools/regen_golden.sh [build-dir]   (default: ./build)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+
+cmake -S "$repo" -B "$build" >/dev/null
+cmake --build "$build" --target yukta-regen-golden -j >/dev/null
+
+"$build/tests/yukta-regen-golden" "$repo/tests/golden"
+
+echo "Golden traces updated. Review the diff, then commit:"
+git -C "$repo" status --short tests/golden/
