@@ -27,6 +27,11 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "=== micro-bench smoke: batched vs pointwise freq response ==="
+# Correctness-gated (batch must match the pointwise oracle to 1e-10);
+# the timings land in the JSON for trend inspection, never gate CI.
+./build/bench/bench_micro_freq --quick --out build/BENCH_micro_freq.json
+
 # The generic analyzers read build/compile_commands.json (exported by
 # default), so they run after the configure step. Both are gated on
 # availability: the dev container ships neither, the GitHub runner

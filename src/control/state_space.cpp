@@ -5,6 +5,7 @@
 
 #include "linalg/cmatrix.h"
 #include "linalg/eig.h"
+#include "linalg/hessenberg.h"
 #include "linalg/lu.h"
 
 namespace yukta::control {
@@ -87,6 +88,81 @@ StateSpace::freqResponse(double w) const
         return evalAt(std::exp(Complex(0.0, w * ts)));
     }
     return evalAt(Complex(0.0, w));
+}
+
+std::vector<CMatrix>
+StateSpace::freqResponseBatch(const std::vector<double>& freqs) const
+{
+    std::vector<CMatrix> out;
+    out.reserve(freqs.size());
+    const std::size_t n = numStates();
+    if (n == 0) {
+        out.assign(freqs.size(), CMatrix(d));
+        return out;
+    }
+
+    // One-time O(n^3): A = Q H Q^T, then fold Q into the input and
+    // output maps so every grid point only touches H.
+    const linalg::HessenbergForm hess = linalg::hessenbergReduce(a);
+    const CMatrix bt(hess.q.transpose() * b);
+    const CMatrix ct(c * hess.q);
+    const CMatrix dc(d);
+    linalg::HessenbergSolver solver(hess.h, numInputs());
+
+    const std::size_t p = numOutputs();
+    const std::size_t m = numInputs();
+    const Complex* cp = ct.data();
+    const Complex* dp = dc.data();
+    for (double w : freqs) {
+        const Complex z = isDiscrete() ? std::exp(Complex(0.0, w * ts))
+                                       : Complex(0.0, w);
+        const CMatrix& x = solver.solve(z, bt);
+        // G = ct x + dc, filled in place: a per-point operator* would
+        // allocate two temporaries and rescan x for finiteness, which
+        // costs more than the O(n^2) solve at small orders.
+        const Complex* xp = x.data();
+        CMatrix& g = out.emplace_back(p, m);
+        Complex* gp = g.data();
+        for (std::size_t i = 0; i < p; ++i) {
+            for (std::size_t j = 0; j < m; ++j) {
+                Complex s = dp[i * m + j];
+                for (std::size_t k = 0; k < n; ++k) {
+                    s += cp[i * n + k] * xp[k * m + j];
+                }
+                gp[i * m + j] = s;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+logSpacedFrequencies(double lo, double hi, std::size_t points)
+{
+    if (!(lo > 0.0) || !(hi >= lo)) {
+        throw std::invalid_argument(
+            "logSpacedFrequencies: need 0 < lo <= hi");
+    }
+    if (points == 0 || (points == 1 && hi > lo)) {
+        throw std::invalid_argument(
+            "logSpacedFrequencies: need >= 2 points to span lo < hi");
+    }
+    if (points == 1) {
+        return {lo};
+    }
+    std::vector<double> w(points);
+    const double llo = std::log10(lo);
+    const double lhi = std::log10(hi);
+    for (std::size_t i = 0; i < points; ++i) {
+        const double t =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        w[i] = std::pow(10.0, llo + (lhi - llo) * t);
+    }
+    // Pin both ends: pow(10, log10(x)) need not round-trip to x, and
+    // discrete sweeps must hit the Nyquist frequency exactly.
+    w.front() = lo;
+    w.back() = hi;
+    return w;
 }
 
 Matrix

@@ -77,6 +77,19 @@ struct StateSpace
      */
     linalg::CMatrix freqResponse(double w) const;
 
+    /**
+     * Batched frequency response over a whole grid (Laub's method):
+     * one O(n^3) orthogonal Hessenberg reduction of A, then an
+     * O(n^2) shifted-Hessenberg solve per grid point with reused
+     * workspaces. Agrees with pointwise freqResponse() to roundoff;
+     * the pointwise path stays the oracle in tests.
+     *
+     * @param freqs angular frequencies (rad/s), any order.
+     * @return G(jw) (or G(e^{j w Ts})) for each entry of @p freqs.
+     */
+    std::vector<linalg::CMatrix>
+    freqResponseBatch(const std::vector<double>& freqs) const;
+
     /** @return steady-state gain G(0) (continuous) or G(1) (discrete). */
     linalg::Matrix dcGain() const;
 
@@ -87,6 +100,16 @@ struct StateSpace
     StateSpace scaled(const linalg::Matrix& out_scale,
                       const linalg::Matrix& in_scale) const;
 };
+
+/**
+ * @return @p points log-spaced frequencies spanning [@p lo, @p hi],
+ * with both endpoints pinned exactly (no log10/pow round-trip drift,
+ * so discrete sweeps can land on the Nyquist frequency bit-exactly).
+ * @throws std::invalid_argument unless 0 < lo <= hi and points >= 2
+ *   (or points == 1 with lo == hi).
+ */
+std::vector<double> logSpacedFrequencies(double lo, double hi,
+                                         std::size_t points);
 
 /** One step of a discrete system: returns y and updates x in place. */
 linalg::Vector stepOnce(const StateSpace& sys, linalg::Vector& x,

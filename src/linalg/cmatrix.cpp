@@ -249,10 +249,13 @@ operator*(const CMatrix& lhs, const CMatrix& rhs)
         throw std::invalid_argument("CMatrix*: shape mismatch");
     }
     CMatrix out(lhs.rows(), rhs.cols());
+    // Skip only when the right operand is verified finite: 0 * NaN
+    // and 0 * Inf must propagate as NaN (IEEE semantics).
+    const bool rhs_finite = rhs.allFinite();
     for (std::size_t i = 0; i < lhs.rows(); ++i) {
         for (std::size_t k = 0; k < lhs.cols(); ++k) {
             Complex a = lhs(i, k);
-            if (a == Complex(0.0, 0.0)) {
+            if (a == Complex(0.0, 0.0) && rhs_finite) {
                 continue;
             }
             for (std::size_t j = 0; j < rhs.cols(); ++j) {

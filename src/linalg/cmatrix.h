@@ -48,6 +48,10 @@ class CMatrix
     Complex& operator()(std::size_t r, std::size_t c);
     Complex operator()(std::size_t r, std::size_t c) const;
 
+    /** @return pointer to the contiguous row-major storage. */
+    Complex* data() { return data_.data(); }
+    const Complex* data() const { return data_.data(); }
+
     CMatrix& operator+=(const CMatrix& rhs);
     CMatrix& operator-=(const CMatrix& rhs);
     CMatrix& operator*=(Complex s);

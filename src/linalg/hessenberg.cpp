@@ -1,0 +1,191 @@
+#include "linalg/hessenberg.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace yukta::linalg {
+
+HessenbergForm
+hessenbergReduce(const Matrix& a)
+{
+    if (!a.isSquare()) {
+        throw std::invalid_argument("hessenbergReduce: matrix must be square");
+    }
+    const std::size_t n = a.rows();
+    HessenbergForm out{a, Matrix::identity(n)};
+    Matrix& h = out.h;
+    Matrix& q = out.q;
+    if (n < 3) {
+        return out;
+    }
+
+    std::vector<double> v(n, 0.0);
+    for (std::size_t k = 0; k + 2 < n; ++k) {
+        // Householder vector zeroing column k below the subdiagonal.
+        double norm = 0.0;
+        for (std::size_t i = k + 1; i < n; ++i) {
+            norm = std::hypot(norm, h(i, k));
+        }
+        if (norm < 1e-300) {
+            continue;
+        }
+        const double alpha = h(k + 1, k) >= 0.0 ? -norm : norm;
+        double vnorm2 = 0.0;
+        for (std::size_t i = k + 1; i < n; ++i) {
+            v[i] = h(i, k);
+            if (i == k + 1) {
+                v[i] -= alpha;
+            }
+            vnorm2 += v[i] * v[i];
+        }
+        if (vnorm2 < 1e-300) {
+            continue;
+        }
+        const double beta = 2.0 / vnorm2;
+
+        // H := (I - beta v v^T) H
+        for (std::size_t c = 0; c < n; ++c) {
+            double s = 0.0;
+            for (std::size_t i = k + 1; i < n; ++i) {
+                s += v[i] * h(i, c);
+            }
+            s *= beta;
+            for (std::size_t i = k + 1; i < n; ++i) {
+                h(i, c) -= s * v[i];
+            }
+        }
+        // H := H (I - beta v v^T)
+        for (std::size_t r = 0; r < n; ++r) {
+            double s = 0.0;
+            for (std::size_t i = k + 1; i < n; ++i) {
+                s += h(r, i) * v[i];
+            }
+            s *= beta;
+            for (std::size_t i = k + 1; i < n; ++i) {
+                h(r, i) -= s * v[i];
+            }
+        }
+        // Q := Q (I - beta v v^T), so A = Q H Q^T accumulates.
+        for (std::size_t r = 0; r < n; ++r) {
+            double s = 0.0;
+            for (std::size_t i = k + 1; i < n; ++i) {
+                s += q(r, i) * v[i];
+            }
+            s *= beta;
+            for (std::size_t i = k + 1; i < n; ++i) {
+                q(r, i) -= s * v[i];
+            }
+        }
+        // The reflection zeroed these analytically; pin them so the
+        // solver can rely on exact Hessenberg structure.
+        h(k + 1, k) = alpha;
+        for (std::size_t i = k + 2; i < n; ++i) {
+            h(i, k) = 0.0;
+        }
+    }
+    return out;
+}
+
+HessenbergSolver::HessenbergSolver(const Matrix& h, std::size_t rhs_cols)
+    : h_(h), u_(h.rows(), h.rows()), x_(h.rows(), rhs_cols)
+{
+    if (!h_.isSquare()) {
+        throw std::invalid_argument("HessenbergSolver: H must be square");
+    }
+}
+
+namespace {
+
+/**
+ * LAPACK-style cabs1: |re| + |im|. Equivalent to the modulus within a
+ * factor of sqrt(2), which is all a pivot comparison or a singularity
+ * guard needs, and it avoids a hypot call per comparison on the per-
+ * grid-point hot path.
+ */
+double
+cabs1(Complex z)
+{
+    return std::abs(z.real()) + std::abs(z.imag());
+}
+
+}  // namespace
+
+const CMatrix&
+HessenbergSolver::solve(Complex z, const CMatrix& b)
+{
+    const std::size_t n = h_.rows();
+    const std::size_t m = x_.cols();
+    if (b.rows() != n || b.cols() != m) {
+        throw std::invalid_argument("HessenbergSolver: rhs shape mismatch");
+    }
+
+    // Raw row-major views of the preallocated workspaces: the solver
+    // runs once per grid point, so per-element accessor calls would
+    // dominate the O(n^2) arithmetic at the orders we care about.
+    const double* hp = h_.data();
+    Complex* u = u_.data();
+    Complex* x = x_.data();
+    const Complex* bp = b.data();
+    for (std::size_t i = 0; i < n * m; ++i) {
+        x[i] = bp[i];
+    }
+
+    // u_ := zI - H on and above the subdiagonal (the rest is never
+    // read: elimination fills row k+1 starting at column k only).
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j0 = i == 0 ? 0 : i - 1;
+        for (std::size_t j = j0; j < n; ++j) {
+            u[i * n + j] = Complex(-hp[i * n + j], 0.0);
+        }
+        u[i * n + i] += z;
+    }
+
+    // Forward elimination with pairwise pivoting: on a Hessenberg
+    // matrix only rows k and k+1 can carry the pivot for column k.
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+        Complex* rk = u + k * n;
+        Complex* rk1 = u + (k + 1) * n;
+        if (cabs1(rk1[k]) > cabs1(rk[k])) {
+            for (std::size_t j = k; j < n; ++j) {
+                std::swap(rk[j], rk1[j]);
+            }
+            for (std::size_t j = 0; j < m; ++j) {
+                std::swap(x[k * m + j], x[(k + 1) * m + j]);
+            }
+        }
+        const Complex piv = rk[k];
+        if (cabs1(piv) < 1e-300) {
+            throw std::runtime_error("HessenbergSolver: singular matrix");
+        }
+        const Complex mult = rk1[k] / piv;
+        if (mult != Complex(0.0, 0.0)) {
+            for (std::size_t j = k + 1; j < n; ++j) {
+                rk1[j] -= mult * rk[j];
+            }
+            for (std::size_t j = 0; j < m; ++j) {
+                x[(k + 1) * m + j] -= mult * x[k * m + j];
+            }
+        }
+    }
+    if (n > 0 && cabs1(u[(n - 1) * n + (n - 1)]) < 1e-300) {
+        throw std::runtime_error("HessenbergSolver: singular matrix");
+    }
+
+    // Back substitution on the now upper-triangular u_. One complex
+    // division per row (the reciprocal), multiplies per column.
+    for (std::size_t ri = n; ri-- > 0;) {
+        const Complex* ru = u + ri * n;
+        const Complex rinv = Complex(1.0, 0.0) / ru[ri];
+        for (std::size_t j = 0; j < m; ++j) {
+            Complex s = x[ri * m + j];
+            for (std::size_t c = ri + 1; c < n; ++c) {
+                s -= ru[c] * x[c * m + j];
+            }
+            x[ri * m + j] = s * rinv;
+        }
+    }
+    return x_;
+}
+
+}  // namespace yukta::linalg

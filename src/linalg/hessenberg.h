@@ -1,0 +1,75 @@
+#ifndef YUKTA_LINALG_HESSENBERG_H_
+#define YUKTA_LINALG_HESSENBERG_H_
+
+/**
+ * @file
+ * Real orthogonal Hessenberg reduction and a reusable shifted
+ * Hessenberg solver — the two halves of Laub's batched frequency-
+ * response algorithm. Reducing A = Q H Q^T once costs O(n^3); after
+ * that every evaluation of (zI - A)^{-1} B collapses to an O(n^2)
+ * solve against the upper-Hessenberg H, because Gaussian elimination
+ * on a Hessenberg matrix only ever touches the one subdiagonal.
+ */
+
+#include <cstddef>
+
+#include "linalg/cmatrix.h"
+#include "linalg/matrix.h"
+
+namespace yukta::linalg {
+
+/** Result of hessenbergReduce(): A = Q H Q^T with Q orthogonal. */
+struct HessenbergForm
+{
+    Matrix h;  ///< Upper Hessenberg (exact zeros below the subdiagonal).
+    Matrix q;  ///< Accumulated orthogonal transform.
+};
+
+/**
+ * Reduces a real square matrix to upper Hessenberg form via
+ * Householder reflections, accumulating the orthogonal Q.
+ *
+ * @param a square real matrix.
+ * @return {H, Q} with A = Q H Q^T.
+ * @throws std::invalid_argument when @p a is not square.
+ */
+HessenbergForm hessenbergReduce(const Matrix& a);
+
+/**
+ * Solves (zI - H) X = B for many shifts z against one upper-
+ * Hessenberg H, reusing preallocated workspaces across calls.
+ *
+ * Each solve runs Gaussian elimination with pairwise (adjacent-row)
+ * partial pivoting — stable on Hessenberg systems — in O(n^2) plus
+ * an O(n^2 m) back substitution for an n x m right-hand side.
+ */
+class HessenbergSolver
+{
+  public:
+    /**
+     * Captures @p h (entries below the subdiagonal are ignored) and
+     * sizes the workspaces for right-hand sides of @p rhs_cols
+     * columns.
+     */
+    HessenbergSolver(const Matrix& h, std::size_t rhs_cols);
+
+    /**
+     * Solves (zI - H) X = B.
+     *
+     * @param z the complex shift (s or e^{j w Ts}).
+     * @param b right-hand side, n x rhs_cols.
+     * @return the solution X in an internal workspace, valid until
+     *   the next solve() call.
+     * @throws std::runtime_error when zI - H is numerically singular.
+     */
+    const CMatrix& solve(Complex z, const CMatrix& b);
+
+  private:
+    Matrix h_;    ///< The Hessenberg matrix (referenced every solve).
+    CMatrix u_;   ///< Workspace: elimination copy of zI - H.
+    CMatrix x_;   ///< Workspace: right-hand side, then the solution.
+};
+
+}  // namespace yukta::linalg
+
+#endif  // YUKTA_LINALG_HESSENBERG_H_

@@ -304,10 +304,15 @@ operator*(const Matrix& lhs, const Matrix& rhs)
             "x" + std::to_string(rhs.cols()) + ")");
     }
     Matrix out(lhs.rows(), rhs.cols());
+    // The sparsity skip below would drop IEEE non-finite propagation
+    // (0 * NaN must be NaN, 0 * Inf must be NaN), so it only fires
+    // when the right operand is verified finite.
+    const bool rhs_finite = rhs.allFinite();
     for (std::size_t i = 0; i < lhs.rows(); ++i) {
         for (std::size_t k = 0; k < lhs.cols(); ++k) {
             double a = lhs(i, k);
-            if (a == 0.0) {  // yukta-lint: allow(float-eq) sparsity skip
+            // yukta-lint: allow(float-eq) sparsity skip
+            if (a == 0.0 && rhs_finite) {
                 continue;
             }
             for (std::size_t j = 0; j < rhs.cols(); ++j) {

@@ -59,43 +59,88 @@ split(const StateSpace& p, const PlantPartition& part)
 double
 hinfNorm(const StateSpace& sys, std::size_t grid_points)
 {
+    if (grid_points < 2) {
+        throw std::invalid_argument("hinfNorm: need >= 2 grid points");
+    }
     double lo;
     double hi;
     if (sys.isDiscrete()) {
         lo = 1e-4 / sys.ts;
-        hi = M_PI / sys.ts;
+        hi = M_PI / sys.ts;  // Nyquist: the grid must not pass it.
     } else {
         lo = 1e-4;
         hi = 1e4;
     }
-    double llo = std::log10(lo);
-    double lhi = std::log10(hi);
-    double peak = 0.0;
-    double peak_lw = llo;
+    const std::vector<double> grid =
+        control::logSpacedFrequencies(lo, hi, grid_points);
+    const std::vector<linalg::CMatrix> resp = sys.freqResponseBatch(grid);
+    std::vector<double> sig(grid_points);
     for (std::size_t i = 0; i < grid_points; ++i) {
-        double lw = llo + (lhi - llo) * static_cast<double>(i) /
-                              static_cast<double>(grid_points - 1);
-        double s = linalg::sigmaMax(sys.freqResponse(std::pow(10.0, lw)));
-        if (s > peak) {
-            peak = s;
-            peak_lw = lw;
+        sig[i] = linalg::sigmaMax(resp[i]);
+    }
+
+    const double llo = std::log10(lo);
+    const double lhi = std::log10(hi);
+    const double step0 = (lhi - llo) / static_cast<double>(grid_points - 1);
+    double peak = 0.0;
+    for (double s : sig) {
+        peak = std::max(peak, s);
+    }
+
+    // Refine around EVERY grid local maximum, not just the global
+    // argmax: a narrow resonance can lose the coarse-grid vote to a
+    // broad but lower plateau and still carry the true peak.
+    struct Seed
+    {
+        double lw;
+        double val;
+    };
+    std::vector<Seed> seeds;
+    for (std::size_t i = 0; i < grid_points; ++i) {
+        const bool up = i == 0 || sig[i] >= sig[i - 1];
+        const bool down = i + 1 == grid_points || sig[i] >= sig[i + 1];
+        if (up && down) {
+            seeds.push_back({llo + step0 * static_cast<double>(i), sig[i]});
         }
     }
-    // Local refinement around the peak.
-    double step = (lhi - llo) / static_cast<double>(grid_points - 1);
-    for (int r = 0; r < 3; ++r) {
-        double best_lw = peak_lw;
-        for (int k = -4; k <= 4; ++k) {
-            double lw = peak_lw + step * k / 4.0;
-            double s =
-                linalg::sigmaMax(sys.freqResponse(std::pow(10.0, lw)));
-            if (s > peak) {
-                peak = s;
-                best_lw = lw;
+    for (const Seed& seed : seeds) {
+        double peak_lw = seed.lw;
+        double local = seed.val;
+        double step = step0;
+        // Convergent refinement (step shrinks 4x per round) clamped
+        // to [llo, lhi] so no probe ever lands past Nyquist.
+        for (int r = 0; r < 10 && step > 1e-8; ++r) {
+            std::vector<double> lws;
+            lws.reserve(9);
+            for (int k = -4; k <= 4; ++k) {
+                lws.push_back(std::clamp(peak_lw + step * k / 4.0,
+                                         llo, lhi));
             }
+            std::vector<double> ws;
+            ws.reserve(lws.size());
+            for (double lw : lws) {
+                // Pin clamped boundary probes to the exact grid ends.
+                double w = std::pow(10.0, lw);
+                if (lw == llo) {  // yukta-lint: allow(float-eq) clamp
+                    w = lo;
+                }
+                if (lw == lhi) {  // yukta-lint: allow(float-eq) clamp
+                    w = hi;
+                }
+                ws.push_back(w);
+            }
+            const std::vector<linalg::CMatrix> rr =
+                sys.freqResponseBatch(ws);
+            for (std::size_t k = 0; k < rr.size(); ++k) {
+                const double s = linalg::sigmaMax(rr[k]);
+                if (s > local) {
+                    local = s;
+                    peak_lw = lws[k];
+                }
+            }
+            step /= 4.0;
         }
-        peak_lw = best_lw;
-        step /= 4.0;
+        peak = std::max(peak, local);
     }
     // DC (continuous) / z=1 (discrete) is part of the closure.
     peak = std::max(peak, linalg::sigmaMax(sys.dcGain()));

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "control/state_space.h"
 #include "core/contracts.h"
 #include "linalg/svd.h"
 #include "robust/worst_case.h"
@@ -137,29 +138,24 @@ muFrequencySweep(const control::StateSpace& n, const BlockStructure& s,
     }
 
     MuSweep out;
-    out.freqs.reserve(grid_points);
     double lo;
     double hi;
     if (n.isDiscrete()) {
-        lo = 1e-4 / n.ts;             // near DC
-        hi = M_PI / n.ts;             // Nyquist
+        lo = 1e-4 / n.ts;             // near DC, strictly inside (0, pi/Ts]
+        hi = M_PI / n.ts;             // Nyquist, hit exactly
     } else {
         lo = 1e-3;
         hi = 1e3;
     }
-    double llo = std::log10(lo);
-    double lhi = std::log10(hi);
+    out.freqs = control::logSpacedFrequencies(lo, hi, grid_points);
+    out.mu.reserve(grid_points);
+    const std::vector<CMatrix> resp = n.freqResponseBatch(out.freqs);
     for (std::size_t i = 0; i < grid_points; ++i) {
-        double w = std::pow(
-            10.0, llo + (lhi - llo) * static_cast<double>(i) /
-                            static_cast<double>(grid_points - 1));
-        CMatrix mw = n.freqResponse(w);
-        MuBound b = computeMu(mw, s);
+        MuBound b = computeMu(resp[i], s);
         if (b.upper > out.peak) {
             out.peak = b.upper;
-            out.peak_freq = w;
+            out.peak_freq = out.freqs[i];
         }
-        out.freqs.push_back(w);
         out.mu.push_back(std::move(b));
     }
     return out;

@@ -1,7 +1,10 @@
 #include "sysid/validate.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "linalg/svd.h"
 
 namespace yukta::sysid {
 
@@ -144,6 +147,61 @@ crossValidationFit(const IoData& data, double ts, const ArxOptions& options,
 
     ArxModel model = identifyArx(train, ts, options);
     return predictionFit(model, test);
+}
+
+FrequencyFit
+frequencyResponseFit(const control::StateSpace& model,
+                     const control::StateSpace& reference,
+                     std::size_t grid_points)
+{
+    const bool same_clock =
+        model.isDiscrete() == reference.isDiscrete() &&
+        // yukta-lint: allow(float-eq) identical sample times required
+        (!model.isDiscrete() || model.ts == reference.ts);
+    if (!same_clock) {
+        throw std::invalid_argument(
+            "frequencyResponseFit: sample-time mismatch");
+    }
+    if (model.numInputs() != reference.numInputs() ||
+        model.numOutputs() != reference.numOutputs()) {
+        throw std::invalid_argument(
+            "frequencyResponseFit: port dimension mismatch");
+    }
+    if (grid_points < 2) {
+        throw std::invalid_argument(
+            "frequencyResponseFit: need >= 2 grid points");
+    }
+
+    FrequencyFit out;
+    double lo;
+    double hi;
+    if (model.isDiscrete()) {
+        lo = 1e-4 / model.ts;
+        hi = M_PI / model.ts;  // Nyquist cap
+    } else {
+        lo = 1e-3;
+        hi = 1e3;
+    }
+    out.freqs = control::logSpacedFrequencies(lo, hi, grid_points);
+
+    const std::vector<linalg::CMatrix> gm =
+        model.freqResponseBatch(out.freqs);
+    const std::vector<linalg::CMatrix> gr =
+        reference.freqResponseBatch(out.freqs);
+
+    double ref_scale = 0.0;
+    for (const linalg::CMatrix& g : gr) {
+        ref_scale = std::max(ref_scale, linalg::sigmaMax(g));
+    }
+    ref_scale = std::max(ref_scale, 1e-300);
+
+    out.error.reserve(grid_points);
+    for (std::size_t i = 0; i < grid_points; ++i) {
+        const double e = linalg::sigmaMax(gm[i] - gr[i]) / ref_scale;
+        out.error.push_back(e);
+        out.worst = std::max(out.worst, e);
+    }
+    return out;
 }
 
 }  // namespace yukta::sysid

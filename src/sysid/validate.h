@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "control/state_space.h"
 #include "sysid/arx.h"
 
 namespace yukta::sysid {
@@ -62,6 +63,28 @@ WhitenessResult residualWhiteness(const ArxModel& model, const IoData& data,
 std::vector<double> crossValidationFit(const IoData& data, double ts,
                                        const ArxOptions& options,
                                        double train_fraction = 0.7);
+
+/** Frequency-domain agreement between two LTI models. */
+struct FrequencyFit
+{
+    std::vector<double> freqs;  ///< Evaluation grid (rad/s).
+    std::vector<double> error;  ///< Relative error per grid point.
+    double worst = 0.0;         ///< max over the grid of error[i].
+};
+
+/**
+ * Compares @p model against @p reference across a log-spaced grid
+ * (capped at the Nyquist rate for discrete systems) via the batched
+ * frequency-response engine. error[i] is
+ * sigma_max(Gm - Gr) / max_j sigma_max(Gr(w_j)), so a model that
+ * tracks the reference everywhere scores near zero.
+ *
+ * @throws std::invalid_argument when the two systems disagree on
+ *   sample time or port dimensions, or grid_points < 2.
+ */
+FrequencyFit frequencyResponseFit(const control::StateSpace& model,
+                                  const control::StateSpace& reference,
+                                  std::size_t grid_points = 64);
 
 }  // namespace yukta::sysid
 

@@ -1,0 +1,183 @@
+// Property suite: the batched Hessenberg frequency-response engine
+// must agree with the pointwise (dense csolve) oracle to 1e-10
+// relative error on every grid point, across random stable systems,
+// repeated eigenvalues, and near-singular (zI - A) shifts.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "control/state_space.h"
+#include "linalg/cmatrix.h"
+#include "linalg/matrix.h"
+#include "support/prng.h"
+
+namespace {
+
+using yukta::control::StateSpace;
+using yukta::control::logSpacedFrequencies;
+using yukta::linalg::CMatrix;
+using yukta::linalg::Matrix;
+using yukta::testsupport::SplitMix64;
+using yukta::testsupport::randomMatrix;
+using yukta::testsupport::randomStableContinuous;
+using yukta::testsupport::randomStableDiscrete;
+
+/** Largest relative deviation of batch vs the pointwise oracle. */
+double
+batchVsPointwise(const StateSpace& sys, const std::vector<double>& freqs)
+{
+    const std::vector<CMatrix> batch = sys.freqResponseBatch(freqs);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < freqs.size(); ++i) {
+        // yukta-lint: allow(freq-loop) pointwise oracle comparison
+        const CMatrix ref = sys.freqResponse(freqs[i]);
+        const double denom = std::max(ref.maxAbs(), 1.0);
+        worst = std::max(worst, (batch[i] - ref).maxAbs() / denom);
+    }
+    return worst;
+}
+
+/** A case grid: log-spaced plus a few uniform draws. */
+std::vector<double>
+caseGrid(SplitMix64& rng, double hi)
+{
+    std::vector<double> freqs = logSpacedFrequencies(1e-3, hi, 8);
+    for (int i = 0; i < 4; ++i) {
+        freqs.push_back(rng.uniform(1e-3, hi));
+    }
+    return freqs;
+}
+
+class FreqBatchProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FreqBatchProperty, RandomStableContinuousSystems)
+{
+    SplitMix64 rng(GetParam());
+    for (int rep = 0; rep < 30; ++rep) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(1, 8));
+        const std::size_t m =
+            static_cast<std::size_t>(rng.uniformInt(1, 3));
+        const std::size_t p =
+            static_cast<std::size_t>(rng.uniformInt(1, 3));
+        StateSpace sys(randomStableContinuous(rng, n),
+                       randomMatrix(rng, n, m), randomMatrix(rng, p, n),
+                       randomMatrix(rng, p, m), 0.0);
+        EXPECT_LT(batchVsPointwise(sys, caseGrid(rng, 1e3)), 1e-10)
+            << "rep=" << rep;
+    }
+}
+
+TEST_P(FreqBatchProperty, RandomStableDiscreteSystems)
+{
+    SplitMix64 rng(GetParam() ^ 0xd15c0u);
+    for (int rep = 0; rep < 30; ++rep) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(1, 8));
+        const std::size_t m =
+            static_cast<std::size_t>(rng.uniformInt(1, 3));
+        const std::size_t p =
+            static_cast<std::size_t>(rng.uniformInt(1, 3));
+        const double ts = rng.uniform(0.05, 1.0);
+        StateSpace sys(randomStableDiscrete(rng, n),
+                       randomMatrix(rng, n, m), randomMatrix(rng, p, n),
+                       randomMatrix(rng, p, m), ts);
+        EXPECT_LT(batchVsPointwise(sys, caseGrid(rng, M_PI / ts)), 1e-10)
+            << "rep=" << rep;
+    }
+}
+
+TEST_P(FreqBatchProperty, RepeatedEigenvalues)
+{
+    SplitMix64 rng(GetParam() ^ 0x2e9eau);
+    for (int rep = 0; rep < 10; ++rep) {
+        // Upper-triangular A with one repeated stable eigenvalue:
+        // defective (Jordan-like), the classic hard case for
+        // similarity-based response evaluation.
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(2, 6));
+        const double lambda = rng.uniform(-2.0, -0.2);
+        Matrix a(n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            a(i, i) = lambda;
+            for (std::size_t j = i + 1; j < n; ++j) {
+                a(i, j) = rng.uniform(-1.0, 1.0);
+            }
+        }
+        StateSpace sys(a, randomMatrix(rng, n, 2),
+                       randomMatrix(rng, 2, n), Matrix(2, 2), 0.0);
+        EXPECT_LT(batchVsPointwise(sys, caseGrid(rng, 1e3)), 1e-10)
+            << "rep=" << rep;
+    }
+}
+
+TEST_P(FreqBatchProperty, NearSingularShifts)
+{
+    SplitMix64 rng(GetParam() ^ 0x51934u);
+    for (int rep = 0; rep < 10; ++rep) {
+        // Lightly damped resonance: poles at -eps +- j w0. Probing at
+        // exactly w0 leaves (jw0 I - A) with condition ~ w0 / eps.
+        const double w0 = rng.uniform(0.5, 20.0);
+        const double eps = 1e-5;
+        Matrix a{{-eps, w0}, {-w0, -eps}};
+        Matrix b{{1.0}, {0.5}};
+        Matrix c{{1.0, 0.0}};
+        StateSpace sys(a, b, c, Matrix(1, 1), 0.0);
+        std::vector<double> freqs = caseGrid(rng, 1e3);
+        freqs.push_back(w0);
+        freqs.push_back(w0 * (1.0 + 1e-7));
+        EXPECT_LT(batchVsPointwise(sys, freqs), 1e-10) << "rep=" << rep;
+    }
+}
+
+TEST(FreqBatch, StaticGainSystems)
+{
+    Matrix g{{2.0, -1.0}, {0.5, 3.0}};
+    StateSpace sys = StateSpace::gain(g);
+    const std::vector<double> freqs = {0.1, 1.0, 10.0};
+    const std::vector<CMatrix> batch = sys.freqResponseBatch(freqs);
+    ASSERT_EQ(batch.size(), freqs.size());
+    for (const CMatrix& r : batch) {
+        EXPECT_TRUE(r.isApprox(CMatrix(g), 0.0));
+    }
+}
+
+TEST(FreqBatch, EmptyGridIsEmpty)
+{
+    Matrix a{{-1.0}};
+    StateSpace sys(a, Matrix(1, 1), Matrix(1, 1), Matrix(1, 1), 0.0);
+    EXPECT_TRUE(sys.freqResponseBatch({}).empty());
+}
+
+TEST(LogSpacedFrequencies, PinsEndpointsExactly)
+{
+    const double ts = 0.7;
+    const double hi = M_PI / ts;
+    std::vector<double> w = logSpacedFrequencies(1e-4 / ts, hi, 33);
+    ASSERT_EQ(w.size(), 33u);
+    EXPECT_EQ(w.front(), 1e-4 / ts);
+    EXPECT_EQ(w.back(), hi);
+    for (std::size_t i = 1; i < w.size(); ++i) {
+        EXPECT_GT(w[i], w[i - 1]);
+        EXPECT_LE(w[i], hi);  // never past Nyquist
+    }
+}
+
+TEST(LogSpacedFrequencies, RejectsBadArguments)
+{
+    EXPECT_THROW(logSpacedFrequencies(0.0, 1.0, 8), std::invalid_argument);
+    EXPECT_THROW(logSpacedFrequencies(2.0, 1.0, 8), std::invalid_argument);
+    EXPECT_THROW(logSpacedFrequencies(1.0, 2.0, 1), std::invalid_argument);
+    EXPECT_THROW(logSpacedFrequencies(1.0, 2.0, 0), std::invalid_argument);
+    EXPECT_EQ(logSpacedFrequencies(3.0, 3.0, 1),
+              std::vector<double>{3.0});
+}
+
+// 5 seeds x (30 + 30 + 10 + 10) = 400 seeded equivalence cases.
+INSTANTIATE_TEST_SUITE_P(Seeds, FreqBatchProperty,
+                         ::testing::Values(17u, 29u, 43u, 57u, 71u));
+
+}  // namespace

@@ -83,6 +83,7 @@ TEST_P(HinfNormProperty, DominatesSampledResponse)
     ASSERT_TRUE(g.isStable());
     double norm = hinfNormExact(g, 1e-7);
     for (double w : {0.0, 0.05, 0.3, 1.0, 3.0, 10.0, 50.0}) {
+        // yukta-lint: allow(freq-loop) pointwise oracle comparison
         double s = linalg::sigmaMax(g.freqResponse(w));
         EXPECT_LE(s, norm * (1.0 + 1e-5)) << "w=" << w;
     }
@@ -90,6 +91,7 @@ TEST_P(HinfNormProperty, DominatesSampledResponse)
     double sweep = 0.0;
     for (int i = 0; i <= 400; ++i) {
         double w = std::pow(10.0, -3.0 + 6.0 * i / 400.0);
+        // yukta-lint: allow(freq-loop) pointwise oracle comparison
         sweep = std::max(sweep, linalg::sigmaMax(g.freqResponse(w)));
     }
     sweep = std::max(sweep, linalg::sigmaMax(g.dcGain()));

@@ -1,0 +1,121 @@
+// Hessenberg reduction + shifted Hessenberg solver: structure,
+// orthogonality, reconstruction, and agreement with the dense
+// complex LU solve.
+#include "linalg/hessenberg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cmatrix.h"
+#include "linalg/matrix.h"
+#include "support/prng.h"
+
+namespace {
+
+using yukta::linalg::CMatrix;
+using yukta::linalg::Complex;
+using yukta::linalg::HessenbergForm;
+using yukta::linalg::HessenbergSolver;
+using yukta::linalg::Matrix;
+using yukta::linalg::hessenbergReduce;
+using yukta::testsupport::SplitMix64;
+using yukta::testsupport::randomMatrix;
+
+TEST(Hessenberg, ReduceIsExactlyHessenbergAndOrthogonal)
+{
+    SplitMix64 rng(101);
+    for (std::size_t n : {1u, 2u, 3u, 5u, 8u}) {
+        Matrix a = randomMatrix(rng, n, n, 2.0);
+        HessenbergForm f = hessenbergReduce(a);
+
+        // Exact zeros below the subdiagonal.
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j + 1 < i; ++j) {
+                EXPECT_EQ(f.h(i, j), 0.0) << "n=" << n;
+            }
+        }
+        // Q orthogonal: Q^T Q = I.
+        Matrix qtq = f.q.transpose() * f.q;
+        EXPECT_TRUE(qtq.isApprox(Matrix::identity(n), 1e-12));
+        // Reconstruction: Q H Q^T = A.
+        Matrix back = f.q * f.h * f.q.transpose();
+        EXPECT_TRUE(back.isApprox(a, 1e-11));
+    }
+}
+
+TEST(Hessenberg, ReduceRejectsNonSquare)
+{
+    EXPECT_THROW(hessenbergReduce(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Hessenberg, SolverMatchesDenseCsolve)
+{
+    SplitMix64 rng(202);
+    for (int rep = 0; rep < 20; ++rep) {
+        const std::size_t n =
+            static_cast<std::size_t>(rng.uniformInt(1, 7));
+        const std::size_t m =
+            static_cast<std::size_t>(rng.uniformInt(1, 3));
+        Matrix a = randomMatrix(rng, n, n, 2.0);
+        HessenbergForm f = hessenbergReduce(a);
+        HessenbergSolver solver(f.h, m);
+        CMatrix b(randomMatrix(rng, n, m, 2.0));
+
+        const Complex z(rng.uniform(-3.0, 3.0), rng.uniform(0.1, 3.0));
+        const CMatrix& x = solver.solve(z, b);
+
+        // Dense reference: (zI - H) X = B via full-pivot complex LU.
+        CMatrix zi_h(n, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < n; ++j) {
+                zi_h(i, j) = Complex(-f.h(i, j), 0.0);
+            }
+            zi_h(i, i) += z;
+        }
+        CMatrix ref = yukta::linalg::csolve(zi_h, b);
+        EXPECT_TRUE(x.isApprox(ref, 1e-10)) << "rep=" << rep;
+    }
+}
+
+TEST(Hessenberg, SolverReusesWorkspaceAcrossShifts)
+{
+    SplitMix64 rng(303);
+    const std::size_t n = 6;
+    Matrix a = randomMatrix(rng, n, n, 1.5);
+    HessenbergForm f = hessenbergReduce(a);
+    HessenbergSolver solver(f.h, 2);
+    CMatrix b(randomMatrix(rng, n, 2, 1.0));
+
+    // Interleave two shifts repeatedly: each solve must be
+    // independent of workspace history.
+    const Complex z1(0.0, 0.7);
+    const Complex z2(0.0, 5.0);
+    CMatrix first_z1 = solver.solve(z1, b);
+    CMatrix first_z2 = solver.solve(z2, b);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_TRUE(solver.solve(z1, b).isApprox(first_z1, 0.0));
+        EXPECT_TRUE(solver.solve(z2, b).isApprox(first_z2, 0.0));
+    }
+}
+
+TEST(Hessenberg, SolverThrowsOnSingularShift)
+{
+    // H diagonal {1, 2}: z = 1 makes zI - H exactly singular.
+    Matrix h{{1.0, 0.0}, {0.0, 2.0}};
+    HessenbergSolver solver(h, 1);
+    CMatrix b(2, 1, Complex(1.0, 0.0));
+    EXPECT_THROW(solver.solve(Complex(1.0, 0.0), b), std::runtime_error);
+}
+
+TEST(Hessenberg, SolverRejectsBadRhsShape)
+{
+    Matrix h{{1.0, 0.0}, {0.0, 2.0}};
+    HessenbergSolver solver(h, 1);
+    CMatrix wrong(3, 1, Complex(1.0, 0.0));
+    EXPECT_THROW(solver.solve(Complex(0.0, 1.0), wrong),
+                 std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// Regression: the matmul sparsity skip must never swallow IEEE
+// non-finite propagation. 0 * NaN = NaN and 0 * Inf = NaN, so a
+// poisoned operand has to surface in the product even when the other
+// factor has zero entries — the supervisor's NaN-poisoning detection
+// relies on it.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cmatrix.h"
+#include "linalg/matrix.h"
+
+namespace yukta::linalg {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(MatmulNan, ZeroRowTimesNanPropagates)
+{
+    // Zero gain row against a NaN-poisoned state vector: every
+    // product entry fed by the NaN must be NaN, not 0.
+    Matrix gain{{0.0, 0.0}, {1.0, 0.0}};
+    Matrix state{{kNan}, {2.0}};
+    Matrix out = gain * state;
+    EXPECT_TRUE(std::isnan(out(0, 0)));
+    EXPECT_TRUE(std::isnan(out(1, 0)));
+    EXPECT_FALSE(out.allFinite());
+}
+
+TEST(MatmulNan, ZeroTimesInfPropagatesAsNan)
+{
+    Matrix lhs{{0.0}};
+    Matrix rhs{{kInf}};
+    Matrix out = lhs * rhs;
+    EXPECT_TRUE(std::isnan(out(0, 0)));
+}
+
+TEST(MatmulNan, NanOnLeftAlsoPropagates)
+{
+    Matrix lhs{{kNan, 0.0}};
+    Matrix rhs{{0.0}, {3.0}};
+    Matrix out = lhs * rhs;
+    EXPECT_TRUE(std::isnan(out(0, 0)));
+}
+
+TEST(MatmulNan, FiniteProductsKeepExactBits)
+{
+    // The skip still fires for verified-finite operands: a zero row
+    // yields exact +0.0 entries, bit-for-bit as before the fix.
+    Matrix lhs{{0.0, 0.0}, {1.5, -2.0}};
+    Matrix rhs{{4.0, -0.5}, {1.0, 8.0}};
+    Matrix out = lhs * rhs;
+    EXPECT_EQ(out(0, 0), 0.0);
+    EXPECT_FALSE(std::signbit(out(0, 0)));
+    EXPECT_DOUBLE_EQ(out(1, 0), 4.0);
+    EXPECT_DOUBLE_EQ(out(1, 1), -16.75);
+}
+
+TEST(MatmulNan, ComplexZeroTimesNanPropagates)
+{
+    CMatrix lhs(1, 2);
+    lhs(0, 0) = Complex(0.0, 0.0);
+    lhs(0, 1) = Complex(1.0, 0.0);
+    CMatrix rhs(2, 1);
+    rhs(0, 0) = Complex(kNan, 0.0);
+    rhs(1, 0) = Complex(2.0, 0.0);
+    CMatrix out = lhs * rhs;
+    EXPECT_TRUE(std::isnan(out(0, 0).real()));
+    EXPECT_FALSE(out.allFinite());
+}
+
+TEST(MatmulNan, ComplexZeroTimesInfPropagates)
+{
+    CMatrix lhs(1, 1, Complex(0.0, 0.0));
+    CMatrix rhs(1, 1, Complex(kInf, 0.0));
+    CMatrix out = lhs * rhs;
+    EXPECT_FALSE(out.allFinite());
+}
+
+}  // namespace
+}  // namespace yukta::linalg

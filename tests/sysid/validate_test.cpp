@@ -93,5 +93,62 @@ TEST(CrossValidation, Validation)
                  std::invalid_argument);
 }
 
+TEST(FrequencyFitTest, IdentifiedModelTracksTruthInFrequencyDomain)
+{
+    // Identify the order-2 plant from clean data: the identified
+    // model's response must sit on top of the truth across the whole
+    // Nyquist-capped grid.
+    const double ts = 0.5;
+    IoData data = makeData(400, 0.0, 7);
+    ArxModel model = identifyArx(data, ts, {2, 2, 0.0});
+    control::StateSpace truth(
+        linalg::Matrix{{0.55, -0.15, 0.6, 0.25},
+                       {1.0, 0.0, 0.0, 0.0},
+                       {0.0, 0.0, 0.0, 0.0},
+                       {0.0, 0.0, 1.0, 0.0}},
+        linalg::Matrix{{0.0}, {0.0}, {1.0}, {0.0}},
+        linalg::Matrix{{0.55, -0.15, 0.6, 0.25}},
+        linalg::Matrix(1, 1), ts);
+
+    FrequencyFit fit =
+        frequencyResponseFit(model.toStateSpace(), truth, 48);
+    ASSERT_EQ(fit.freqs.size(), 48u);
+    ASSERT_EQ(fit.error.size(), 48u);
+    EXPECT_EQ(fit.freqs.back(), M_PI / ts);  // Nyquist cap, exact
+    EXPECT_LT(fit.worst, 1e-6);
+    for (double e : fit.error) {
+        EXPECT_LE(e, fit.worst);
+    }
+}
+
+TEST(FrequencyFitTest, DetectsAWrongModel)
+{
+    const double ts = 0.5;
+    IoData data = makeData(400, 0.0, 8);
+    ArxModel model = identifyArx(data, ts, {2, 2, 0.0});
+    // A deliberately wrong reference: double the gain.
+    control::StateSpace wrong = model.toStateSpace().scaled(
+        linalg::Matrix{{2.0}}, linalg::Matrix{{1.0}});
+    FrequencyFit fit =
+        frequencyResponseFit(model.toStateSpace(), wrong, 32);
+    EXPECT_GT(fit.worst, 0.3);
+}
+
+TEST(FrequencyFitTest, Validation)
+{
+    const double ts = 0.5;
+    IoData data = makeData(100, 0.0, 9);
+    ArxModel model = identifyArx(data, ts, {2, 2, 0.0});
+    control::StateSpace m = model.toStateSpace();
+    control::StateSpace other_clock(m.a, m.b, m.c, m.d, ts * 2.0);
+    EXPECT_THROW(frequencyResponseFit(m, other_clock, 16),
+                 std::invalid_argument);
+    EXPECT_THROW(frequencyResponseFit(m, m, 1), std::invalid_argument);
+    control::StateSpace wide(m.a, linalg::Matrix(m.a.rows(), 2),
+                             m.c, linalg::Matrix(1, 2), ts);
+    EXPECT_THROW(frequencyResponseFit(m, wide, 16),
+                 std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace yukta::sysid

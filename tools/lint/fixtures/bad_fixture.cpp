@@ -8,6 +8,7 @@
 #include <string>
 
 std::string cachePath(const std::string& key);
+double freqResponse(double w);  // stand-in: the rule is lexical
 
 namespace yukta::platform {
 struct SensorReadings {
@@ -36,6 +37,7 @@ int main()
 
     for (int i = 0; i < 3; ++i) {
         std::cout << i << std::endl;  // endl-in-loop
+        x += freqResponse(static_cast<double>(i));  // freq-loop
     }
     return 0;
 }

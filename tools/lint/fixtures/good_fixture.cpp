@@ -10,6 +10,9 @@ struct SensorReadings {
 };
 }  // namespace yukta::platform
 
+double freqResponse(double w);       // stand-ins: the freq-loop rule
+double freqResponseBatch(double w);  // is lexical
+
 // Consuming readings by reference is fine everywhere; only
 // construction is restricted to the platform/fault layers.
 double readPower(const yukta::platform::SensorReadings& obs)
@@ -32,7 +35,11 @@ int main()
 
     for (int i = 0; i < 3; ++i) {
         std::cout << i << "\n";
+        // yukta-lint: allow(freq-loop) deliberate oracle comparison
+        x += freqResponse(static_cast<double>(i));
     }
     std::cout << std::endl;  // flush once, outside the loop: fine
+    // Batched sweeps never trigger the rule, in or out of loops.
+    x += freqResponseBatch(x);
     return 0;
 }

@@ -25,6 +25,12 @@ cannot express:
                         platform and fault layers; controllers must
                         consume board.readings() or the supervisor's
                         validated snapshots, never forge telemetry.
+  freq-loop             no pointwise freqResponse() calls inside a
+                        loop: grid sweeps go through the batched
+                        StateSpace::freqResponseBatch engine (O(n^2)
+                        per point after one Hessenberg reduction).
+                        Oracle comparisons in tests suppress the rule
+                        explicitly.
   doc-comment           public functions declared in src headers carry
                         a doc comment.
 
@@ -58,6 +64,7 @@ RULES = (
     "cache-bypass",
     "endl-in-loop",
     "sensor-construction",
+    "freq-loop",
     "doc-comment",
 )
 
@@ -184,6 +191,14 @@ CACHE_BYPASS_RE = re.compile(
 ENDL_RE = re.compile(r"std\s*::\s*endl")
 LOOP_KEYWORD_RE = re.compile(r"\b(for|while|do)\b")
 
+# Pointwise frequency response in a loop; deliberately does not match
+# freqResponseBatch. The engine's own implementation is exempt.
+FREQ_RESPONSE_RE = re.compile(r"\bfreqResponse\s*\(")
+FREQ_LOOP_EXEMPT = (
+    os.path.join("src", "control", "state_space.cpp"),
+    os.path.join("src", "control", "state_space.h"),
+)
+
 # Construction sites only: brace temporaries (`SensorReadings{...}`)
 # and named declarations (`SensorReadings obs;` / `obs{...}`). Leaves
 # alone references, pointers, value/reference parameters, return
@@ -233,19 +248,29 @@ def check_patterns(ctx, findings):
 
 
 def check_endl_in_loop(ctx, findings):
-    """Flags std::endl lexically inside a for/while/do body."""
+    """Flags std::endl and pointwise freqResponse() lexically inside a
+    for/while/do body."""
     depth_stack = []  # True per '{' frame opened by a loop header
     pending = ""      # code since the last statement boundary
     parens = 0        # ';' inside for(...) headers is not a boundary
     for idx, line in enumerate(ctx.code_lines, start=1):
-        if ENDL_RE.search(line):
+        if ENDL_RE.search(line) or FREQ_RESPONSE_RE.search(line):
             in_loop = any(depth_stack) or bool(
                 LOOP_KEYWORD_RE.search(line))
-            if in_loop and not ctx.allowed("endl-in-loop", idx):
+            if in_loop and ENDL_RE.search(line) and \
+                    not ctx.allowed("endl-in-loop", idx):
                 findings.append(Finding(
                     ctx.rel, idx, "endl-in-loop",
                     "std::endl flushes every iteration; stream '\\n' "
                     "and flush once after the loop"))
+            if in_loop and FREQ_RESPONSE_RE.search(line) and \
+                    ctx.rel not in FREQ_LOOP_EXEMPT and \
+                    not ctx.allowed("freq-loop", idx):
+                findings.append(Finding(
+                    ctx.rel, idx, "freq-loop",
+                    "pointwise freqResponse() inside a loop; sweep "
+                    "grids through StateSpace::freqResponseBatch, or "
+                    "suppress for a deliberate oracle comparison"))
         for ch in line:
             if ch == "(":
                 parens += 1
@@ -529,7 +554,7 @@ def self_test(root, compiler):
     check_endl_in_loop(ctx, bad)
     got = {f.rule for f in bad}
     want = {"banned-rand", "float-eq", "cache-bypass", "endl-in-loop",
-            "sensor-construction"}
+            "sensor-construction", "freq-loop"}
     for rule in sorted(want):
         status = "ok" if rule in got else "MISSING"
         print(f"self-test: bad_fixture triggers {rule:<18} {status}")
