@@ -32,6 +32,16 @@ echo "=== micro-bench smoke: batched vs pointwise freq response ==="
 # the timings land in the JSON for trend inspection, never gate CI.
 ./build/bench/bench_micro_freq --quick --out build/BENCH_micro_freq.json
 
+echo "=== micro-bench smoke: per-tick controller cost ==="
+# Correctness-gated: the fixed-point path must track the double oracle.
+./build/bench/bench_micro_tick --quick --out build/BENCH_micro_tick.json
+
+echo "=== fleet smoke: admission gates + 1-vs-N determinism ==="
+# Fails unless admission strictly cuts SLO-violation time in every
+# overloaded scenario, leaves the un-overloaded one bit-identical,
+# and the sharded run digests equal for 1 vs N pool workers.
+./build/bench/bench_fleet --quick --out build/BENCH_fleet.json
+
 # The generic analyzers read build/compile_commands.json (exported by
 # default), so they run after the configure step. Both are gated on
 # availability: the dev container ships neither, the GitHub runner

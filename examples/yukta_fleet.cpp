@@ -1,0 +1,213 @@
+/**
+ * @file
+ * yukta-fleet: sharded fleet-simulation driver. Steps N boards (each
+ * the full platform + multilayer controller stack) under an open-loop
+ * Poisson request workload with a diurnal rate profile, fleet-level
+ * admission control, and a cluster controller redistributing
+ * per-board power/performance targets. The run result is
+ * bit-identical for any --workers value; --digest prints the
+ * fingerprint that proves it.
+ *
+ * Examples:
+ *   yukta-fleet --boards=16 --sim-seconds=30
+ *   yukta-fleet --boards=100 --sim-seconds=60 --workers=8 \
+ *               --rate=14 --amplitude=0.6 --out=fleet.json
+ *   yukta-fleet --boards=8 --no-admission --digest
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "fleet/artifacts.h"
+#include "fleet/fleet.h"
+#include "runner/sweep.h"
+
+using namespace yukta;
+
+namespace {
+
+void
+usage()
+{
+    std::printf(
+        "usage: yukta-fleet [options]\n"
+        "  --boards=N          board instances (default 16)\n"
+        "  --shards=N          shard count (default: one per board)\n"
+        "  --workers=N         pool workers (default: hardware\n"
+        "                      threads; result is identical for any N)\n"
+        "  --sim-seconds=S     simulated time (default 30)\n"
+        "  --seed=N            fleet seed (default 1)\n"
+        "  --scheme=ID         controller scheme (default yukta-full)\n"
+        "  --supervised        enable the per-board supervisor\n"
+        "  --rate=R            mean arrivals/sec per board (default 8)\n"
+        "  --amplitude=A       diurnal swing fraction [0,1) (default 0)\n"
+        "  --day=S             diurnal period seconds (default 240)\n"
+        "  --demand=GI         mean request demand (default 1)\n"
+        "  --slo=S             latency SLO seconds (default 2)\n"
+        "  --capacity=GI       per-board queue capacity (default 8)\n"
+        "  --hops=N            admission re-route hops (default 3)\n"
+        "  --no-admission      accept everything at its origin\n"
+        "  --no-cluster        disable the cluster controller\n"
+        "  --cluster-epochs=N  redistribution period (default 8)\n"
+        "  --budget=W          fleet power budget (default 70%% of caps)\n"
+        "  --hot=B:W           weight board B's arrival rate by W\n"
+        "                      (repeatable; skewed-hotspot scenarios)\n"
+        "  --out=FILE          write the run JSON to FILE\n"
+        "  --digest            print only the determinism digest\n"
+        "  --quiet             suppress the summary\n");
+}
+
+bool
+parseFlag(const char* arg, const char* name, std::string* value)
+{
+    const std::size_t n = std::strlen(name);
+    if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+        *value = arg + n + 1;
+        return true;
+    }
+    return false;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    fleet::FleetConfig cfg;
+    cfg.boards = 16;
+    cfg.sim_seconds = 30.0;
+    std::size_t workers =
+        std::max(1u, std::thread::hardware_concurrency());
+    std::string out_file;
+    bool digest_only = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string v;
+        const char* a = argv[i];
+        if (std::strcmp(a, "--help") == 0) {
+            usage();
+            return 0;
+        } else if (std::strcmp(a, "--supervised") == 0) {
+            cfg.supervised = true;
+        } else if (std::strcmp(a, "--no-admission") == 0) {
+            cfg.admission.enabled = false;
+        } else if (std::strcmp(a, "--no-cluster") == 0) {
+            cfg.cluster.enabled = false;
+        } else if (std::strcmp(a, "--digest") == 0) {
+            digest_only = true;
+        } else if (std::strcmp(a, "--quiet") == 0) {
+            quiet = true;
+        } else if (parseFlag(a, "--boards", &v)) {
+            cfg.boards = std::atoi(v.c_str());
+        } else if (parseFlag(a, "--shards", &v)) {
+            cfg.shards = std::atoi(v.c_str());
+        } else if (parseFlag(a, "--workers", &v)) {
+            workers = static_cast<std::size_t>(std::atol(v.c_str()));
+        } else if (parseFlag(a, "--sim-seconds", &v)) {
+            cfg.sim_seconds = std::atof(v.c_str());
+        } else if (parseFlag(a, "--seed", &v)) {
+            cfg.seed = static_cast<std::uint32_t>(std::atol(v.c_str()));
+        } else if (parseFlag(a, "--scheme", &v)) {
+            auto s = runner::schemeFromId(v);
+            if (!s) {
+                std::fprintf(stderr, "unknown scheme '%s'\n", v.c_str());
+                return 2;
+            }
+            cfg.scheme = *s;
+        } else if (parseFlag(a, "--rate", &v)) {
+            cfg.arrivals.profile.base_rate = std::atof(v.c_str());
+        } else if (parseFlag(a, "--amplitude", &v)) {
+            cfg.arrivals.profile.amplitude = std::atof(v.c_str());
+        } else if (parseFlag(a, "--day", &v)) {
+            cfg.arrivals.profile.period_seconds = std::atof(v.c_str());
+        } else if (parseFlag(a, "--demand", &v)) {
+            cfg.arrivals.mean_demand_gi = std::atof(v.c_str());
+        } else if (parseFlag(a, "--slo", &v)) {
+            cfg.slo_seconds = std::atof(v.c_str());
+        } else if (parseFlag(a, "--capacity", &v)) {
+            cfg.admission.queue_capacity_gi = std::atof(v.c_str());
+        } else if (parseFlag(a, "--hops", &v)) {
+            cfg.admission.max_hops = std::atoi(v.c_str());
+        } else if (parseFlag(a, "--cluster-epochs", &v)) {
+            cfg.cluster.period_epochs = std::atoi(v.c_str());
+        } else if (parseFlag(a, "--budget", &v)) {
+            cfg.cluster.power_budget_w = std::atof(v.c_str());
+        } else if (parseFlag(a, "--hot", &v)) {
+            const std::size_t colon = v.find(':');
+            if (colon == std::string::npos) {
+                std::fprintf(stderr, "--hot wants B:W\n");
+                return 2;
+            }
+            const int b = std::atoi(v.substr(0, colon).c_str());
+            const double w = std::atof(v.substr(colon + 1).c_str());
+            if (b < 0) {
+                std::fprintf(stderr, "--hot board must be >= 0\n");
+                return 2;
+            }
+            if (cfg.arrivals.board_weight.size() <=
+                static_cast<std::size_t>(b)) {
+                cfg.arrivals.board_weight.resize(
+                    static_cast<std::size_t>(b) + 1, 1.0);
+            }
+            cfg.arrivals.board_weight[static_cast<std::size_t>(b)] = w;
+        } else if (parseFlag(a, "--out", &v)) {
+            out_file = v;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", a);
+            usage();
+            return 2;
+        }
+    }
+
+    if (!quiet && !digest_only) {
+        std::fprintf(stderr,
+                     "building artifacts (cached after first run)...\n");
+    }
+    const core::Artifacts artifacts = fleet::fleetArtifacts();
+
+    fleet::FleetSim sim(cfg, artifacts);
+    const fleet::FleetMetrics m = sim.run(workers);
+
+    if (digest_only) {
+        std::printf("%016llx\n",
+                    static_cast<unsigned long long>(m.digest()));
+        return 0;
+    }
+
+    if (!out_file.empty()) {
+        std::ofstream os(out_file);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n", out_file.c_str());
+            return 1;
+        }
+        os << m.toJson(true) << "\n";
+    }
+
+    if (!quiet) {
+        std::printf("boards %d  epochs %d  sim %.1fs  wall %.2fs  "
+                    "(%.0f board-ticks/s)\n",
+                    m.boards, m.epochs, m.sim_seconds, m.wall_seconds,
+                    m.board_ticks_per_sec);
+        std::printf("requests: offered %lld  accepted %lld  "
+                    "rejected %lld  rerouted %lld  completed %lld\n",
+                    m.admission.offered, m.admission.accepted,
+                    m.admission.rejected, m.admission.rerouted,
+                    m.completed);
+        std::printf("latency s: p50 %.3f  p90 %.3f  p99 %.3f  max %.3f\n",
+                    m.latency.quantile(0.50), m.latency.quantile(0.90),
+                    m.latency.quantile(0.99), m.latency.maxValue());
+        std::printf("energy %.1f J  fleet ExD %.1f J*s  "
+                    "SLO violation %.1f board-s  backlog %.1f GI\n",
+                    m.energy, m.exd, m.slo_violation_time, m.backlog_gi);
+        std::printf("cluster rounds %d  constraint violation %.2f s  "
+                    "digest %016llx\n",
+                    m.cluster_rounds, m.constraint_violation_time,
+                    static_cast<unsigned long long>(m.digest()));
+    }
+    return 0;
+}

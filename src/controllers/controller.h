@@ -15,6 +15,7 @@
  * controller's inputs.
  */
 
+#include "linalg/vector.h"
 #include "platform/board.h"
 #include "platform/scheduler.h"
 
@@ -81,6 +82,20 @@ class HwController
      * internal state worth tracing override it.
      */
     virtual void attachTrace(obs::TraceSink* sink) { (void)sink; }
+
+    /**
+     * Pins the output targets to @p targets, bypassing the local
+     * E x D optimizer — the hook a *cluster-level* controller uses to
+     * set this board's operating point ([BIPS, P_big, P_little, T]
+     * for the hardware layer). @return false when this controller has
+     * no target mechanism (heuristics); the caller then leaves the
+     * board self-governed.
+     */
+    virtual bool holdTargets(const linalg::Vector& targets)
+    {
+        (void)targets;
+        return false;
+    }
 };
 
 /** Software-layer controller interface. */
@@ -97,6 +112,17 @@ class OsController
 
     /** Attaches @p sink for per-tick event tracing (nullptr detaches). */
     virtual void attachTrace(obs::TraceSink* sink) { (void)sink; }
+
+    /**
+     * Pins the output targets ([BIPS_big, BIPS_little, dSC]) to
+     * @p targets, bypassing the local optimizer. @return false when
+     * unsupported.
+     */
+    virtual bool holdTargets(const linalg::Vector& targets)
+    {
+        (void)targets;
+        return false;
+    }
 };
 
 }  // namespace yukta::controllers

@@ -88,11 +88,12 @@ SsvHwController::SsvHwController(SsvRuntime runtime, ExdOptimizer optimizer)
 {
 }
 
-void
-SsvHwController::holdTargets(Vector targets)
+bool
+SsvHwController::holdTargets(const Vector& targets)
 {
-    held_targets_ = std::move(targets);
+    held_targets_ = targets;
     hold_ = true;
+    return true;
 }
 
 void
@@ -153,11 +154,12 @@ SsvOsController::SsvOsController(SsvRuntime runtime, ExdOptimizer optimizer)
 {
 }
 
-void
-SsvOsController::holdTargets(Vector targets)
+bool
+SsvOsController::holdTargets(const Vector& targets)
 {
-    held_targets_ = std::move(targets);
+    held_targets_ = targets;
     hold_ = true;
+    return true;
 }
 
 void
@@ -227,12 +229,22 @@ LqgHwController::attachTrace(obs::TraceSink* sink)
     optimizer_.attachTrace(sink, "opt-hw");
 }
 
+bool
+LqgHwController::holdTargets(const Vector& targets)
+{
+    held_targets_ = targets;
+    hold_ = true;
+    return true;
+}
+
 HardwareInputs
 LqgHwController::invoke(const HwSignals& s)
 {
     Vector y{s.perf_bips, s.p_big, s.p_little, s.temp};
-    Vector targets = optimizer_.update(
-        exdMetric(s.p_big + s.p_little, s.perf_bips), y);
+    Vector targets =
+        hold_ ? held_targets_
+              : optimizer_.update(
+                    exdMetric(s.p_big + s.p_little, s.perf_bips), y);
     LqgInvokeInfo info;
     Vector u = runtime_.invoke(targets - y,
                                trace_ != nullptr ? &info : nullptr);

@@ -49,7 +49,7 @@ class SsvHwController : public HwController
     const ExdOptimizer& optimizer() const { return optimizer_; }
 
     /** Overrides the optimizer with fixed output targets. */
-    void holdTargets(linalg::Vector targets);
+    bool holdTargets(const linalg::Vector& targets) override;
 
   private:
     SsvRuntime runtime_;
@@ -78,7 +78,7 @@ class SsvOsController : public OsController
     const ExdOptimizer& optimizer() const { return optimizer_; }
 
     /** Overrides the optimizer with fixed output targets. */
-    void holdTargets(linalg::Vector targets);
+    bool holdTargets(const linalg::Vector& targets) override;
 
   private:
     SsvRuntime runtime_;
@@ -106,9 +106,14 @@ class LqgHwController : public HwController
     const LqgRuntime& runtime() const { return runtime_; }
     const ExdOptimizer& optimizer() const { return optimizer_; }
 
+    /** Overrides the optimizer with fixed output targets. */
+    bool holdTargets(const linalg::Vector& targets) override;
+
   private:
     LqgRuntime runtime_;
     ExdOptimizer optimizer_;
+    linalg::Vector held_targets_;
+    bool hold_ = false;
     obs::TraceSink* trace_ = nullptr;
 };
 

@@ -136,14 +136,19 @@ MultilayerSystem::applyIfChanged(const HardwareInputs& hw,
     }
 }
 
-RunMetrics
-MultilayerSystem::run(double max_seconds)
+bool
+MultilayerSystem::holdHwTargets(const linalg::Vector& targets)
 {
-    RunMetrics metrics;
-    double t = 0.0;
-    while (!board_.done() && t < max_seconds) {
+    return hw_ != nullptr && hw_->holdTargets(targets);
+}
+
+void
+MultilayerSystem::stepPeriod()
+{
+    const double t = t_;
+    {
         YUKTA_PROFILE_SCOPE("multilayer_tick");
-        const int period = metrics.periods;
+        const int period = periods_;
         if (sink_ != nullptr) {
             sink_->beginTick(period, t);
         }
@@ -257,10 +262,27 @@ MultilayerSystem::run(double max_seconds)
                 .integer("emergency", board_.emergencyActive() ? 1 : 0);
             sink_->record(std::move(ev));
         }
-        t += kControlPeriod;
-        ++metrics.periods;
+        t_ += kControlPeriod;
+        ++periods_;
     }
+}
 
+RunMetrics
+MultilayerSystem::run(double max_seconds)
+{
+    t_ = 0.0;
+    periods_ = 0;
+    while (!board_.done() && t_ < max_seconds) {
+        stepPeriod();
+    }
+    return metrics();
+}
+
+RunMetrics
+MultilayerSystem::metrics() const
+{
+    RunMetrics metrics;
+    metrics.periods = periods_;
     metrics.exec_time = board_.elapsed();
     metrics.energy = board_.energy();
     metrics.exd = board_.energyDelay();

@@ -79,11 +79,39 @@ class MultilayerSystem
 
     /**
      * Runs until the workload completes or @p max_seconds elapses.
+     * Restarts the period clock, so repeated calls behave as before
+     * the incremental API existed.
      */
     RunMetrics run(double max_seconds);
 
+    /**
+     * Advances exactly one 500 ms control period (controllers then
+     * plant). The incremental form of run() for callers that
+     * interleave many systems -- the fleet simulator steps every
+     * board one period per epoch. Emits the same trace events in the
+     * same order as run(), so a stepped run is byte-identical to a
+     * monolithic one.
+     */
+    void stepPeriod();
+
+    /** @return metrics accumulated since the period clock restarted. */
+    RunMetrics metrics() const;
+
+    /** Control periods stepped since the clock restarted. */
+    int periods() const { return periods_; }
+
+    /**
+     * Forwards @p targets ([BIPS, P_big, P_little, T]) to the
+     * hardware-layer controller -- the hook a cluster controller uses
+     * to set this board's operating point. @return false when the
+     * arrangement has no compatible hardware controller (monolithic
+     * joint loop, heuristics).
+     */
+    bool holdHwTargets(const linalg::Vector& targets);
+
     /** Access to the simulated board (inspection in tests/benches). */
     platform::Board& board() { return board_; }
+    const platform::Board& board() const { return board_; }
 
     /** Supervisor, or nullptr when not enabled. */
     const Supervisor* supervisor() const { return supervisor_.get(); }
@@ -102,6 +130,8 @@ class MultilayerSystem
     double last_instr_total_ = 0.0;
     double last_instr_big_ = 0.0;
     double last_instr_little_ = 0.0;
+    double t_ = 0.0;
+    int periods_ = 0;
 
     HwSignals gatherHw(const platform::SensorReadings& obs) const;
     OsSignals gatherOs(const platform::SensorReadings& obs) const;

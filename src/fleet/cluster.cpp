@@ -1,0 +1,93 @@
+#include "fleet/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace yukta::fleet {
+
+ClusterController::ClusterController(ClusterConfig cfg,
+                                     platform::BoardConfig board_cfg,
+                                     int boards)
+    : cfg_(cfg), board_cfg_(board_cfg), boards_(boards)
+{
+    if (boards_ <= 0) {
+        throw std::invalid_argument("ClusterController: no boards");
+    }
+    if (cfg_.period_epochs < 1) {
+        throw std::invalid_argument(
+            "ClusterController: period_epochs must be >= 1");
+    }
+    if (cfg_.floor_fraction < 0.0 || cfg_.floor_fraction >= 1.0) {
+        throw std::invalid_argument(
+            "ClusterController: floor_fraction out of [0, 1)");
+    }
+}
+
+bool
+ClusterController::due(int epoch) const
+{
+    return cfg_.enabled && epoch % cfg_.period_epochs == 0;
+}
+
+std::vector<linalg::Vector>
+ClusterController::computeTargets(
+    const std::vector<BoardTelemetry>& telemetry) const
+{
+    if (telemetry.size() != static_cast<std::size_t>(boards_)) {
+        throw std::invalid_argument(
+            "ClusterController: telemetry size mismatch");
+    }
+
+    const double cap_w =
+        board_cfg_.power_limit_big + board_cfg_.power_limit_little;
+    const double budget =
+        cfg_.power_budget_w > 0.0
+            ? cfg_.power_budget_w
+            : 0.7 * cap_w * static_cast<double>(boards_);
+
+    // Demand = backlog plus smoothed offered load; a board with
+    // neither gets the floor share.
+    double total_demand = 0.0;
+    std::vector<double> demand(telemetry.size(), 0.0);
+    for (std::size_t b = 0; b < telemetry.size(); ++b) {
+        demand[b] = std::max(
+            0.0, telemetry[b].queued_gi + telemetry[b].arrival_gi_ema);
+        total_demand += demand[b];
+    }
+
+    // Clamp ranges mirror makeHwOptimizer so held targets stay inside
+    // the envelope the SSV controllers were designed for.
+    const double big_lo = 0.3;
+    const double big_hi = 0.93 * board_cfg_.power_limit_big;
+    const double little_lo = 0.05;
+    const double little_hi = 0.93 * board_cfg_.power_limit_little;
+    const double floor_w = std::max(
+        big_lo + little_lo, cfg_.floor_fraction * 0.93 * cap_w);
+    const double big_ratio = board_cfg_.power_limit_big / cap_w;
+    const double temp_target = board_cfg_.temp_limit - 9.0;
+
+    std::vector<linalg::Vector> targets;
+    targets.reserve(telemetry.size());
+    for (std::size_t b = 0; b < telemetry.size(); ++b) {
+        const double share =
+            total_demand > 0.0
+                ? demand[b] / total_demand
+                : 1.0 / static_cast<double>(boards_);
+        const double board_w =
+            std::clamp(share * budget, floor_w, 0.93 * cap_w);
+        const double p_big =
+            std::clamp(board_w * big_ratio, big_lo, big_hi);
+        const double p_little = std::clamp(
+            board_w * (1.0 - big_ratio), little_lo, little_hi);
+        // Fair share (share * boards == 1) keeps the default 3.0 BIPS
+        // operating point; hot boards are pushed toward the ceiling,
+        // idle boards throttled toward the floor.
+        const double norm = share * static_cast<double>(boards_);
+        const double bips = std::clamp(3.0 * norm, 0.5, 12.0);
+        targets.push_back(
+            linalg::Vector{bips, p_big, p_little, temp_target});
+    }
+    return targets;
+}
+
+}  // namespace yukta::fleet

@@ -1,0 +1,285 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
+#include "platform/apps.h"
+#include "runner/pool.h"
+
+namespace yukta::fleet {
+
+using controllers::kControlPeriod;
+
+namespace {
+
+/** EMA smoothing for the cluster-layer telemetry streams. */
+constexpr double kEmaAlpha = 0.3;
+
+/** All boards share these latency bucket bounds so rollups merge. */
+obs::MergeableHistogram
+latencyHistogram()
+{
+    // 10 ms .. 1000 s, 9 buckets per decade: resolves sub-period
+    // latencies and multi-minute pathological backlogs alike.
+    return obs::MergeableHistogram::logSpaced(0.01, 1000.0, 9);
+}
+
+}  // namespace
+
+FleetBoard::FleetBoard(controllers::MultilayerSystem sys)
+    : system(std::move(sys)), latency(latencyHistogram())
+{
+}
+
+FleetSim::FleetSim(FleetConfig cfg, const core::Artifacts& artifacts)
+    : cfg_(std::move(cfg)),
+      arrivals_(cfg_.arrivals,
+                static_cast<std::uint64_t>(cfg_.seed) ^
+                    0x666c6565745f7631ull),  // "fleet_v1"
+      admission_(cfg_.admission, cfg_.boards),
+      cluster_(cfg_.cluster, artifacts.cfg, cfg_.boards)
+{
+    if (cfg_.boards <= 0) {
+        throw std::invalid_argument("FleetSim: boards must be positive");
+    }
+    if (!(cfg_.sim_seconds > 0.0)) {
+        throw std::invalid_argument(
+            "FleetSim: sim_seconds must be positive");
+    }
+    const platform::AppModel service = platform::AppCatalog::makeServiceApp(
+        cfg_.service.threads, cfg_.service.ipc_big,
+        cfg_.service.mem_boundness);
+    boards_.reserve(static_cast<std::size_t>(cfg_.boards));
+    for (int b = 0; b < cfg_.boards; ++b) {
+        // Counter-hashed per-board seed: decorrelated sensor noise,
+        // independent of every other config knob.
+        const auto board_seed = static_cast<std::uint32_t>(
+            mix64(static_cast<std::uint64_t>(cfg_.seed) ^
+                  (static_cast<std::uint64_t>(b) * 0x9e3779b97f4a7c15ull)));
+        controllers::MultilayerSystem sys = core::makeSystem(
+            cfg_.scheme, artifacts, platform::Workload(service),
+            board_seed);
+        if (cfg_.supervised) {
+            sys.enableSupervisor();
+        }
+        boards_.push_back(std::make_unique<FleetBoard>(std::move(sys)));
+    }
+}
+
+void
+FleetSim::stepBoard(FleetBoard& fb, double epoch_end) const
+{
+    fb.system.stepPeriod();
+
+    const double instr = fb.system.board().perfCounters().total();
+    const double served = std::max(0.0, instr - fb.last_instr);
+    fb.last_instr = instr;
+    const double bips = served / kControlPeriod;
+
+    const double energy = fb.system.board().energy();
+    const double power =
+        std::max(0.0, energy - fb.last_energy) / kControlPeriod;
+    fb.last_energy = energy;
+
+    fb.bips_ema = kEmaAlpha * bips + (1.0 - kEmaAlpha) * fb.bips_ema;
+    fb.power_ema = kEmaAlpha * power + (1.0 - kEmaAlpha) * fb.power_ema;
+    fb.epoch_bips.add(bips);
+    fb.epoch_power.add(power);
+
+    // Drain the queue at the rate of work actually retired. Capacity
+    // beyond the backlog is idle service (not banked).
+    double budget = served;
+    while (!fb.queue.empty() && budget > 0.0) {
+        Request& r = fb.queue.front();
+        const double take = std::min(budget, r.remaining_gi);
+        r.remaining_gi -= take;
+        budget -= take;
+        fb.served_gi += take;
+        fb.queued_gi = std::max(0.0, fb.queued_gi - take);
+        if (r.remaining_gi <= 1e-12) {
+            // Completion is booked at the epoch boundary: the drain
+            // model has no sub-period timeline, and a conservative
+            // (late) completion time keeps the latency rollup honest.
+            fb.latency.observe(epoch_end - r.arrival_time);
+            ++fb.completed;
+            fb.queue.pop_front();
+        }
+    }
+
+    if (!fb.queue.empty() &&
+        epoch_end - fb.queue.front().arrival_time > cfg_.slo_seconds) {
+        fb.slo_violation_time += kControlPeriod;
+    }
+}
+
+FleetMetrics
+FleetSim::run(std::size_t workers)
+{
+    const obs::Stopwatch wall;
+    const int epochs = static_cast<int>(
+        std::ceil(cfg_.sim_seconds / kControlPeriod - 1e-9));
+
+    const int num_boards = cfg_.boards;
+    const int num_shards =
+        cfg_.shards <= 0 ? num_boards : std::min(cfg_.shards, num_boards);
+
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        const double t0 = static_cast<double>(epoch) * kControlPeriod;
+        const double epoch_end = t0 + kControlPeriod;
+
+        // --- Serial coordinator phase (board index order). ---
+        std::vector<double> projected(
+            static_cast<std::size_t>(num_boards), 0.0);
+        for (int b = 0; b < num_boards; ++b) {
+            projected[static_cast<std::size_t>(b)] =
+                boards_[static_cast<std::size_t>(b)]->queued_gi;
+        }
+        for (int b = 0; b < num_boards; ++b) {
+            FleetBoard& origin = *boards_[static_cast<std::size_t>(b)];
+            const std::vector<Request> reqs =
+                arrivals_.epochArrivals(b, epoch, t0, kControlPeriod);
+            double offered_gi = 0.0;
+            for (const Request& r : reqs) {
+                offered_gi += r.demand_gi;
+                const int dest = admission_.route(r, projected);
+                if (dest >= 0) {
+                    FleetBoard& fb =
+                        *boards_[static_cast<std::size_t>(dest)];
+                    fb.queue.push_back(r);
+                    fb.queued_gi += r.demand_gi;
+                }
+            }
+            origin.arrival_gi_ema = kEmaAlpha * offered_gi +
+                                    (1.0 - kEmaAlpha) *
+                                        origin.arrival_gi_ema;
+        }
+
+        if (cluster_supported_ && cluster_.due(epoch)) {
+            std::vector<BoardTelemetry> telemetry;
+            telemetry.reserve(boards_.size());
+            for (const auto& fb : boards_) {
+                BoardTelemetry t;
+                t.queued_gi = fb->queued_gi;
+                t.arrival_gi_ema = fb->arrival_gi_ema;
+                t.bips_ema = fb->bips_ema;
+                t.power_ema = fb->power_ema;
+                telemetry.push_back(t);
+            }
+            const std::vector<linalg::Vector> targets =
+                cluster_.computeTargets(telemetry);
+            bool applied = true;
+            for (std::size_t b = 0; b < boards_.size(); ++b) {
+                applied =
+                    boards_[b]->system.holdHwTargets(targets[b]) &&
+                    applied;
+            }
+            if (applied) {
+                cluster_.noteRound();
+            } else {
+                // Heuristic / monolithic arrangements have no target
+                // hook; the fleet then leaves boards self-governed.
+                cluster_supported_ = false;
+            }
+        }
+
+        // --- Parallel shared-nothing shard phase. ---
+        std::vector<runner::Task> tasks;
+        tasks.reserve(static_cast<std::size_t>(num_shards));
+        for (int s = 0; s < num_shards; ++s) {
+            // Contiguous block partition: shard s owns [lo, hi).
+            const int lo = static_cast<int>(
+                static_cast<long long>(s) * num_boards / num_shards);
+            const int hi = static_cast<int>(
+                static_cast<long long>(s + 1) * num_boards / num_shards);
+            tasks.push_back([this, lo, hi,
+                             epoch_end](const runner::CancelToken&) {
+                for (int b = lo; b < hi; ++b) {
+                    stepBoard(*boards_[static_cast<std::size_t>(b)],
+                              epoch_end);
+                }
+            });
+        }
+        const std::vector<runner::TaskOutcome> outcomes =
+            runner::runOnPool(tasks, workers);
+        for (const runner::TaskOutcome& o : outcomes) {
+            if (o.status != runner::TaskOutcome::Status::kOk) {
+                throw std::runtime_error("FleetSim: shard failed: " +
+                                         o.error);
+            }
+        }
+    }
+
+    // --- Deterministic rollup merge (board index order). ---
+    FleetMetrics m;
+    m.boards = num_boards;
+    m.epochs = epochs;
+    m.sim_seconds = static_cast<double>(epochs) * kControlPeriod;
+    m.latency = latencyHistogram();
+    for (const auto& fb : boards_) {
+        m.latency.merge(fb->latency);
+        m.board_bips.merge(fb->epoch_bips);
+        m.board_power.merge(fb->epoch_power);
+        m.completed += fb->completed;
+        m.served_gi += fb->served_gi;
+        m.energy += fb->system.board().energy();
+        m.slo_violation_time += fb->slo_violation_time;
+        m.constraint_violation_time +=
+            fb->system.board().constraintViolationTime();
+        m.emergency_time += fb->system.board().emergencyTime();
+        m.backlog_gi += fb->queued_gi;
+    }
+    m.exd = m.energy * m.sim_seconds;
+    m.admission = admission_.stats();
+    m.cluster_rounds = cluster_.rounds();
+
+    m.wall_seconds = wall.seconds();
+    m.board_ticks_per_sec =
+        m.wall_seconds > 0.0
+            ? static_cast<double>(num_boards) *
+                  static_cast<double>(epochs) / m.wall_seconds
+            : 0.0;
+    return m;
+}
+
+std::string
+FleetMetrics::toJson(bool include_wall) const
+{
+    std::ostringstream os;
+    os << "{\"boards\":" << boards << ",\"epochs\":" << epochs
+       << ",\"sim_seconds\":" << obs::canonicalNumber(sim_seconds)
+       << ",\"admission\":" << admission.toJson()
+       << ",\"cluster_rounds\":" << cluster_rounds
+       << ",\"completed\":" << completed
+       << ",\"served_gi\":" << obs::canonicalNumber(served_gi)
+       << ",\"energy\":" << obs::canonicalNumber(energy)
+       << ",\"exd\":" << obs::canonicalNumber(exd)
+       << ",\"slo_violation_time\":"
+       << obs::canonicalNumber(slo_violation_time)
+       << ",\"constraint_violation_time\":"
+       << obs::canonicalNumber(constraint_violation_time)
+       << ",\"emergency_time\":" << obs::canonicalNumber(emergency_time)
+       << ",\"backlog_gi\":" << obs::canonicalNumber(backlog_gi)
+       << ",\"latency\":" << latency.toJson()
+       << ",\"board_bips\":" << board_bips.toJson()
+       << ",\"board_power\":" << board_power.toJson();
+    if (include_wall) {
+        os << ",\"wall_seconds\":" << obs::canonicalNumber(wall_seconds)
+           << ",\"board_ticks_per_sec\":"
+           << obs::canonicalNumber(board_ticks_per_sec);
+    }
+    os << "}";
+    return os.str();
+}
+
+std::uint64_t
+FleetMetrics::digest() const
+{
+    return obs::fnv1a(toJson(false));
+}
+
+}  // namespace yukta::fleet

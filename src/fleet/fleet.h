@@ -1,0 +1,180 @@
+#ifndef YUKTA_FLEET_FLEET_H_
+#define YUKTA_FLEET_FLEET_H_
+
+/**
+ * @file
+ * Sharded fleet simulator: N independent board instances (each the
+ * full platform + multilayer controller + optional supervisor stack)
+ * stepped in lockstep 500 ms epochs under an open-loop Poisson
+ * request workload, a fleet-level admission layer, and a cluster
+ * controller that redistributes per-board power/performance targets.
+ *
+ * Execution alternates two phases per epoch:
+ *
+ *   serial coordinator -- generate arrivals (counter-hashed), route
+ *     them through admission, and (on due epochs) recompute and pin
+ *     cluster targets; everything in board index order.
+ *   parallel shards -- shared-nothing: each shard steps its boards
+ *     one control period and drains their request queues at the rate
+ *     of giga-instructions actually retired. No shared mutable state,
+ *     no locks, no wall-clock reads.
+ *
+ * Because the coordinator is serial and deterministic, the shards are
+ * shared-nothing, and rollups merge in board index order, the run
+ * result is a pure function of the config: bit-identical for 1 vs N
+ * pool workers (FleetMetrics::digest() makes that one integer
+ * comparison).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controllers/multilayer.h"
+#include "core/schemes.h"
+#include "fleet/admission.h"
+#include "fleet/arrivals.h"
+#include "fleet/cluster.h"
+#include "obs/rollup.h"
+
+namespace yukta::fleet {
+
+/** Per-board service workload knobs. */
+struct ServiceConfig
+{
+    std::size_t threads = 8;      ///< Server threads per board.
+    double ipc_big = 1.5;         ///< Per-thread IPC on a big core.
+    double mem_boundness = 0.25;  ///< Memory-time fraction.
+};
+
+/** Everything that defines one fleet run. */
+struct FleetConfig
+{
+    int boards = 16;
+
+    /**
+     * Shard count (boards are split into contiguous blocks). <= 0
+     * derives one shard per board. The shard partition is part of the
+     * run's identity; the worker count is not.
+     */
+    int shards = 0;
+
+    std::uint32_t seed = 1;
+    double sim_seconds = 60.0;
+    core::Scheme scheme = core::Scheme::kYuktaFull;
+    bool supervised = false;
+
+    /** A queued request older than this is in SLO violation. */
+    double slo_seconds = 2.0;
+
+    ServiceConfig service;
+    ArrivalConfig arrivals;
+    AdmissionConfig admission;
+    ClusterConfig cluster;
+};
+
+/** One board plus its fleet-side bookkeeping. */
+struct FleetBoard
+{
+    /** Adopts @p sys; all bookkeeping starts zeroed. */
+    explicit FleetBoard(controllers::MultilayerSystem sys);
+
+    controllers::MultilayerSystem system;
+    std::deque<Request> queue;   ///< Oldest first.
+    double queued_gi = 0.0;      ///< Sum of remaining demand.
+    double last_instr = 0.0;     ///< Retired-GI mark (cumulative).
+    double last_energy = 0.0;    ///< Energy mark (J, cumulative).
+
+    // Telemetry the cluster layer reads (EMA alpha 0.3).
+    double arrival_gi_ema = 0.0;
+    double bips_ema = 0.0;
+    double power_ema = 0.0;
+
+    // Per-board outcome accumulators (merged in board order).
+    obs::MergeableHistogram latency;
+    obs::RunningStat epoch_bips;
+    obs::RunningStat epoch_power;
+    long long completed = 0;
+    double served_gi = 0.0;
+    double slo_violation_time = 0.0;
+};
+
+/** Deterministic result of one fleet run. */
+struct FleetMetrics
+{
+    int boards = 0;
+    int epochs = 0;
+    double sim_seconds = 0.0;
+
+    AdmissionStats admission;
+    int cluster_rounds = 0;
+    long long completed = 0;
+    double served_gi = 0.0;
+
+    double energy = 0.0;           ///< Fleet joules.
+    double exd = 0.0;              ///< Energy x sim time (J*s).
+    double slo_violation_time = 0.0;      ///< Board-seconds past SLO.
+    double constraint_violation_time = 0.0;  ///< True P/T cap breaches.
+    double emergency_time = 0.0;   ///< Board-seconds of TMU caps.
+    double backlog_gi = 0.0;       ///< Demand still queued at the end.
+
+    obs::MergeableHistogram latency;  ///< Completed-request latency.
+    obs::RunningStat board_bips;      ///< Per-board-epoch BIPS.
+    obs::RunningStat board_power;     ///< Per-board-epoch power (W).
+
+    // Wall-clock throughput; never part of the digest.
+    double wall_seconds = 0.0;
+    double board_ticks_per_sec = 0.0;
+
+    /**
+     * @return the run result as canonical JSON. @p include_wall adds
+     * the wall-clock fields; digests always exclude them.
+     */
+    std::string toJson(bool include_wall) const;
+
+    /** FNV-1a over toJson(false): the run's determinism fingerprint. */
+    std::uint64_t digest() const;
+};
+
+/** The fleet simulator. Construct once, run once. */
+class FleetSim
+{
+  public:
+    /**
+     * Builds @p cfg.boards board instances from @p artifacts. Board b
+     * gets a counter-hashed seed derived from (cfg.seed, b), so the
+     * fleet's sensor-noise streams are decorrelated but reproducible.
+     */
+    FleetSim(FleetConfig cfg, const core::Artifacts& artifacts);
+
+    /**
+     * Runs the whole fleet for cfg.sim_seconds of simulated time on
+     * @p workers pool workers (0/1 = inline). The result is
+     * bit-identical for any worker count.
+     */
+    FleetMetrics run(std::size_t workers);
+
+    /** Board access (tests inspect queues and targets). */
+    FleetBoard& board(int b) { return *boards_[static_cast<std::size_t>(b)]; }
+    int boardCount() const { return static_cast<int>(boards_.size()); }
+
+    /** @return the validated configuration. */
+    const FleetConfig& config() const { return cfg_; }
+
+  private:
+    FleetConfig cfg_;
+    std::vector<std::unique_ptr<FleetBoard>> boards_;
+    ArrivalGenerator arrivals_;
+    AdmissionController admission_;
+    ClusterController cluster_;
+    bool cluster_supported_ = true;
+
+    /** Steps one board one control period and drains its queue. */
+    void stepBoard(FleetBoard& fb, double epoch_end) const;
+};
+
+}  // namespace yukta::fleet
+
+#endif  // YUKTA_FLEET_FLEET_H_

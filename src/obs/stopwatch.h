@@ -1,0 +1,41 @@
+#ifndef YUKTA_OBS_STOPWATCH_H_
+#define YUKTA_OBS_STOPWATCH_H_
+
+/**
+ * @file
+ * Minimal monotonic stopwatch. Wall-clock reads are confined to
+ * src/obs and src/runner (yukta-lint rule wall-clock); code elsewhere
+ * that needs a throughput number takes it through this type, which
+ * keeps the timing readily greppable and out of deterministic run
+ * results.
+ */
+
+#include <chrono>
+
+namespace yukta::obs {
+
+/** Measures elapsed wall time from construction (or restart()). */
+class Stopwatch
+{
+  public:
+    /** Starts timing immediately. */
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    /** @return seconds elapsed since construction / last restart. */
+    double seconds() const
+    {
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start_;
+        return dt.count();
+    }
+
+    /** Re-zeroes the stopwatch. */
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace yukta::obs
+
+#endif  // YUKTA_OBS_STOPWATCH_H_

@@ -124,6 +124,29 @@ AppCatalog::get(const std::string& name)
 }
 
 AppModel
+AppCatalog::makeServiceApp(std::size_t threads, double ipc_big,
+                           double mem_boundness)
+{
+    if (threads == 0) {
+        throw std::invalid_argument("makeServiceApp: zero threads");
+    }
+    AppModel app;
+    app.name = "service";
+    app.ipc_big = ipc_big;
+    app.ipc_little = ipc_big * 0.38;
+    AppPhase serve;
+    serve.num_threads = threads;
+    // ~3 years of work at 10 BIPS: finite (workRemaining() stays
+    // meaningful) but unreachable within any simulated fleet run.
+    serve.work_per_thread = 1.0e9 / static_cast<double>(threads);
+    serve.mem_boundness = mem_boundness;
+    serve.activity = 1.0;
+    serve.barrier = false;
+    app.phases = {serve};
+    return app;
+}
+
+AppModel
 AppCatalog::getWithThreads(const std::string& name, std::size_t threads)
 {
     AppModel app = get(name);

@@ -57,6 +57,18 @@ class AppCatalog
 
     /** Short label used in the paper's figures (e.g. "bla"). */
     static std::string shortLabel(const std::string& name);
+
+    /**
+     * Open-ended request-serving workload for the fleet simulator:
+     * @p threads independent server threads with effectively
+     * inexhaustible work, so the board never runs dry and its retired
+     * giga-instructions measure pure service capacity. The fleet
+     * layer drains its request queues at the board's measured retire
+     * rate rather than tracking individual requests in the plant.
+     */
+    static AppModel makeServiceApp(std::size_t threads,
+                                   double ipc_big = 1.5,
+                                   double mem_boundness = 0.25);
 };
 
 }  // namespace yukta::platform

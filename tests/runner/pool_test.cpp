@@ -65,8 +65,10 @@ TEST(Pool, CooperativeTimeoutStopsAndMarksTheSlowRun)
     // A "diverging" run that honors the token.
     tasks.push_back([](const CancelToken& token) {
         const auto give_up =
+            // yukta-lint: allow(wall-clock) timeout harness needs real time
             std::chrono::steady_clock::now() + std::chrono::seconds(10);
         while (!token.expired() &&
+               // yukta-lint: allow(wall-clock) timeout harness needs real time
                std::chrono::steady_clock::now() < give_up) {
             std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }

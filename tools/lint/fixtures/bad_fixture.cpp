@@ -1,8 +1,10 @@
 // Deliberately bad file: every pattern rule must fire on it.
 // Exercised by `yukta_lint.py --self-test` (and the ctest wrapper);
 // excluded from normal tree lints.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -25,6 +27,12 @@ int main()
 
     srand(42);                       // banned-rand
     double x = static_cast<double>(rand());  // banned-rand
+
+    // wall-clock: simulation code must derive time from tick counts.
+    auto t0 = std::chrono::steady_clock::now();
+    (void)t0;
+    std::time_t wall = time(NULL);   // wall-clock (C shape)
+    (void)wall;
 
     if (x == 0.1) {                  // float-eq
         return 1;

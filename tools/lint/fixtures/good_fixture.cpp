@@ -1,5 +1,6 @@
 // Clean counterpart of bad_fixture.cpp: the linter must report
 // nothing here, including for the suppressed exact comparison.
+#include <chrono>
 #include <cmath>
 #include <iostream>
 #include <random>
@@ -9,6 +10,12 @@ struct SensorReadings {
     double p_big = 0.0;
 };
 }  // namespace yukta::platform
+
+// A member named `time` is not a wall-clock read; the rule matches
+// the clock types and the C call shapes only.
+struct Event {
+    double time() const { return 0.5; }
+};
 
 double freqResponse(double w);       // stand-ins: the freq-loop rule
 double freqResponseBatch(double w);  // is lexical
@@ -41,5 +48,13 @@ int main()
     std::cout << std::endl;  // flush once, outside the loop: fine
     // Batched sweeps never trigger the rule, in or out of loops.
     x += freqResponseBatch(x);
+
+    // Simulated timestamps and member accessors are not wall-clock
+    // reads; a deliberate read outside src/obs is suppressible.
+    Event ev;
+    x += ev.time();
+    // yukta-lint: allow(wall-clock) deliberate fixture demonstration
+    auto real = std::chrono::steady_clock::now();
+    (void)real;
     return 0;
 }

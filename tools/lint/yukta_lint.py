@@ -31,6 +31,13 @@ cannot express:
                         per point after one Hessenberg reduction).
                         Oracle comparisons in tests suppress the rule
                         explicitly.
+  wall-clock            no std::chrono::system_clock/steady_clock (or
+                        C time()) outside src/obs and src/runner:
+                        simulated time must come from tick counts so
+                        every run is bit-reproducible. Wall-clock
+                        reads are confined to the observability layer
+                        (obs::Stopwatch, profiling) and the pool's
+                        deadline machinery.
   doc-comment           public functions declared in src headers carry
                         a doc comment.
 
@@ -65,6 +72,7 @@ RULES = (
     "endl-in-loop",
     "sensor-construction",
     "freq-loop",
+    "wall-clock",
     "doc-comment",
 )
 
@@ -215,6 +223,25 @@ SENSOR_EXEMPT_PREFIXES = (
     os.path.join("src", "fault") + os.sep,
 )
 
+# Wall-clock reads. The chrono alternative matches the clock types
+# themselves (declaration or ::now()); the C alternative matches
+# time(NULL)/time(nullptr)/time(0)/time(&t) call shapes only. The
+# fixed-width lookbehind rejects member calls (`ev.time()`,
+# `p->time()`) and identifiers merely ending in `time`, while still
+# matching `std::time(` (preceded by ':').
+WALL_CLOCK_RE = re.compile(
+    r"std\s*::\s*chrono\s*::\s*"
+    r"(?:system_clock|steady_clock|high_resolution_clock)\b"
+    r"|(?<![\w.>])time\s*\(\s*(?:NULL\b|nullptr\b|0\s*\)|&)")
+
+# Only the observability layer (Stopwatch, profiling) and the pool's
+# timeout machinery may consult real time; everything else derives
+# time from tick counts so runs stay bit-reproducible.
+WALL_CLOCK_EXEMPT_PREFIXES = (
+    os.path.join("src", "obs") + os.sep,
+    os.path.join("src", "runner") + os.sep,
+)
+
 
 def check_patterns(ctx, findings):
     for idx, line in enumerate(ctx.code_lines, start=1):
@@ -245,6 +272,15 @@ def check_patterns(ctx, findings):
                 "SensorReadings constructed outside the platform/fault "
                 "layers; consume board.readings() or the supervisor's "
                 "validated snapshot instead of forging telemetry"))
+        if WALL_CLOCK_RE.search(line) and \
+                not ctx.rel.startswith(WALL_CLOCK_EXEMPT_PREFIXES) and \
+                not ctx.allowed("wall-clock", idx):
+            findings.append(Finding(
+                ctx.rel, idx, "wall-clock",
+                "wall-clock read outside src/obs and src/runner; "
+                "simulation code derives time from tick counts so runs "
+                "stay bit-reproducible -- use obs::Stopwatch for "
+                "measurement or suppress a deliberate use"))
 
 
 def check_endl_in_loop(ctx, findings):
@@ -554,7 +590,7 @@ def self_test(root, compiler):
     check_endl_in_loop(ctx, bad)
     got = {f.rule for f in bad}
     want = {"banned-rand", "float-eq", "cache-bypass", "endl-in-loop",
-            "sensor-construction", "freq-loop"}
+            "sensor-construction", "freq-loop", "wall-clock"}
     for rule in sorted(want):
         status = "ok" if rule in got else "MISSING"
         print(f"self-test: bad_fixture triggers {rule:<18} {status}")
