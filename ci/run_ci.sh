@@ -24,6 +24,17 @@ python3 tools/lint/yukta_lint.py --jobs "$JOBS"
 
 echo "=== tier-1: default build + full ctest ==="
 cmake -B build -S . >/dev/null
+
+# The deeper audit consumes the compile_commands.json the configure
+# step just exported: layer-DAG conformance (pinned against the
+# committed golden graph), determinism bans, per-TU FP flag audit,
+# and stale-suppression detection.
+echo "=== static analysis: yukta-audit (compile-commands-driven) ==="
+python3 tools/analyze/yukta_audit.py --self-test
+python3 tools/analyze/yukta_audit.py \
+    --compdb build/compile_commands.json \
+    --graph-golden tools/analyze/layer_graph.golden
+
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
@@ -75,13 +86,30 @@ echo "=== fault matrix: supervised vs unsupervised smoke ==="
 # constraint-violation time in every fault scenario.
 ./build-checks/bench/bench_faults --quick
 
-echo "=== runner tests under ThreadSanitizer ==="
-cmake -B build-tsan -S . -DYUKTA_SANITIZE=thread \
-      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build build-tsan -j "$JOBS" --target test_runner
-# halt_on_error so a reported race fails CI instead of scrolling by.
-TSAN_OPTIONS="halt_on_error=1" \
-    ctest --test-dir build-tsan -R '^test_runner$' --output-on-failure
+echo "=== runner + fleet tests under ThreadSanitizer ==="
+# Availability-gated: probe whether this toolchain can link TSan
+# before committing to the build (some containers ship a compiler
+# without libtsan).
+TSAN_PROBE="$(mktemp)"
+if echo 'int main() { return 0; }' \
+        | c++ -fsanitize=thread -x c++ - -o "$TSAN_PROBE" 2>/dev/null; then
+    rm -f "$TSAN_PROBE"
+    cmake -B build-tsan -S . -DYUKTA_SANITIZE=thread \
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+    cmake --build build-tsan -j "$JOBS" --target test_runner test_fleet
+    # halt_on_error so a reported race fails CI instead of scrolling by.
+    TSAN_OPTIONS="halt_on_error=1" \
+        ctest --test-dir build-tsan -R '^test_runner$' --output-on-failure
+    # The fleet's shared-nothing shard phase is the other place real
+    # threads touch shared state; the 1-vs-N digest test drives it
+    # with 1, 2, and 4 workers.
+    TSAN_OPTIONS="halt_on_error=1" \
+        ./build-tsan/tests/test_fleet \
+        --gtest_filter='Fleet.RunIsBitIdenticalForAnyWorkerCount'
+else
+    rm -f "$TSAN_PROBE"
+    echo "=== ThreadSanitizer unavailable on this toolchain; skipping ==="
+fi
 
 if [[ "${YUKTA_CI_COVERAGE:-0}" == "1" ]]; then
     echo "=== coverage build + line-coverage floor ==="

@@ -56,6 +56,10 @@ readMatrix(std::istream& is, Matrix& m)
 std::string
 cacheDir()
 {
+    // Cache *location* may come from the environment (hermetic tests
+    // redirect it); cache *contents* are keyed purely on config, so
+    // results stay environment-independent.
+    // yukta-audit: allow(getenv)
     const char* env = std::getenv("YUKTA_CACHE_DIR");
     std::string dir = env != nullptr ? env : "yukta_cache";
     std::error_code ec;

@@ -160,6 +160,10 @@ MetricsRegistry::clear()
 MetricsRegistry&
 globalMetrics()
 {
+    // Deliberate leaked process-wide singleton: metrics snapshots are
+    // documented as the one wall-clock-adjacent output, and the leak
+    // sidesteps destruction-order races at exit.
+    // yukta-audit: allow(static-state)
     static MetricsRegistry* registry = new MetricsRegistry();
     return *registry;
 }

@@ -121,10 +121,10 @@ hinfNorm(const StateSpace& sys, std::size_t grid_points)
             for (double lw : lws) {
                 // Pin clamped boundary probes to the exact grid ends.
                 double w = std::pow(10.0, lw);
-                if (lw == llo) {  // yukta-lint: allow(float-eq) clamp
+                if (lw == llo) {
                     w = lo;
                 }
-                if (lw == lhi) {  // yukta-lint: allow(float-eq) clamp
+                if (lw == lhi) {
                     w = hi;
                 }
                 ws.push_back(w);

@@ -156,7 +156,6 @@ frequencyResponseFit(const control::StateSpace& model,
 {
     const bool same_clock =
         model.isDiscrete() == reference.isDiscrete() &&
-        // yukta-lint: allow(float-eq) identical sample times required
         (!model.isDiscrete() || model.ts == reference.ts);
     if (!same_clock) {
         throw std::invalid_argument(

@@ -25,8 +25,8 @@ void
 expectSameResponse(const StateSpace& g1, const StateSpace& g2, double tol)
 {
     for (double w : {0.0, 0.1, 0.5, 1.0, 2.0}) {
-        auto r1 = g1.freqResponse(w);
-        auto r2 = g2.freqResponse(w);
+        auto r1 = g1.freqResponse(w);  // yukta-lint: allow(freq-loop)
+        auto r2 = g2.freqResponse(w);  // yukta-lint: allow(freq-loop)
         ASSERT_EQ(r1.rows(), r2.rows());
         ASSERT_EQ(r1.cols(), r2.cols());
         EXPECT_TRUE(r1.isApprox(r2, tol)) << "at w=" << w;
@@ -48,7 +48,9 @@ TEST(Series, FrequencyDomainMatchesProduct)
     StateSpace g2 = lag(0.2, 0.7, 1.0);
     StateSpace s = series(g1, g2);
     for (double w : {0.1, 0.7, 2.0}) {
+        // yukta-lint: allow(freq-loop) pointwise oracle comparison
         auto prod = g2.freqResponse(w) * g1.freqResponse(w);
+        // yukta-lint: allow(freq-loop) pointwise oracle comparison
         EXPECT_TRUE(s.freqResponse(w).isApprox(prod, 1e-10));
     }
 }
@@ -109,8 +111,10 @@ TEST(Feedback, MatchesFrequencyDomainFormula)
     StateSpace k = lag(0.4, 1.5, 1.0);
     StateSpace t = feedback(g, k);
     for (double w : {0.0, 0.3, 1.0, 2.5}) {
+        // yukta-lint: allow(freq-loop) pointwise oracle comparison
         Complex lw = (g.freqResponse(w) * k.freqResponse(w))(0, 0);
         Complex expect = lw / (Complex(1.0, 0.0) + lw);
+        // yukta-lint: allow(freq-loop) pointwise oracle comparison
         EXPECT_NEAR(std::abs(t.freqResponse(w)(0, 0) - expect), 0.0, 1e-10);
     }
 }
@@ -150,8 +154,9 @@ TEST(LftLower, RecoversFeedbackLoop)
 
     // Expected sensitivity: 1 / (1 + G).
     for (double w : {0.0, 0.2, 1.0}) {
-        Complex gw = g.freqResponse(w)(0, 0);
+        Complex gw = g.freqResponse(w)(0, 0);  // yukta-lint: allow(freq-loop)
         Complex expect = Complex(1.0, 0.0) / (Complex(1.0, 0.0) + gw);
+        // yukta-lint: allow(freq-loop) pointwise oracle comparison
         EXPECT_NEAR(std::abs(cl.freqResponse(w)(0, 0) - expect), 0.0, 1e-10);
     }
 }

@@ -75,7 +75,8 @@ TEST(Realization, MinimalRealizationRemovesHiddenModes)
     // Transfer behaviour preserved.
     EXPECT_NEAR(min.dcGain()(0, 0), sys.dcGain()(0, 0), 1e-8);
     for (double w : {0.2, 1.0, 2.5}) {
-        EXPECT_NEAR(std::abs(min.freqResponse(w)(0, 0) -
+        // yukta-lint: allow(freq-loop) pointwise oracle comparison
+        EXPECT_NEAR(std::abs(min.freqResponse(w)(0, 0) -  // yukta-lint: allow(freq-loop)
                              sys.freqResponse(w)(0, 0)),
                     0.0, 1e-8);
     }

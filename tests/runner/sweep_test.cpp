@@ -2,6 +2,7 @@
 // trips, corrupted-cache fallback, failure isolation, and the central
 // guarantee -- aggregated metrics are bit-identical no matter how many
 // workers ran the sweep.
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -283,9 +284,13 @@ TEST_F(SweepFixture, EventTracesAreBitIdenticalAcrossWorkerCounts)
     // Same file names, bit-identical bytes, regardless of pool size.
     std::vector<std::string> names;
     for (const auto& entry :
+         // yukta-audit: allow(dir-iter) names sorted below
          std::filesystem::directory_iterator(serial.trace_dir)) {
         names.push_back(entry.path().filename().string());
     }
+    // Directory order is filesystem-dependent; sort so assertion
+    // failures point at the same file on every run.
+    std::sort(names.begin(), names.end());
     ASSERT_EQ(names.size(), 4u);  // 2 runs x {jsonl, chrome}.
     for (const std::string& name : names) {
         const std::string sa =

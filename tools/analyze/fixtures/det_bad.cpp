@@ -1,0 +1,34 @@
+// Fixture: one violation per determinism/FP source rule.  Audited by
+// yukta_audit.py --self-test with rel path src/det/det_bad.cpp.
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+int detBad(const std::vector<double>& v)
+{
+    std::unordered_map<int, int> histogram;            // unordered-iter
+    std::map<int*, int> by_address;                    // ptr-key
+    std::hash<void*> addr_hash;                        // ptr-hash
+    static int call_count = 0;                         // static-state
+    std::random_device entropy;                        // random-device
+    const char* home = std::getenv("HOME");            // getenv
+    std::filesystem::directory_iterator entries{"."};  // dir-iter
+    double total = std::reduce(v.begin(), v.end());    // fp-reduce
+    float narrowed = 0.0F;                             // float-acc
+
+    ++call_count;
+    histogram[0] = static_cast<int>(entropy());
+    by_address[&histogram[0]] = 1;
+    narrowed += static_cast<float>(total);
+    return call_count + static_cast<int>(addr_hash(nullptr) != 0U) +
+           static_cast<int>(home != nullptr) +
+           static_cast<int>(std::distance(
+               std::filesystem::begin(entries),
+               std::filesystem::end(entries))) +
+           static_cast<int>(narrowed);
+}

@@ -1,0 +1,39 @@
+// Fixture: the same violations as det_bad.cpp, each carrying a
+// yukta-audit annotation, so the suppressed run reports nothing and
+// every annotation is live for the staleness pass.
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+int detSuppressed(const std::vector<double>& v)
+{
+    // yukta-audit: allow(unordered-iter) construct-and-lookup only
+    std::unordered_map<int, int> histogram;
+    std::map<int*, int> by_address;  // yukta-audit: allow(ptr-key)
+    std::hash<void*> addr_hash;      // yukta-audit: allow(ptr-hash)
+    static int call_count = 0;       // yukta-audit: allow(static-state)
+    std::random_device entropy;      // yukta-audit: allow(random-device)
+    const char* home = std::getenv("HOME");  // yukta-audit: allow(getenv)
+    // yukta-audit: allow(dir-iter) entries sorted before use
+    std::filesystem::directory_iterator entries{"."};
+    // yukta-audit: allow(fp-reduce) single-threaded overload
+    double total = std::reduce(v.begin(), v.end());
+    float narrowed = 0.0F;  // yukta-audit: allow(float-acc)
+
+    ++call_count;
+    histogram[0] = static_cast<int>(entropy());
+    by_address[&histogram[0]] = 1;
+    // yukta-audit: allow(float-acc) deliberate narrowing under test
+    narrowed += static_cast<float>(total);
+    return call_count + static_cast<int>(addr_hash(nullptr) != 0U) +
+           static_cast<int>(home != nullptr) +
+           static_cast<int>(std::distance(
+               std::filesystem::begin(entries),
+               std::filesystem::end(entries))) +
+           static_cast<int>(narrowed);
+}

@@ -1,0 +1,10 @@
+// Fixture: every annotation here still masks a real finding, so the
+// staleness pass must stay silent.
+#include <cstdlib>
+
+int liveSuppression()
+{
+    int noise = rand();  // yukta-lint: allow(banned-rand)
+    const char* home = std::getenv("HOME");  // yukta-audit: allow(getenv)
+    return noise + static_cast<int>(home != nullptr);
+}

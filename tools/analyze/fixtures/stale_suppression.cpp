@@ -1,0 +1,8 @@
+// Fixture: every annotation here is dead -- the code it once excused
+// is gone -- so the staleness pass must flag all three.
+int staleSuppression()
+{
+    int x = 2;  // yukta-lint: allow(banned-rand) rand() removed long ago
+    int y = 3;  // yukta-audit: allow(getenv) getenv() removed long ago
+    return x + y;  // yukta-audit: allow(no-such-rule)
+}

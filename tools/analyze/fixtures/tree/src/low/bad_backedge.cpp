@@ -1,0 +1,4 @@
+// Deliberate layer back-edge: low may not include top.
+#include "top/top.h"
+
+int badBackedge() { return topValue(); }

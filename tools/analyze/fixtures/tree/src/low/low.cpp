@@ -1,0 +1,3 @@
+#include "low/low.h"
+
+int lowTwice() { return lowValue() + lowValue(); }

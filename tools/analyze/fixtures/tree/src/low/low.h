@@ -1,0 +1,7 @@
+#ifndef FIXTURE_LOW_H_
+#define FIXTURE_LOW_H_
+
+// Bottom-layer fixture: depends on nothing.
+inline int lowValue() { return 1; }
+
+#endif  // FIXTURE_LOW_H_

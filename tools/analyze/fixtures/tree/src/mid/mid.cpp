@@ -1,0 +1,3 @@
+#include "mid/mid.h"
+
+int midTwice() { return midValue() + midValue(); }

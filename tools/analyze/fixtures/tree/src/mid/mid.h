@@ -1,0 +1,9 @@
+#ifndef FIXTURE_MID_H_
+#define FIXTURE_MID_H_
+
+// Declared edge mid -> low: clean.
+#include "low/low.h"
+
+inline int midValue() { return lowValue() + 1; }
+
+#endif  // FIXTURE_MID_H_

@@ -1,0 +1,5 @@
+// Deliberate skip-layer include: low is below top but is not one of
+// top's declared direct dependencies.
+#include "low/low.h"
+
+int skipLayer() { return lowValue(); }

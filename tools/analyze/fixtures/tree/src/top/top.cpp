@@ -1,0 +1,3 @@
+#include "top/top.h"
+
+int topTwice() { return topValue() + topValue(); }

@@ -1,0 +1,9 @@
+#ifndef FIXTURE_TOP_H_
+#define FIXTURE_TOP_H_
+
+// Declared edge top -> mid: clean.
+#include "mid/mid.h"
+
+inline int topValue() { return midValue() + 1; }
+
+#endif  // FIXTURE_TOP_H_

@@ -47,5 +47,11 @@ int main()
         std::cout << i << std::endl;  // endl-in-loop
         x += freqResponse(static_cast<double>(i));  // freq-loop
     }
+
+    // The init-list braces in the range header must not swallow the
+    // loop keyword (regression: the body used to escape loop rules).
+    for (double w : {0.5, 1.5}) {
+        x += freqResponse(w);         // freq-loop
+    }
     return 0;
 }

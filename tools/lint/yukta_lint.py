@@ -315,13 +315,22 @@ def check_endl_in_loop(ctx, findings):
                 parens = max(0, parens - 1)
                 pending += ch
             elif ch == "{":
-                depth_stack.append(
-                    bool(LOOP_KEYWORD_RE.search(pending)))
-                pending = ""
+                # Braces inside parentheses are init-lists
+                # (`for (double w : {1.0, 2.0})`), not scopes; they
+                # must not swallow the loop keyword.
+                if parens > 0:
+                    pending += ch
+                else:
+                    depth_stack.append(
+                        bool(LOOP_KEYWORD_RE.search(pending)))
+                    pending = ""
             elif ch == "}":
-                if depth_stack:
-                    depth_stack.pop()
-                pending = ""
+                if parens > 0:
+                    pending += ch
+                else:
+                    if depth_stack:
+                        depth_stack.pop()
+                    pending = ""
             elif ch == ";" and parens == 0:
                 pending = ""
             else:
