@@ -53,6 +53,31 @@ echo "=== fleet smoke: admission gates + 1-vs-N determinism ==="
 # and the sharded run digests equal for 1 vs N pool workers.
 ./build/bench/bench_fleet --quick --out build/BENCH_fleet.json
 
+echo "=== fleet fault smoke: aware-vs-blind gates + resume identity ==="
+# Fails unless fault-aware mode strictly cuts SLO-violation time in
+# every board-crash scenario, the watchdog recovers hung board-epochs,
+# and both the faulted 1-vs-N and the checkpoint/restore digests match.
+./build/bench/bench_fleet_faults --quick \
+    --out build/BENCH_fleet_faults.json
+
+echo "=== crash-resume smoke: checkpoint, resume, digest-compare ==="
+# Simulates an operator crash-recovery: one run checkpoints mid-flight,
+# a second process restores the snapshot with a different worker count
+# and runs to the end. The digests must match the uninterrupted run.
+CKPT_DIR="build/ci-ckpt"
+rm -rf "$CKPT_DIR"
+FLEET_ARGS=(--boards=6 --sim-seconds=8 --seed=3 --supervised
+            --faults='board1:crash@2+3;board4:hang@5+1')
+FULL_DIGEST="$(./build/examples/yukta-fleet "${FLEET_ARGS[@]}" \
+    --checkpoint-every=6 --checkpoint-dir="$CKPT_DIR" --digest)"
+RESUME_DIGEST="$(./build/examples/yukta-fleet "${FLEET_ARGS[@]}" \
+    --resume="$CKPT_DIR/fleet-6.ckpt" --workers=2 --digest)"
+if [[ "$FULL_DIGEST" != "$RESUME_DIGEST" ]]; then
+    echo "crash-resume smoke FAILED: full $FULL_DIGEST vs resumed $RESUME_DIGEST"
+    exit 1
+fi
+echo "crash-resume digests match: $FULL_DIGEST"
+
 # The generic analyzers read build/compile_commands.json (exported by
 # default), so they run after the configure step. Both are gated on
 # availability: the dev container ships neither, the GitHub runner

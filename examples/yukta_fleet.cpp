@@ -13,15 +13,21 @@
  *   yukta-fleet --boards=100 --sim-seconds=60 --workers=8 \
  *               --rate=14 --amplitude=0.6 --out=fleet.json
  *   yukta-fleet --boards=8 --no-admission --digest
+ *   yukta-fleet --boards=8 --faults='board2:crash@10+5' --supervised
+ *   yukta-fleet --checkpoint-every=20 --checkpoint-dir=ckpt
+ *   yukta-fleet --resume=ckpt/fleet-latest.ckpt
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <thread>
 
+#include "fault/plan.h"
 #include "fleet/artifacts.h"
 #include "fleet/fleet.h"
 #include "runner/sweep.h"
@@ -56,6 +62,19 @@ usage()
         "  --budget=W          fleet power budget (default 70%% of caps)\n"
         "  --hot=B:W           weight board B's arrival rate by W\n"
         "                      (repeatable; skewed-hotspot scenarios)\n"
+        "  --faults=SPEC       board-fault schedule, e.g.\n"
+        "                      'board2:crash@10+5;board0:hang@20+4'\n"
+        "                      (kinds: crash, degrade, hang)\n"
+        "  --fault-blind       disable the watchdog and fault-aware\n"
+        "                      routing (the baseline the faults bench\n"
+        "                      compares against)\n"
+        "  --watchdog-attempts=N  shard tries per epoch (default 2)\n"
+        "  --checkpoint-every=N   checkpoint every N epochs\n"
+        "  --checkpoint-dir=DIR   where checkpoints go (created;\n"
+        "                      default 'yukta-fleet-ckpt')\n"
+        "  --resume=FILE       restore a checkpoint, then run to the\n"
+        "                      configured end (flags must reproduce\n"
+        "                      the original run's config)\n"
         "  --out=FILE          write the run JSON to FILE\n"
         "  --digest            print only the determinism digest\n"
         "  --quiet             suppress the summary\n");
@@ -83,6 +102,9 @@ main(int argc, char** argv)
     std::size_t workers =
         std::max(1u, std::thread::hardware_concurrency());
     std::string out_file;
+    std::string faults_spec;
+    std::string resume_path;
+    fleet::CheckpointConfig ckpt;
     bool digest_only = false;
     bool quiet = false;
 
@@ -98,6 +120,8 @@ main(int argc, char** argv)
             cfg.admission.enabled = false;
         } else if (std::strcmp(a, "--no-cluster") == 0) {
             cfg.cluster.enabled = false;
+        } else if (std::strcmp(a, "--fault-blind") == 0) {
+            cfg.fault_aware = false;
         } else if (std::strcmp(a, "--digest") == 0) {
             digest_only = true;
         } else if (std::strcmp(a, "--quiet") == 0) {
@@ -155,6 +179,22 @@ main(int argc, char** argv)
                     static_cast<std::size_t>(b) + 1, 1.0);
             }
             cfg.arrivals.board_weight[static_cast<std::size_t>(b)] = w;
+        } else if (parseFlag(a, "--faults", &v)) {
+            faults_spec = v;
+        } else if (parseFlag(a, "--watchdog-attempts", &v)) {
+            cfg.watchdog_attempts = std::atoi(v.c_str());
+        } else if (parseFlag(a, "--checkpoint-every", &v)) {
+            ckpt.every_epochs = std::atoi(v.c_str());
+            if (ckpt.every_epochs <= 0) {
+                std::fprintf(stderr,
+                             "--checkpoint-every wants a positive "
+                             "epoch count\n");
+                return 2;
+            }
+        } else if (parseFlag(a, "--checkpoint-dir", &v)) {
+            ckpt.dir = v;
+        } else if (parseFlag(a, "--resume", &v)) {
+            resume_path = v;
         } else if (parseFlag(a, "--out", &v)) {
             out_file = v;
         } else {
@@ -164,6 +204,29 @@ main(int argc, char** argv)
         }
     }
 
+    if (!faults_spec.empty()) {
+        try {
+            cfg.faults = fault::FaultPlan::parse(faults_spec);
+        } catch (const std::invalid_argument& e) {
+            std::fprintf(stderr, "--faults: %s\n", e.what());
+            return 2;
+        }
+    }
+    if (ckpt.every_epochs > 0) {
+        if (ckpt.dir.empty()) ckpt.dir = "yukta-fleet-ckpt";
+        std::error_code ec;
+        std::filesystem::create_directories(ckpt.dir, ec);
+        if (ec) {
+            std::fprintf(stderr, "cannot create checkpoint dir %s: %s\n",
+                         ckpt.dir.c_str(), ec.message().c_str());
+            return 1;
+        }
+    } else if (!ckpt.dir.empty()) {
+        std::fprintf(stderr,
+                     "--checkpoint-dir needs --checkpoint-every=N\n");
+        return 2;
+    }
+
     if (!quiet && !digest_only) {
         std::fprintf(stderr,
                      "building artifacts (cached after first run)...\n");
@@ -171,7 +234,19 @@ main(int argc, char** argv)
     const core::Artifacts artifacts = fleet::fleetArtifacts();
 
     fleet::FleetSim sim(cfg, artifacts);
-    const fleet::FleetMetrics m = sim.run(workers);
+    if (!resume_path.empty()) {
+        try {
+            sim.restoreCheckpoint(resume_path);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "--resume: %s\n", e.what());
+            return 1;
+        }
+        if (!quiet && !digest_only) {
+            std::fprintf(stderr, "resumed %s at epoch %d\n",
+                         resume_path.c_str(), sim.epoch());
+        }
+    }
+    const fleet::FleetMetrics m = sim.run(workers, ckpt);
 
     if (digest_only) {
         std::printf("%016llx\n",
@@ -204,6 +279,16 @@ main(int argc, char** argv)
         std::printf("energy %.1f J  fleet ExD %.1f J*s  "
                     "SLO violation %.1f board-s  backlog %.1f GI\n",
                     m.energy, m.exd, m.slo_violation_time, m.backlog_gi);
+        if (!cfg.faults.empty()) {
+            std::printf("faults: crashes %lld  reboots %lld  dropped "
+                        "%lld  lost epochs %lld  degraded %lld  "
+                        "timeouts %lld  retries %lld\n",
+                        m.faults.crashes, m.faults.reboots,
+                        m.faults.dropped_requests, m.faults.lost_epochs,
+                        m.faults.degraded_epochs,
+                        m.faults.watchdog_timeouts,
+                        m.faults.shard_retries);
+        }
         std::printf("cluster rounds %d  constraint violation %.2f s  "
                     "digest %016llx\n",
                     m.cluster_rounds, m.constraint_violation_time,

@@ -16,6 +16,7 @@
  */
 
 #include "linalg/vector.h"
+#include "obs/stateio.h"
 #include "platform/board.h"
 #include "platform/scheduler.h"
 
@@ -96,6 +97,15 @@ class HwController
         (void)targets;
         return false;
     }
+
+    /**
+     * Appends the controller's mutable state to @p w for
+     * checkpointing. Stateless controllers keep the no-op default.
+     */
+    virtual void save(obs::StateWriter& w) const { (void)w; }
+
+    /** Restores state written by save. */
+    virtual void load(obs::StateReader& r) { (void)r; }
 };
 
 /** Software-layer controller interface. */
@@ -123,6 +133,12 @@ class OsController
         (void)targets;
         return false;
     }
+
+    /** Appends the controller's mutable state to @p w (default none). */
+    virtual void save(obs::StateWriter& w) const { (void)w; }
+
+    /** Restores state written by save. */
+    virtual void load(obs::StateReader& r) { (void)r; }
 };
 
 }  // namespace yukta::controllers

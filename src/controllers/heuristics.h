@@ -34,6 +34,25 @@ class CoordinatedHwHeuristic : public HwController
     platform::HardwareInputs invoke(const HwSignals& s) override;
     void reset() override;
 
+    /** Checkpoint hooks: ramp state + last actuation. */
+    void save(obs::StateWriter& w) const override
+    {
+        w.u64("coordhw.big_cores", state_.big_cores);
+        w.u64("coordhw.little_cores", state_.little_cores);
+        w.f64("coordhw.freq_big", state_.freq_big);
+        w.f64("coordhw.freq_little", state_.freq_little);
+        w.i64("coordhw.ramp_tick", ramp_tick_);
+    }
+    /** Restores the state written by save(). */
+    void load(obs::StateReader& r) override
+    {
+        state_.big_cores = r.u64("coordhw.big_cores");
+        state_.little_cores = r.u64("coordhw.little_cores");
+        state_.freq_big = r.f64("coordhw.freq_big");
+        state_.freq_little = r.f64("coordhw.freq_little");
+        ramp_tick_ = static_cast<int>(r.i64("coordhw.ramp_tick"));
+    }
+
   private:
     platform::BoardConfig cfg_;
     platform::DvfsTable big_;
@@ -68,6 +87,26 @@ class DecoupledHwHeuristic : public HwController
     /** HwController hooks: threshold rules; reset clears streaks. */
     platform::HardwareInputs invoke(const HwSignals& s) override;
     void reset() override;
+
+    /** Checkpoint hooks: violation streak + last actuation. */
+    void save(obs::StateWriter& w) const override
+    {
+        w.u64("dechw.big_cores", state_.big_cores);
+        w.u64("dechw.little_cores", state_.little_cores);
+        w.f64("dechw.freq_big", state_.freq_big);
+        w.f64("dechw.freq_little", state_.freq_little);
+        w.i64("dechw.violation_streak", violation_streak_);
+    }
+    /** Restores the state written by save(). */
+    void load(obs::StateReader& r) override
+    {
+        state_.big_cores = r.u64("dechw.big_cores");
+        state_.little_cores = r.u64("dechw.little_cores");
+        state_.freq_big = r.f64("dechw.freq_big");
+        state_.freq_little = r.f64("dechw.freq_little");
+        violation_streak_ =
+            static_cast<int>(r.i64("dechw.violation_streak"));
+    }
 
   private:
     platform::BoardConfig cfg_;

@@ -51,6 +51,23 @@ class SsvHwController : public HwController
     /** Overrides the optimizer with fixed output targets. */
     bool holdTargets(const linalg::Vector& targets) override;
 
+    /** Checkpoint hooks: runtime + optimizer + hold state. */
+    void save(obs::StateWriter& w) const override
+    {
+        runtime_.save(w);
+        optimizer_.save(w);
+        w.f64vec("ctl.held_targets", held_targets_.raw());
+        w.boolean("ctl.hold", hold_);
+    }
+    /** Restores the state written by save(). */
+    void load(obs::StateReader& r) override
+    {
+        runtime_.load(r);
+        optimizer_.load(r);
+        held_targets_ = linalg::Vector(r.f64vec("ctl.held_targets"));
+        hold_ = r.boolean("ctl.hold");
+    }
+
   private:
     SsvRuntime runtime_;
     ExdOptimizer optimizer_;
@@ -79,6 +96,23 @@ class SsvOsController : public OsController
 
     /** Overrides the optimizer with fixed output targets. */
     bool holdTargets(const linalg::Vector& targets) override;
+
+    /** Checkpoint hooks: runtime + optimizer + hold state. */
+    void save(obs::StateWriter& w) const override
+    {
+        runtime_.save(w);
+        optimizer_.save(w);
+        w.f64vec("ctl.held_targets", held_targets_.raw());
+        w.boolean("ctl.hold", hold_);
+    }
+    /** Restores the state written by save(). */
+    void load(obs::StateReader& r) override
+    {
+        runtime_.load(r);
+        optimizer_.load(r);
+        held_targets_ = linalg::Vector(r.f64vec("ctl.held_targets"));
+        hold_ = r.boolean("ctl.hold");
+    }
 
   private:
     SsvRuntime runtime_;
@@ -109,6 +143,23 @@ class LqgHwController : public HwController
     /** Overrides the optimizer with fixed output targets. */
     bool holdTargets(const linalg::Vector& targets) override;
 
+    /** Checkpoint hooks: runtime + optimizer + hold state. */
+    void save(obs::StateWriter& w) const override
+    {
+        runtime_.save(w);
+        optimizer_.save(w);
+        w.f64vec("ctl.held_targets", held_targets_.raw());
+        w.boolean("ctl.hold", hold_);
+    }
+    /** Restores the state written by save(). */
+    void load(obs::StateReader& r) override
+    {
+        runtime_.load(r);
+        optimizer_.load(r);
+        held_targets_ = linalg::Vector(r.f64vec("ctl.held_targets"));
+        hold_ = r.boolean("ctl.hold");
+    }
+
   private:
     LqgRuntime runtime_;
     ExdOptimizer optimizer_;
@@ -134,6 +185,19 @@ class LqgOsController : public OsController
     /** Read access to the wrapped runtime. */
     const LqgRuntime& runtime() const { return runtime_; }
 
+    /** Checkpoint hooks: runtime + optimizer. */
+    void save(obs::StateWriter& w) const override
+    {
+        runtime_.save(w);
+        optimizer_.save(w);
+    }
+    /** Restores the state written by save(). */
+    void load(obs::StateReader& r) override
+    {
+        runtime_.load(r);
+        optimizer_.load(r);
+    }
+
   private:
     LqgRuntime runtime_;
     ExdOptimizer optimizer_;
@@ -155,6 +219,12 @@ class JointController
 
     /** Attaches @p sink for per-tick event tracing (nullptr detaches). */
     virtual void attachTrace(obs::TraceSink* sink) { (void)sink; }
+
+    /** Appends the controller's mutable state to @p w (default none). */
+    virtual void save(obs::StateWriter& w) const { (void)w; }
+
+    /** Restores state written by save. */
+    virtual void load(obs::StateReader& r) { (void)r; }
 };
 
 /**
@@ -179,6 +249,19 @@ class MonolithicLqgController : public JointController
 
     /** Read access to the wrapped runtime. */
     const LqgRuntime& runtime() const { return runtime_; }
+
+    /** Checkpoint hooks: runtime + optimizer. */
+    void save(obs::StateWriter& w) const override
+    {
+        runtime_.save(w);
+        optimizer_.save(w);
+    }
+    /** Restores the state written by save(). */
+    void load(obs::StateReader& r) override
+    {
+        runtime_.load(r);
+        optimizer_.load(r);
+    }
 
   private:
     LqgRuntime runtime_;

@@ -116,6 +116,22 @@ class MultilayerSystem
     /** Supervisor, or nullptr when not enabled. */
     const Supervisor* supervisor() const { return supervisor_.get(); }
 
+    /** Mutable supervisor access (fleet cold-boot), or nullptr. */
+    Supervisor* supervisor() { return supervisor_.get(); }
+
+    /**
+     * Appends the full system state — board, both layer controllers
+     * (or the joint one), injector, supervisor, and the harness's own
+     * inter-period memory — to @p w for checkpointing.
+     */
+    void save(obs::StateWriter& w) const;
+
+    /**
+     * Restores state written by save into a system constructed with
+     * the same board config, workload, scheme, and attachments.
+     */
+    void load(obs::StateReader& r);
+
   private:
     platform::Board board_;
     std::unique_ptr<HwController> hw_;

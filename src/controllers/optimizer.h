@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "linalg/vector.h"
+#include "obs/stateio.h"
 
 namespace yukta::obs {
 class TraceSink;
@@ -116,6 +117,12 @@ class ExdOptimizer
      * (SSV: ~30 intervals; LQG: ~90).
      */
     int convergedAtMove() const { return converged_at_; }
+
+    /** Appends the full walk state to @p w. */
+    void save(obs::StateWriter& w) const;
+
+    /** Restores state written by save (trace sink untouched). */
+    void load(obs::StateReader& r);
 
   private:
     OptimizerConfig cfg_;

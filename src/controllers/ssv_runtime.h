@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "linalg/vector.h"
+#include "obs/stateio.h"
 #include "robust/ssv_design.h"
 
 namespace yukta::controllers {
@@ -102,6 +103,22 @@ class SsvRuntime
 
     /** The certificate of the wrapped controller. */
     const robust::SsvController& certificate() const { return ctrl_; }
+
+    /** Appends the mutable runtime state to @p w. */
+    void save(obs::StateWriter& w) const
+    {
+        w.f64vec("ssv.x", x_.raw());
+        w.i64("ssv.over_bound", over_bound_count_);
+        w.boolean("ssv.exhausted", exhausted_);
+    }
+
+    /** Restores state written by save. */
+    void load(obs::StateReader& r)
+    {
+        x_ = linalg::Vector(r.f64vec("ssv.x"));
+        over_bound_count_ = static_cast<int>(r.i64("ssv.over_bound"));
+        exhausted_ = r.boolean("ssv.exhausted");
+    }
 
   private:
     robust::SsvController ctrl_;

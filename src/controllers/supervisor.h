@@ -188,6 +188,25 @@ class Supervisor
     /** Resets ladder, counters, and event log between runs. */
     void reset();
 
+    /**
+     * Cold-reboot entry point for a board that just came back from a
+     * crash (fleet board-crash fault domain): full reset, then the
+     * ladder restarts at kSafe — a rebooted board must prove a
+     * recovery window of healthy telemetry before the primaries take
+     * over, exactly like recovery from sustained corruption. The
+     * transition is logged at (@p period, @p time) with @p reason.
+     */
+    void coldBoot(int period, double time, const std::string& reason);
+
+    /** Appends the full ladder + validator state to @p w. */
+    void save(obs::StateWriter& w) const;
+
+    /**
+     * Restores state written by save. The event log is restored as
+     * counters plus the events recorded so far.
+     */
+    void load(obs::StateReader& r);
+
   private:
     platform::BoardConfig board_cfg_;
     SupervisorConfig cfg_;

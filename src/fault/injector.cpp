@@ -74,7 +74,8 @@ FaultInjector::corruptReadings(double t, const SensorReadings& clean)
     for (std::size_t i = 0; i < plan_.windows.size(); ++i) {
         const FaultWindow& w = plan_.windows[i];
         const bool sensor_target = w.target != FaultTarget::kActuator &&
-                                   w.target != FaultTarget::kTiming;
+                                   w.target != FaultTarget::kTiming &&
+                                   w.target != FaultTarget::kBoard;
         if (!sensor_target) {
             continue;
         }
@@ -241,6 +242,50 @@ FaultInjector::dropTick(double t, int period)
         }
     }
     return false;
+}
+
+void
+FaultInjector::save(obs::StateWriter& w) const
+{
+    w.rng("inj.rng", rng_);
+    w.rng("inj.jitter", jitter_);
+    std::vector<std::uint64_t> latched(latched_.begin(), latched_.end());
+    w.u64vec("inj.latched", latched);
+    w.u64("inj.latch.n", latch_.size());
+    for (std::size_t i = 0; i < latch_.size(); ++i) {
+        const std::string p = "inj.latch." + std::to_string(i);
+        w.f64(p + ".p_big", latch_[i].p_big);
+        w.f64(p + ".p_little", latch_[i].p_little);
+        w.f64(p + ".temp", latch_[i].temp);
+        w.f64(p + ".instr_big", latch_[i].instr_big);
+        w.f64(p + ".instr_little", latch_[i].instr_little);
+    }
+    w.u64("inj.corrupted_ticks", stats_.corrupted_ticks);
+    w.u64("inj.corrupted_fields", stats_.corrupted_fields);
+    w.u64("inj.actuator_faults", stats_.actuator_faults);
+    w.u64("inj.dropped_ticks", stats_.dropped_ticks);
+}
+
+void
+FaultInjector::load(obs::StateReader& r)
+{
+    r.rng("inj.rng", rng_);
+    r.rng("inj.jitter", jitter_);
+    const auto latched = r.u64vec("inj.latched");
+    latched_.assign(latched.begin(), latched.end());
+    latch_.resize(r.u64("inj.latch.n"));
+    for (std::size_t i = 0; i < latch_.size(); ++i) {
+        const std::string p = "inj.latch." + std::to_string(i);
+        latch_[i].p_big = r.f64(p + ".p_big");
+        latch_[i].p_little = r.f64(p + ".p_little");
+        latch_[i].temp = r.f64(p + ".temp");
+        latch_[i].instr_big = r.f64(p + ".instr_big");
+        latch_[i].instr_little = r.f64(p + ".instr_little");
+    }
+    stats_.corrupted_ticks = r.u64("inj.corrupted_ticks");
+    stats_.corrupted_fields = r.u64("inj.corrupted_fields");
+    stats_.actuator_faults = r.u64("inj.actuator_faults");
+    stats_.dropped_ticks = r.u64("inj.dropped_ticks");
 }
 
 }  // namespace yukta::fault

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fault/plan.h"
+#include "obs/stateio.h"
 #include "platform/board.h"
 #include "platform/scheduler.h"
 #include "platform/sensors.h"
@@ -78,6 +79,12 @@ class FaultInjector
      * ticks) to @p sink; nullptr detaches.
      */
     void attachTrace(obs::TraceSink* sink) { trace_ = sink; }
+
+    /** Appends RNG, latch, and tally state to @p w (not the plan). */
+    void save(obs::StateWriter& w) const;
+
+    /** Restores state written by save (same plan required). */
+    void load(obs::StateReader& r);
 
   private:
     obs::TraceSink* trace_ = nullptr;

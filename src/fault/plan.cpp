@@ -16,6 +16,7 @@ enum class Class
     kSensor,
     kActuator,
     kTiming,
+    kMachine,
 };
 
 Class
@@ -26,6 +27,8 @@ targetClass(FaultTarget t)
         return Class::kActuator;
       case FaultTarget::kTiming:
         return Class::kTiming;
+      case FaultTarget::kBoard:
+        return Class::kMachine;
       default:
         return Class::kSensor;
     }
@@ -42,6 +45,10 @@ kindClass(FaultKind k)
       case FaultKind::kTickMiss:
       case FaultKind::kTickDouble:
         return Class::kTiming;
+      case FaultKind::kBoardCrash:
+      case FaultKind::kBoardDegrade:
+      case FaultKind::kShardHang:
+        return Class::kMachine;
       default:
         return Class::kSensor;
     }
@@ -82,37 +89,41 @@ constexpr KindName kKinds[] = {
     {"quantstuck", FaultKind::kActQuantStuck},
     {"miss", FaultKind::kTickMiss},
     {"double", FaultKind::kTickDouble},
+    {"crash", FaultKind::kBoardCrash},
+    {"degrade", FaultKind::kBoardDegrade},
+    {"hang", FaultKind::kShardHang},
 };
 
 [[noreturn]] void
-bad(const std::string& entry, const std::string& why)
+bad(const std::string& entry, std::size_t offset, const std::string& why)
 {
-    throw std::invalid_argument("FaultPlan::parse: '" + entry + "': " +
-                                why);
+    throw std::invalid_argument("FaultPlan::parse: at byte " +
+                                std::to_string(offset) + ": clause '" +
+                                entry + "': " + why);
 }
 
 double
-parseNumber(const std::string& entry, const std::string& text,
-            const std::string& what)
+parseNumber(const std::string& entry, std::size_t offset,
+            const std::string& text, const std::string& what)
 {
     // strtod alone is too permissive for a schedule grammar: it
     // accepts "nan", "inf"/"infinity", hex floats ("0x10"), and
     // leading whitespace. Restrict to plain decimal notation and
     // require a finite value.
     if (text.empty()) {
-        bad(entry, "missing " + what);
+        bad(entry, offset, "missing " + what);
     }
     for (char c : text) {
         const bool ok = (c >= '0' && c <= '9') || c == '.' || c == 'e' ||
                         c == 'E' || c == '+' || c == '-';
         if (!ok) {
-            bad(entry, "malformed " + what + " '" + text + "'");
+            bad(entry, offset, "malformed " + what + " '" + text + "'");
         }
     }
     char* end = nullptr;
     const double v = std::strtod(text.c_str(), &end);
     if (end == text.c_str() || *end != '\0' || !std::isfinite(v)) {
-        bad(entry, "malformed " + what + " '" + text + "'");
+        bad(entry, offset, "malformed " + what + " '" + text + "'");
     }
     return v;
 }
@@ -130,6 +141,9 @@ formatNumber(double v)
 std::string
 faultTargetId(FaultTarget target)
 {
+    if (target == FaultTarget::kBoard) {
+        return "board";  // Namespace prefix; canonical() appends the index.
+    }
     for (const TargetName& t : kTargets) {
         if (t.target == target) {
             return t.id;
@@ -155,9 +169,12 @@ FaultPlan::canonical() const
     std::ostringstream os;
     os << "seed=" << seed;
     for (const FaultWindow& w : windows) {
-        os << ";" << faultTargetId(w.target) << ":" << faultKindId(w.kind)
-           << "@" << formatNumber(w.start) << "+"
-           << formatNumber(w.duration);
+        os << ";" << faultTargetId(w.target);
+        if (w.target == FaultTarget::kBoard) {
+            os << w.board;
+        }
+        os << ":" << faultKindId(w.kind) << "@" << formatNumber(w.start)
+           << "+" << formatNumber(w.duration);
         if (w.magnitude > 0.0) {
             os << "*" << formatNumber(w.magnitude);
         }
@@ -169,11 +186,23 @@ FaultPlan
 FaultPlan::parse(const std::string& spec)
 {
     FaultPlan plan;
-    std::stringstream ss(spec);
-    std::string entry;
-    while (std::getline(ss, entry, ';')) {
+    // Split on ';' by hand (instead of getline) so every clause knows
+    // its byte offset in the spec — parse errors report exactly where
+    // the offending clause starts.
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        if (pos == spec.size()) {
+            break;  // Trailing content fully consumed, no stray ';'.
+        }
+        std::size_t semi = spec.find(';', pos);
+        if (semi == std::string::npos) {
+            semi = spec.size();
+        }
+        const std::string entry = spec.substr(pos, semi - pos);
+        const std::size_t offset = pos;
+        pos = semi + 1;
         if (entry.empty()) {
-            bad(spec, "empty clause (stray ';')");
+            bad(entry, offset, "empty clause (stray ';')");
         }
         if (entry.rfind("seed=", 0) == 0) {
             // Plain decimal digits only; strtoul would also accept
@@ -181,12 +210,12 @@ FaultPlan::parse(const std::string& spec)
             const std::string v = entry.substr(5);
             if (v.empty() ||
                 v.find_first_not_of("0123456789") != std::string::npos) {
-                bad(entry, "malformed seed");
+                bad(entry, offset, "malformed seed");
             }
             char* end = nullptr;
             unsigned long s = std::strtoul(v.c_str(), &end, 10);
             if (end == v.c_str() || *end != '\0') {
-                bad(entry, "malformed seed");
+                bad(entry, offset, "malformed seed");
             }
             plan.seed = static_cast<std::uint32_t>(s);
             continue;
@@ -199,7 +228,8 @@ FaultPlan::parse(const std::string& spec)
                                                      : at + 1);
         if (colon == std::string::npos || at == std::string::npos ||
             plus == std::string::npos || colon > at) {
-            bad(entry, "expected <target>:<kind>@<start>+<duration>");
+            bad(entry, offset,
+                "expected <target>:<kind>@<start>+<duration>");
         }
 
         FaultWindow w;
@@ -212,8 +242,31 @@ FaultPlan::parse(const std::string& spec)
                 found = true;
             }
         }
+        if (!found && target_id.rfind("board", 0) == 0) {
+            // The board<i> machine namespace: "board" followed by a
+            // plain decimal index ("board0", "board12"). A bare
+            // "board" or a malformed index is rejected here rather
+            // than falling through to "unknown target".
+            const std::string idx = target_id.substr(5);
+            if (idx.empty()) {
+                bad(entry, offset,
+                    "board target needs an index (e.g. board0)");
+            }
+            if (idx.find_first_not_of("0123456789") != std::string::npos) {
+                bad(entry, offset,
+                    "malformed board index '" + idx + "'");
+            }
+            if (idx.size() > 6) {
+                bad(entry, offset,
+                    "board index '" + idx + "' out of range");
+            }
+            w.target = FaultTarget::kBoard;
+            w.board = static_cast<int>(std::strtoul(idx.c_str(),
+                                                    nullptr, 10));
+            found = true;
+        }
         if (!found) {
-            bad(entry, "unknown target '" + target_id + "'");
+            bad(entry, offset, "unknown target '" + target_id + "'");
         }
         found = false;
         for (const KindName& k : kKinds) {
@@ -223,11 +276,12 @@ FaultPlan::parse(const std::string& spec)
             }
         }
         if (!found) {
-            bad(entry, "unknown kind '" + kind_id + "'");
+            bad(entry, offset, "unknown kind '" + kind_id + "'");
         }
         if (kindClass(w.kind) != targetClass(w.target)) {
-            bad(entry, "kind '" + kind_id + "' does not apply to target '" +
-                           target_id + "'");
+            bad(entry, offset,
+                "kind '" + kind_id + "' does not apply to target '" +
+                    target_id + "'");
         }
 
         std::string times = entry.substr(at + 1);
@@ -235,23 +289,28 @@ FaultPlan::parse(const std::string& spec)
         std::string dur = times.substr(p + 1);
         const std::size_t star = dur.find('*');
         if (star != std::string::npos) {
-            w.magnitude =
-                parseNumber(entry, dur.substr(star + 1), "magnitude");
+            w.magnitude = parseNumber(entry, offset, dur.substr(star + 1),
+                                      "magnitude");
             if (w.magnitude <= 0.0) {
-                bad(entry, "magnitude must be positive");
+                bad(entry, offset, "magnitude must be positive");
             }
             dur = dur.substr(0, star);
         }
-        w.start = parseNumber(entry, times.substr(0, p), "start");
-        w.duration = parseNumber(entry, dur, "duration");
+        w.start = parseNumber(entry, offset, times.substr(0, p), "start");
+        w.duration = parseNumber(entry, offset, dur, "duration");
         if (w.start < 0.0) {
-            bad(entry, "start must be >= 0");
+            bad(entry, offset, "start must be >= 0");
         }
         if (w.duration <= 0.0) {
-            bad(entry, "duration must be > 0");
+            bad(entry, offset, "duration must be > 0");
         }
         if (w.kind == FaultKind::kActPartial && w.magnitude > 1.0) {
-            bad(entry, "partial magnitude must be in (0, 1]");
+            bad(entry, offset, "partial magnitude must be in (0, 1]");
+        }
+        if (w.kind == FaultKind::kBoardDegrade && w.magnitude > 1.0) {
+            bad(entry, offset,
+                "degrade magnitude is the remaining capacity fraction "
+                "and must be in (0, 1]");
         }
         plan.windows.push_back(w);
     }

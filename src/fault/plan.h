@@ -15,7 +15,9 @@
  *   seed=<uint>                       RNG seed (default 1)
  *   <target>:<kind>@<start>+<duration>[*<magnitude>]
  *
- * Targets: p_big p_little temp perf_big perf_little all act tick.
+ * Targets: p_big p_little temp perf_big perf_little all act tick,
+ * plus the fleet-level machine namespace board<i> (board0, board1,
+ * ...), addressing board i of a fleet run.
  * Sensor kinds (p_*, temp, perf_*, all):
  *   nan    reading becomes NaN
  *   inf    reading becomes +Inf
@@ -33,6 +35,15 @@
  * Timing kinds (tick):
  *   miss    every control tick in the window is skipped
  *   double  every second tick is skipped (period doubles)
+ * Machine kinds (board<i>):
+ *   crash    board dark for the window: queue dropped (magnitude
+ *            absent) or preserved (any positive magnitude), then a
+ *            cold reboot through the supervisor ladder at window end
+ *   degrade  board capacity cut to magnitude (remaining fraction in
+ *            (0,1], default 0.5) for the window
+ *   hang     the shard worker stepping the board stalls mid-epoch;
+ *            transient (resolves on retry) when magnitude is absent,
+ *            persistent for the whole window when positive
  */
 
 #include <cstdint>
@@ -52,6 +63,7 @@ enum class FaultTarget
     kAll,         ///< The whole sensor bundle.
     kActuator,    ///< The actuation path (HW inputs + placement).
     kTiming,      ///< The control-tick schedule.
+    kBoard,       ///< A whole fleet board (machine-level fault).
 };
 
 /** How the target misbehaves inside the window. */
@@ -68,6 +80,9 @@ enum class FaultKind
     kActQuantStuck, ///< Actuator: DVFS writes ignored.
     kTickMiss,   ///< Timing: tick skipped.
     kTickDouble, ///< Timing: every second tick skipped.
+    kBoardCrash,   ///< Machine: board dark, then cold reboot.
+    kBoardDegrade, ///< Machine: capacity cut to magnitude.
+    kShardHang,    ///< Machine: shard worker stalls mid-epoch.
 };
 
 /** @return the spec-string id of @p target (e.g. "p_big"). */
@@ -84,6 +99,7 @@ struct FaultWindow
     double start = 0.0;      ///< Simulated seconds.
     double duration = 0.0;   ///< Simulated seconds (> 0).
     double magnitude = 0.0;  ///< 0 = kind-specific default.
+    int board = -1;          ///< Board index for kBoard targets.
 
     /** @return true when @p t falls inside the window. */
     bool active(double t) const
@@ -112,7 +128,8 @@ struct FaultPlan
      * An empty string yields an empty plan.
      * @throws std::invalid_argument on malformed entries, unknown
      * targets/kinds, kind/target class mismatches, or non-positive
-     * durations.
+     * durations. Errors name the byte offset of the offending clause
+     * in @p spec and quote the clause text.
      */
     static FaultPlan parse(const std::string& spec);
 };

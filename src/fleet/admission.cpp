@@ -19,6 +19,30 @@ AdmissionStats::toJson() const
     return os.str();
 }
 
+void
+AdmissionStats::save(obs::StateWriter& w) const
+{
+    w.i64("adm.offered", offered);
+    w.i64("adm.accepted", accepted);
+    w.i64("adm.rejected", rejected);
+    w.i64("adm.rerouted", rerouted);
+    w.f64("adm.offered_gi", offered_gi);
+    w.f64("adm.accepted_gi", accepted_gi);
+    w.f64("adm.rejected_gi", rejected_gi);
+}
+
+void
+AdmissionStats::load(obs::StateReader& r)
+{
+    offered = r.i64("adm.offered");
+    accepted = r.i64("adm.accepted");
+    rejected = r.i64("adm.rejected");
+    rerouted = r.i64("adm.rerouted");
+    offered_gi = r.f64("adm.offered_gi");
+    accepted_gi = r.f64("adm.accepted_gi");
+    rejected_gi = r.f64("adm.rejected_gi");
+}
+
 AdmissionController::AdmissionController(AdmissionConfig cfg, int boards)
     : cfg_(cfg), boards_(boards)
 {
@@ -37,7 +61,8 @@ AdmissionController::AdmissionController(AdmissionConfig cfg, int boards)
 
 int
 AdmissionController::route(const Request& r,
-                           std::vector<double>& queued_gi)
+                           std::vector<double>& queued_gi,
+                           const std::vector<double>* capacity_scale)
 {
     ++stats_.offered;
     stats_.offered_gi += r.demand_gi;
@@ -52,8 +77,15 @@ AdmissionController::route(const Request& r,
     const int hops = std::min(cfg_.max_hops, boards_ - 1);
     for (int h = 0; h <= hops; ++h) {
         const int b = (r.origin + h) % boards_;
+        const double scale =
+            capacity_scale == nullptr
+                ? 1.0
+                : (*capacity_scale)[static_cast<std::size_t>(b)];
+        if (!(scale > 0.0)) {
+            continue;  // Dark board: the ring routes around it.
+        }
         double& depth = queued_gi[static_cast<std::size_t>(b)];
-        if (depth + r.demand_gi <= cfg_.queue_capacity_gi) {
+        if (depth + r.demand_gi <= cfg_.queue_capacity_gi * scale) {
             depth += r.demand_gi;
             ++stats_.accepted;
             stats_.accepted_gi += r.demand_gi;

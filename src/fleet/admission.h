@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fleet/arrivals.h"
+#include "obs/stateio.h"
 
 namespace yukta::fleet {
 
@@ -54,6 +55,12 @@ struct AdmissionStats
 
     /** @return canonical JSON object for these counters. */
     std::string toJson() const;
+
+    /** Appends the counters to @p w (fleet checkpointing). */
+    void save(obs::StateWriter& w) const;
+
+    /** Restores counters written by save. */
+    void load(obs::StateReader& r);
 };
 
 /**
@@ -70,14 +77,26 @@ class AdmissionController
      * Routes @p r given projected per-board queue depths
      * @p queued_gi (updated in place on acceptance).
      *
+     * @p capacity_scale, when non-null, scales each board's
+     * advertised capacity: 1 = healthy, a fraction = degraded, 0 =
+     * dark (a crashed or lost board accepts nothing and the ring
+     * routes around it). Null means every board is healthy.
+     *
      * @return the destination board, or -1 when rejected. Disabled
-     * admission always accepts at the origin (the unbounded-queue
-     * baseline).
+     * admission always accepts at the origin (the unbounded-queue,
+     * fault-blind baseline) even when the origin is dark.
      */
-    int route(const Request& r, std::vector<double>& queued_gi);
+    int route(const Request& r, std::vector<double>& queued_gi,
+              const std::vector<double>* capacity_scale = nullptr);
 
     /** @return outcome tallies accumulated across route() calls. */
     const AdmissionStats& stats() const { return stats_; }
+
+    /** Appends routing counters to @p w (fleet checkpointing). */
+    void save(obs::StateWriter& w) const { stats_.save(w); }
+
+    /** Restores counters written by save. */
+    void load(obs::StateReader& r) { stats_.load(r); }
 
     /** @return the validated configuration. */
     const AdmissionConfig& config() const { return cfg_; }

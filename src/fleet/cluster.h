@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "linalg/vector.h"
+#include "obs/stateio.h"
 #include "platform/config.h"
 
 namespace yukta::fleet {
@@ -77,6 +78,18 @@ class ClusterController
 
     /** Bumps the round counter (fleet calls this when it applies). */
     void noteRound() { ++rounds_; }
+
+    /** Appends the round counter to @p w (fleet checkpointing). */
+    void save(obs::StateWriter& w) const
+    {
+        w.i64("cluster.rounds", rounds_);
+    }
+
+    /** Restores state written by save. */
+    void load(obs::StateReader& r)
+    {
+        rounds_ = static_cast<int>(r.i64("cluster.rounds"));
+    }
 
     /** @return the validated configuration. */
     const ClusterConfig& config() const { return cfg_; }

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "core/cache.h"
 #include "obs/stopwatch.h"
 #include "obs/trace.h"
-#include "platform/apps.h"
 #include "runner/pool.h"
 
 namespace yukta::fleet {
@@ -20,6 +23,12 @@ namespace {
 /** EMA smoothing for the cluster-layer telemetry streams. */
 constexpr double kEmaAlpha = 0.3;
 
+/** Capacity fraction a degrade window cuts to when magnitude is 0. */
+constexpr double kDefaultDegradeScale = 0.5;
+
+/** Bump when the checkpoint layout changes incompatibly. */
+constexpr std::uint64_t kCheckpointVersion = 1;
+
 /** All boards share these latency bucket bounds so rollups merge. */
 obs::MergeableHistogram
 latencyHistogram()
@@ -29,7 +38,91 @@ latencyHistogram()
     return obs::MergeableHistogram::logSpaced(0.01, 1000.0, 9);
 }
 
+/** @return @p v as the 16-hex-digit digest stamp format. */
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
 }  // namespace
+
+std::string
+FleetConfig::canonical() const
+{
+    std::ostringstream os;
+    os << "fleet_v2;boards=" << boards << ";shards=" << shards
+       << ";seed=" << seed
+       << ";sim=" << obs::canonicalNumber(sim_seconds)
+       << ";scheme=" << static_cast<int>(scheme)
+       << ";sup=" << (supervised ? 1 : 0)
+       << ";slo=" << obs::canonicalNumber(slo_seconds)
+       << ";svc=" << service.threads << ","
+       << obs::canonicalNumber(service.ipc_big) << ","
+       << obs::canonicalNumber(service.mem_boundness)
+       << ";arr=" << obs::canonicalNumber(arrivals.profile.base_rate)
+       << "," << obs::canonicalNumber(arrivals.profile.amplitude) << ","
+       << obs::canonicalNumber(arrivals.profile.period_seconds) << ","
+       << obs::canonicalNumber(arrivals.profile.phase) << ","
+       << obs::canonicalNumber(arrivals.mean_demand_gi);
+    for (double w : arrivals.board_weight) {
+        os << "," << obs::canonicalNumber(w);
+    }
+    os << ";adm=" << (admission.enabled ? 1 : 0) << ","
+       << obs::canonicalNumber(admission.queue_capacity_gi) << ","
+       << admission.max_hops
+       << ";clu=" << (cluster.enabled ? 1 : 0) << ","
+       << cluster.period_epochs << ","
+       << obs::canonicalNumber(cluster.power_budget_w) << ","
+       << obs::canonicalNumber(cluster.floor_fraction)
+       << ";aware=" << (fault_aware ? 1 : 0)
+       << ";wd=" << watchdog_attempts
+       << ";faults=" << faults.canonical();
+    return os.str();
+}
+
+std::string
+FaultDomainStats::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"crashes\":" << crashes << ",\"reboots\":" << reboots
+       << ",\"dropped_requests\":" << dropped_requests
+       << ",\"dropped_gi\":" << obs::canonicalNumber(dropped_gi)
+       << ",\"lost_epochs\":" << lost_epochs
+       << ",\"degraded_epochs\":" << degraded_epochs
+       << ",\"watchdog_timeouts\":" << watchdog_timeouts
+       << ",\"shard_retries\":" << shard_retries << "}";
+    return os.str();
+}
+
+void
+FaultDomainStats::save(obs::StateWriter& w) const
+{
+    w.i64("fd.crashes", crashes);
+    w.i64("fd.reboots", reboots);
+    w.i64("fd.dropped_requests", dropped_requests);
+    w.f64("fd.dropped_gi", dropped_gi);
+    w.i64("fd.lost_epochs", lost_epochs);
+    w.i64("fd.degraded_epochs", degraded_epochs);
+    w.i64("fd.watchdog_timeouts", watchdog_timeouts);
+    w.i64("fd.shard_retries", shard_retries);
+}
+
+void
+FaultDomainStats::load(obs::StateReader& r)
+{
+    crashes = r.i64("fd.crashes");
+    reboots = r.i64("fd.reboots");
+    dropped_requests = r.i64("fd.dropped_requests");
+    dropped_gi = r.f64("fd.dropped_gi");
+    lost_epochs = r.i64("fd.lost_epochs");
+    degraded_epochs = r.i64("fd.degraded_epochs");
+    watchdog_timeouts = r.i64("fd.watchdog_timeouts");
+    shard_retries = r.i64("fd.shard_retries");
+}
 
 FleetBoard::FleetBoard(controllers::MultilayerSystem sys)
     : system(std::move(sys)), latency(latencyHistogram())
@@ -37,7 +130,10 @@ FleetBoard::FleetBoard(controllers::MultilayerSystem sys)
 }
 
 FleetSim::FleetSim(FleetConfig cfg, const core::Artifacts& artifacts)
-    : cfg_(std::move(cfg)),
+    : cfg_(std::move(cfg)), artifacts_(artifacts),
+      service_app_(platform::AppCatalog::makeServiceApp(
+          cfg_.service.threads, cfg_.service.ipc_big,
+          cfg_.service.mem_boundness)),
       arrivals_(cfg_.arrivals,
                 static_cast<std::uint64_t>(cfg_.seed) ^
                     0x666c6565745f7631ull),  // "fleet_v1"
@@ -51,19 +147,38 @@ FleetSim::FleetSim(FleetConfig cfg, const core::Artifacts& artifacts)
         throw std::invalid_argument(
             "FleetSim: sim_seconds must be positive");
     }
-    const platform::AppModel service = platform::AppCatalog::makeServiceApp(
-        cfg_.service.threads, cfg_.service.ipc_big,
-        cfg_.service.mem_boundness);
+    if (cfg_.watchdog_attempts < 1) {
+        throw std::invalid_argument(
+            "FleetSim: watchdog_attempts must be >= 1");
+    }
+    if (!(cfg_.watchdog_timeout_s > 0.0) ||
+        cfg_.watchdog_backoff_s < 0.0) {
+        throw std::invalid_argument(
+            "FleetSim: watchdog timeout must be positive and backoff "
+            "non-negative");
+    }
+    for (const fault::FaultWindow& w : cfg_.faults.windows) {
+        if (w.target != fault::FaultTarget::kBoard) {
+            throw std::invalid_argument(
+                "FleetSim: fleet fault plans take board<i> targets "
+                "only (got '" +
+                fault::faultTargetId(w.target) + "')");
+        }
+        if (w.board < 0 || w.board >= cfg_.boards) {
+            throw std::invalid_argument(
+                "FleetSim: fault targets board" +
+                std::to_string(w.board) + " but the fleet has " +
+                std::to_string(cfg_.boards) + " boards");
+        }
+    }
+    crash_entered_.assign(cfg_.faults.windows.size(), 0);
+    crash_exited_.assign(cfg_.faults.windows.size(), 0);
+
     boards_.reserve(static_cast<std::size_t>(cfg_.boards));
     for (int b = 0; b < cfg_.boards; ++b) {
-        // Counter-hashed per-board seed: decorrelated sensor noise,
-        // independent of every other config knob.
-        const auto board_seed = static_cast<std::uint32_t>(
-            mix64(static_cast<std::uint64_t>(cfg_.seed) ^
-                  (static_cast<std::uint64_t>(b) * 0x9e3779b97f4a7c15ull)));
         controllers::MultilayerSystem sys = core::makeSystem(
-            cfg_.scheme, artifacts, platform::Workload(service),
-            board_seed);
+            cfg_.scheme, artifacts_, platform::Workload(service_app_),
+            boardSeed(b));
         if (cfg_.supervised) {
             sys.enableSupervisor();
         }
@@ -71,8 +186,170 @@ FleetSim::FleetSim(FleetConfig cfg, const core::Artifacts& artifacts)
     }
 }
 
+std::uint32_t
+FleetSim::boardSeed(int b) const
+{
+    // Counter-hashed per-board seed: decorrelated sensor noise,
+    // independent of every other config knob.
+    return static_cast<std::uint32_t>(
+        mix64(static_cast<std::uint64_t>(cfg_.seed) ^
+              (static_cast<std::uint64_t>(b) * 0x9e3779b97f4a7c15ull)));
+}
+
 void
-FleetSim::stepBoard(FleetBoard& fb, double epoch_end) const
+FleetSim::applyCrashTransitions(int epoch, double t0)
+{
+    for (std::size_t i = 0; i < cfg_.faults.windows.size(); ++i) {
+        const fault::FaultWindow& w = cfg_.faults.windows[i];
+        if (w.kind != fault::FaultKind::kBoardCrash) {
+            continue;
+        }
+        FleetBoard& fb = *boards_[static_cast<std::size_t>(w.board)];
+        if (w.active(t0) && crash_entered_[i] == 0) {
+            crash_entered_[i] = 1;
+            ++fault_stats_.crashes;
+            fb.down = true;
+            fb.bips_ema = 0.0;
+            fb.power_ema = 0.0;
+            if (!(w.magnitude > 0.0)) {
+                // Default crash loses the in-memory queue; a positive
+                // magnitude models a persisted queue that survives.
+                fault_stats_.dropped_requests +=
+                    static_cast<long long>(fb.queue.size());
+                fault_stats_.dropped_gi += fb.queued_gi;
+                fb.queue.clear();
+                fb.queued_gi = 0.0;
+            }
+        }
+        if (crash_entered_[i] != 0 && crash_exited_[i] == 0 &&
+            t0 >= w.start + w.duration) {
+            crash_exited_[i] = 1;
+            rebootBoard(w.board, epoch, t0);
+        }
+    }
+}
+
+void
+FleetSim::rebootBoard(int b, int epoch, double t0)
+{
+    FleetBoard& fb = *boards_[static_cast<std::size_t>(b)];
+    // Bank the dead instance's accumulators: the replacement board
+    // restarts its own counters at zero.
+    fb.carried_energy += fb.system.board().energy();
+    fb.carried_violation += fb.system.board().constraintViolationTime();
+    fb.carried_emergency += fb.system.board().emergencyTime();
+    ++fb.reboots;
+    ++fault_stats_.reboots;
+
+    // Reboot-hashed seed: the replacement is a fresh machine with a
+    // fresh (but reproducible) sensor-noise stream.
+    const auto seed = static_cast<std::uint32_t>(
+        mix64(static_cast<std::uint64_t>(boardSeed(b)) ^
+              (static_cast<std::uint64_t>(fb.reboots) *
+               0x9e3779b97f4a7c15ull)));
+    controllers::MultilayerSystem sys = core::makeSystem(
+        cfg_.scheme, artifacts_, platform::Workload(service_app_), seed);
+    if (cfg_.supervised) {
+        sys.enableSupervisor();
+        // Cold boots re-enter service through the supervisor ladder:
+        // kSafe first, then earn the way back to kNominal.
+        sys.supervisor()->coldBoot(epoch, t0,
+                                   "board" + std::to_string(b) +
+                                       " cold reboot");
+    }
+
+    auto fresh = std::make_unique<FleetBoard>(std::move(sys));
+    FleetBoard& nf = *fresh;
+    nf.queue = std::move(fb.queue);
+    nf.queued_gi = fb.queued_gi;
+    nf.arrival_gi_ema = fb.arrival_gi_ema;
+    nf.latency = fb.latency;
+    nf.epoch_bips = fb.epoch_bips;
+    nf.epoch_power = fb.epoch_power;
+    nf.completed = fb.completed;
+    nf.served_gi = fb.served_gi;
+    nf.slo_violation_time = fb.slo_violation_time;
+    nf.lost_until = fb.lost_until;
+    nf.reboots = fb.reboots;
+    nf.carried_energy = fb.carried_energy;
+    nf.carried_violation = fb.carried_violation;
+    nf.carried_emergency = fb.carried_emergency;
+    // Overlapping crash windows keep the replacement dark too.
+    for (const fault::FaultWindow& w : cfg_.faults.windows) {
+        if (w.kind == fault::FaultKind::kBoardCrash && w.board == b &&
+            w.active(t0)) {
+            nf.down = true;
+        }
+    }
+    boards_[static_cast<std::size_t>(b)] = std::move(fresh);
+}
+
+double
+FleetSim::drainScale(int b, double t0) const
+{
+    double scale = 1.0;
+    for (const fault::FaultWindow& w : cfg_.faults.windows) {
+        if (w.kind != fault::FaultKind::kBoardDegrade || w.board != b ||
+            !w.active(t0)) {
+            continue;
+        }
+        const double mag =
+            w.magnitude > 0.0 ? w.magnitude : kDefaultDegradeScale;
+        scale = std::min(scale, mag);
+    }
+    return scale;
+}
+
+bool
+FleetSim::hangBlocks(int b, double t0, int attempt) const
+{
+    for (const fault::FaultWindow& w : cfg_.faults.windows) {
+        if (w.kind != fault::FaultKind::kShardHang || w.board != b ||
+            !w.active(t0)) {
+            continue;
+        }
+        if (attempt < 0) {
+            return true;  // Fault-blind: the stall is never noticed.
+        }
+        if (w.magnitude > 0.0) {
+            return true;  // Persistent: stalls every attempt.
+        }
+        if (attempt == 0) {
+            return true;  // Transient: resolves on the first retry.
+        }
+    }
+    return false;
+}
+
+bool
+FleetSim::anyHangActive(double t0) const
+{
+    for (const fault::FaultWindow& w : cfg_.faults.windows) {
+        if (w.kind == fault::FaultKind::kShardHang && w.active(t0)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<double>
+FleetSim::capacityScale(double t0) const
+{
+    std::vector<double> scale(boards_.size(), 1.0);
+    for (std::size_t b = 0; b < boards_.size(); ++b) {
+        const FleetBoard& fb = *boards_[b];
+        if (fb.down || t0 < fb.lost_until) {
+            scale[b] = 0.0;  // Dark or lost: advertises nothing.
+            continue;
+        }
+        scale[b] = drainScale(static_cast<int>(b), t0);
+    }
+    return scale;
+}
+
+void
+FleetSim::stepBoard(FleetBoard& fb, double epoch_end,
+                    double drain_scale) const
 {
     fb.system.stepPeriod();
 
@@ -91,9 +368,10 @@ FleetSim::stepBoard(FleetBoard& fb, double epoch_end) const
     fb.epoch_bips.add(bips);
     fb.epoch_power.add(power);
 
-    // Drain the queue at the rate of work actually retired. Capacity
-    // beyond the backlog is idle service (not banked).
-    double budget = served;
+    // Drain the queue at the rate of work actually retired, cut to
+    // the degraded service fraction. Capacity beyond the backlog is
+    // idle service (not banked).
+    double budget = served * drain_scale;
     while (!fb.queue.empty() && budget > 0.0) {
         Request& r = fb.queue.front();
         const double take = std::min(budget, r.remaining_gi);
@@ -110,17 +388,16 @@ FleetSim::stepBoard(FleetBoard& fb, double epoch_end) const
             fb.queue.pop_front();
         }
     }
-
-    if (!fb.queue.empty() &&
-        epoch_end - fb.queue.front().arrival_time > cfg_.slo_seconds) {
-        fb.slo_violation_time += kControlPeriod;
-    }
 }
 
 FleetMetrics
-FleetSim::run(std::size_t workers)
+FleetSim::run(std::size_t workers, const CheckpointConfig& ckpt)
 {
     const obs::Stopwatch wall;
+    if (ckpt.every_epochs > 0 && ckpt.dir.empty()) {
+        throw std::invalid_argument(
+            "FleetSim: checkpointing needs a directory");
+    }
     const int epochs = static_cast<int>(
         std::ceil(cfg_.sim_seconds / kControlPeriod - 1e-9));
 
@@ -128,11 +405,20 @@ FleetSim::run(std::size_t workers)
     const int num_shards =
         cfg_.shards <= 0 ? num_boards : std::min(cfg_.shards, num_boards);
 
-    for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (int epoch = epoch_; epoch < epochs; ++epoch) {
         const double t0 = static_cast<double>(epoch) * kControlPeriod;
         const double epoch_end = t0 + kControlPeriod;
 
+        // --- Fault domain: crash entries and cold reboots. ---
+        applyCrashTransitions(epoch, t0);
+
         // --- Serial coordinator phase (board index order). ---
+        std::vector<double> scale;
+        const std::vector<double>* scale_ptr = nullptr;
+        if (cfg_.fault_aware && !cfg_.faults.empty()) {
+            scale = capacityScale(t0);
+            scale_ptr = &scale;
+        }
         std::vector<double> projected(
             static_cast<std::size_t>(num_boards), 0.0);
         for (int b = 0; b < num_boards; ++b) {
@@ -146,7 +432,8 @@ FleetSim::run(std::size_t workers)
             double offered_gi = 0.0;
             for (const Request& r : reqs) {
                 offered_gi += r.demand_gi;
-                const int dest = admission_.route(r, projected);
+                const int dest =
+                    admission_.route(r, projected, scale_ptr);
                 if (dest >= 0) {
                     FleetBoard& fb =
                         *boards_[static_cast<std::size_t>(dest)];
@@ -174,6 +461,9 @@ FleetSim::run(std::size_t workers)
                 cluster_.computeTargets(telemetry);
             bool applied = true;
             for (std::size_t b = 0; b < boards_.size(); ++b) {
+                if (scale_ptr != nullptr && (*scale_ptr)[b] <= 0.0) {
+                    continue;  // Aware mode: skip dark/lost boards.
+                }
                 applied =
                     boards_[b]->system.holdHwTargets(targets[b]) &&
                     applied;
@@ -187,32 +477,169 @@ FleetSim::run(std::size_t workers)
             }
         }
 
-        // --- Parallel shared-nothing shard phase. ---
-        std::vector<runner::Task> tasks;
-        tasks.reserve(static_cast<std::size_t>(num_shards));
-        for (int s = 0; s < num_shards; ++s) {
-            // Contiguous block partition: shard s owns [lo, hi).
-            const int lo = static_cast<int>(
-                static_cast<long long>(s) * num_boards / num_shards);
-            const int hi = static_cast<int>(
-                static_cast<long long>(s + 1) * num_boards / num_shards);
-            tasks.push_back([this, lo, hi,
-                             epoch_end](const runner::CancelToken&) {
-                for (int b = lo; b < hi; ++b) {
-                    stepBoard(*boards_[static_cast<std::size_t>(b)],
-                              epoch_end);
-                }
-            });
-        }
-        const std::vector<runner::TaskOutcome> outcomes =
-            runner::runOnPool(tasks, workers);
-        for (const runner::TaskOutcome& o : outcomes) {
-            if (o.status != runner::TaskOutcome::Status::kOk) {
-                throw std::runtime_error("FleetSim: shard failed: " +
-                                         o.error);
+        // Tally degraded service (serial, deterministic).
+        for (int b = 0; b < num_boards; ++b) {
+            const FleetBoard& fb = *boards_[static_cast<std::size_t>(b)];
+            if (!fb.down && t0 >= fb.lost_until &&
+                drainScale(b, t0) < 1.0) {
+                ++fault_stats_.degraded_epochs;
             }
         }
+
+        // --- Parallel shared-nothing shard phase. ---
+        // Which boards stepped is recorded by the shards themselves
+        // (disjoint writers, read after join); the watchdog decides
+        // from these flags, never from wall-clock task outcomes, so
+        // faulted runs stay bit-identical for any worker count.
+        std::vector<char> stepped(static_cast<std::size_t>(num_boards),
+                                  0);
+        for (int b = 0; b < num_boards; ++b) {
+            FleetBoard& fb = *boards_[static_cast<std::size_t>(b)];
+            if (fb.down) {
+                stepped[static_cast<std::size_t>(b)] = 1;  // Dark.
+            } else if (t0 < fb.lost_until) {
+                stepped[static_cast<std::size_t>(b)] = 1;
+                ++fault_stats_.lost_epochs;  // Known-lost to a hang.
+            }
+        }
+
+        const auto makeTasks = [&](int attempt, bool block_on_hang) {
+            std::vector<runner::Task> tasks;
+            for (int s = 0; s < num_shards; ++s) {
+                // Contiguous block partition: shard s owns [lo, hi).
+                const int lo = static_cast<int>(
+                    static_cast<long long>(s) * num_boards / num_shards);
+                const int hi = static_cast<int>(static_cast<long long>(
+                                                    s + 1) *
+                                                num_boards / num_shards);
+                bool needed = false;
+                for (int b = lo; b < hi; ++b) {
+                    needed =
+                        needed || stepped[static_cast<std::size_t>(b)] == 0;
+                }
+                if (!needed) {
+                    continue;
+                }
+                tasks.push_back([this, lo, hi, t0, epoch_end, attempt,
+                                 block_on_hang, &stepped](
+                                    const runner::CancelToken& token) {
+                    bool hung = false;
+                    for (int b = lo; b < hi; ++b) {
+                        if (stepped[static_cast<std::size_t>(b)] != 0) {
+                            continue;
+                        }
+                        if (hangBlocks(b, t0, attempt)) {
+                            hung = true;
+                            continue;
+                        }
+                        stepBoard(*boards_[static_cast<std::size_t>(b)],
+                                  epoch_end, drainScale(b, t0));
+                        stepped[static_cast<std::size_t>(b)] = 1;
+                    }
+                    if (hung && block_on_hang) {
+                        // Model the stall: this worker wedges until
+                        // the watchdog deadline fires.
+                        while (!token.deadlinePassed()) {
+                            std::this_thread::yield();
+                        }
+                    }
+                });
+            }
+            return tasks;
+        };
+        const auto runShards = [&](const std::vector<runner::Task>& tasks,
+                                   double deadline) {
+            const std::vector<runner::TaskOutcome> outcomes =
+                runner::runOnPool(tasks, workers, deadline);
+            for (const runner::TaskOutcome& o : outcomes) {
+                if (o.status == runner::TaskOutcome::Status::kError) {
+                    throw std::runtime_error(
+                        "FleetSim: shard failed: " + o.error);
+                }
+            }
+        };
+
+        if (cfg_.fault_aware) {
+            for (int attempt = 0; attempt < cfg_.watchdog_attempts;
+                 ++attempt) {
+                // The deadline exists only when a hang can fire; a
+                // healthy epoch runs un-timed, exactly as before.
+                const double deadline =
+                    anyHangActive(t0)
+                        ? cfg_.watchdog_timeout_s +
+                              static_cast<double>(attempt) *
+                                  cfg_.watchdog_backoff_s
+                        : 0.0;
+                const std::vector<runner::Task> tasks =
+                    makeTasks(attempt, deadline > 0.0);
+                if (tasks.empty()) {
+                    break;
+                }
+                runShards(tasks, deadline);
+                long long hung_now = 0;
+                for (int b = 0; b < num_boards; ++b) {
+                    if (stepped[static_cast<std::size_t>(b)] == 0 &&
+                        hangBlocks(b, t0, attempt)) {
+                        ++hung_now;
+                    }
+                }
+                fault_stats_.watchdog_timeouts += hung_now;
+                if (hung_now == 0) {
+                    break;
+                }
+                if (attempt + 1 < cfg_.watchdog_attempts) {
+                    ++fault_stats_.shard_retries;
+                }
+            }
+            // Attempts exhausted: the epoch is lost for any board
+            // still unstepped; a persistent hang marks the board lost
+            // for the rest of its window so routing moves away.
+            for (int b = 0; b < num_boards; ++b) {
+                if (stepped[static_cast<std::size_t>(b)] != 0) {
+                    continue;
+                }
+                FleetBoard& fb = *boards_[static_cast<std::size_t>(b)];
+                ++fault_stats_.lost_epochs;
+                for (const fault::FaultWindow& w :
+                     cfg_.faults.windows) {
+                    if (w.kind == fault::FaultKind::kShardHang &&
+                        w.board == b && w.active(t0) &&
+                        w.magnitude > 0.0) {
+                        fb.lost_until = std::max(
+                            fb.lost_until, w.start + w.duration);
+                    }
+                }
+            }
+        } else {
+            // Fault-blind: no deadline, no retry. A hung board's
+            // epoch is silently lost and nothing routes around it.
+            runShards(makeTasks(-1, false), 0.0);
+            for (int b = 0; b < num_boards; ++b) {
+                if (stepped[static_cast<std::size_t>(b)] == 0) {
+                    ++fault_stats_.lost_epochs;
+                }
+            }
+        }
+
+        // --- Serial SLO accrual: dark and hung boards age too. ---
+        for (int b = 0; b < num_boards; ++b) {
+            FleetBoard& fb = *boards_[static_cast<std::size_t>(b)];
+            if (!fb.queue.empty() &&
+                epoch_end - fb.queue.front().arrival_time >
+                    cfg_.slo_seconds) {
+                fb.slo_violation_time += kControlPeriod;
+            }
+        }
+
+        epoch_ = epoch + 1;
+        if (ckpt.every_epochs > 0 && epoch_ < epochs &&
+            epoch_ % ckpt.every_epochs == 0) {
+            saveCheckpoint(ckpt.dir + "/fleet-" +
+                           std::to_string(epoch_) + ".ckpt");
+            saveCheckpoint(ckpt.dir + "/fleet-latest.ckpt");
+        }
     }
+    epoch_ = epochs;
 
     // --- Deterministic rollup merge (board index order). ---
     FleetMetrics m;
@@ -226,16 +653,19 @@ FleetSim::run(std::size_t workers)
         m.board_power.merge(fb->epoch_power);
         m.completed += fb->completed;
         m.served_gi += fb->served_gi;
-        m.energy += fb->system.board().energy();
+        m.energy += fb->carried_energy + fb->system.board().energy();
         m.slo_violation_time += fb->slo_violation_time;
         m.constraint_violation_time +=
+            fb->carried_violation +
             fb->system.board().constraintViolationTime();
-        m.emergency_time += fb->system.board().emergencyTime();
+        m.emergency_time +=
+            fb->carried_emergency + fb->system.board().emergencyTime();
         m.backlog_gi += fb->queued_gi;
     }
     m.exd = m.energy * m.sim_seconds;
     m.admission = admission_.stats();
     m.cluster_rounds = cluster_.rounds();
+    m.faults = fault_stats_;
 
     m.wall_seconds = wall.seconds();
     m.board_ticks_per_sec =
@@ -244,6 +674,165 @@ FleetSim::run(std::size_t workers)
                   static_cast<double>(epochs) / m.wall_seconds
             : 0.0;
     return m;
+}
+
+void
+FleetSim::saveCheckpoint(const std::string& path) const
+{
+    obs::StateWriter w;
+    w.u64("ckpt.version", kCheckpointVersion);
+    w.str("ckpt.config", cfg_.canonical());
+    w.u64("ckpt.epoch", static_cast<std::uint64_t>(epoch_));
+    w.boolean("ckpt.cluster_supported", cluster_supported_);
+    admission_.save(w);
+    cluster_.save(w);
+    fault_stats_.save(w);
+    std::vector<std::uint64_t> entered(crash_entered_.begin(),
+                                       crash_entered_.end());
+    std::vector<std::uint64_t> exited(crash_exited_.begin(),
+                                      crash_exited_.end());
+    w.u64vec("ckpt.crash_entered", entered);
+    w.u64vec("ckpt.crash_exited", exited);
+    w.u64("ckpt.boards", boards_.size());
+    for (const auto& fbp : boards_) {
+        const FleetBoard& fb = *fbp;
+        w.u64("fb.queue.n", fb.queue.size());
+        for (const Request& q : fb.queue) {
+            w.f64("fb.q.arrival", q.arrival_time);
+            w.f64("fb.q.demand", q.demand_gi);
+            w.f64("fb.q.remaining", q.remaining_gi);
+            w.i64("fb.q.origin", q.origin);
+        }
+        w.f64("fb.queued_gi", fb.queued_gi);
+        w.f64("fb.last_instr", fb.last_instr);
+        w.f64("fb.last_energy", fb.last_energy);
+        w.f64("fb.arrival_gi_ema", fb.arrival_gi_ema);
+        w.f64("fb.bips_ema", fb.bips_ema);
+        w.f64("fb.power_ema", fb.power_ema);
+        fb.latency.save(w);
+        fb.epoch_bips.save(w);
+        fb.epoch_power.save(w);
+        w.i64("fb.completed", fb.completed);
+        w.f64("fb.served_gi", fb.served_gi);
+        w.f64("fb.slo_violation_time", fb.slo_violation_time);
+        w.boolean("fb.down", fb.down);
+        w.f64("fb.lost_until", fb.lost_until);
+        w.i64("fb.reboots", fb.reboots);
+        w.f64("fb.carried_energy", fb.carried_energy);
+        w.f64("fb.carried_violation", fb.carried_violation);
+        w.f64("fb.carried_emergency", fb.carried_emergency);
+        fb.system.save(w);
+    }
+    std::string body = w.dump();
+    body += "ckpt.digest=" + hex64(obs::fnv1a(body)) + "\n";
+    if (!core::atomicWriteFile(path, body)) {
+        throw std::runtime_error("FleetSim: cannot write checkpoint " +
+                                 path);
+    }
+}
+
+void
+FleetSim::restoreCheckpoint(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("FleetSim: cannot read checkpoint " +
+                                 path);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+
+    const std::string tag = "ckpt.digest=";
+    const std::size_t p = text.rfind(tag);
+    if (p == std::string::npos) {
+        throw std::runtime_error(
+            "FleetSim: checkpoint has no digest stamp: " + path);
+    }
+    const std::string body = text.substr(0, p);
+    std::string stamp = text.substr(p + tag.size());
+    while (!stamp.empty() &&
+           (stamp.back() == '\n' || stamp.back() == '\r')) {
+        stamp.pop_back();
+    }
+    if (stamp != hex64(obs::fnv1a(body))) {
+        throw std::runtime_error(
+            "FleetSim: checkpoint digest mismatch (corrupt or "
+            "truncated): " +
+            path);
+    }
+
+    obs::StateReader r(body);
+    const std::uint64_t version = r.u64("ckpt.version");
+    if (version != kCheckpointVersion) {
+        throw std::runtime_error(
+            "FleetSim: unsupported checkpoint version " +
+            std::to_string(version) + " (expected " +
+            std::to_string(kCheckpointVersion) + ")");
+    }
+    const std::string config = r.str("ckpt.config");
+    if (config != cfg_.canonical()) {
+        throw std::runtime_error(
+            "FleetSim: checkpoint config mismatch:\n  checkpoint: " +
+            config + "\n  runtime:    " + cfg_.canonical());
+    }
+    epoch_ = static_cast<int>(r.u64("ckpt.epoch"));
+    cluster_supported_ = r.boolean("ckpt.cluster_supported");
+    admission_.load(r);
+    cluster_.load(r);
+    fault_stats_.load(r);
+    const std::vector<std::uint64_t> entered =
+        r.u64vec("ckpt.crash_entered");
+    const std::vector<std::uint64_t> exited =
+        r.u64vec("ckpt.crash_exited");
+    if (entered.size() != cfg_.faults.windows.size() ||
+        exited.size() != cfg_.faults.windows.size()) {
+        throw std::runtime_error(
+            "FleetSim: checkpoint fault-window count mismatch");
+    }
+    crash_entered_.assign(entered.begin(), entered.end());
+    crash_exited_.assign(exited.begin(), exited.end());
+    const std::uint64_t n = r.u64("ckpt.boards");
+    if (n != boards_.size()) {
+        throw std::runtime_error(
+            "FleetSim: checkpoint board count mismatch");
+    }
+    for (const auto& fbp : boards_) {
+        FleetBoard& fb = *fbp;
+        const std::uint64_t qn = r.u64("fb.queue.n");
+        fb.queue.clear();
+        for (std::uint64_t i = 0; i < qn; ++i) {
+            Request q;
+            q.arrival_time = r.f64("fb.q.arrival");
+            q.demand_gi = r.f64("fb.q.demand");
+            q.remaining_gi = r.f64("fb.q.remaining");
+            q.origin = static_cast<int>(r.i64("fb.q.origin"));
+            fb.queue.push_back(q);
+        }
+        fb.queued_gi = r.f64("fb.queued_gi");
+        fb.last_instr = r.f64("fb.last_instr");
+        fb.last_energy = r.f64("fb.last_energy");
+        fb.arrival_gi_ema = r.f64("fb.arrival_gi_ema");
+        fb.bips_ema = r.f64("fb.bips_ema");
+        fb.power_ema = r.f64("fb.power_ema");
+        fb.latency.load(r);
+        fb.epoch_bips.load(r);
+        fb.epoch_power.load(r);
+        fb.completed = r.i64("fb.completed");
+        fb.served_gi = r.f64("fb.served_gi");
+        fb.slo_violation_time = r.f64("fb.slo_violation_time");
+        fb.down = r.boolean("fb.down");
+        fb.lost_until = r.f64("fb.lost_until");
+        fb.reboots = r.i64("fb.reboots");
+        fb.carried_energy = r.f64("fb.carried_energy");
+        fb.carried_violation = r.f64("fb.carried_violation");
+        fb.carried_emergency = r.f64("fb.carried_emergency");
+        fb.system.load(r);
+    }
+    if (!r.atEnd()) {
+        throw std::runtime_error(
+            "FleetSim: trailing checkpoint state in " + path);
+    }
 }
 
 std::string
@@ -264,6 +853,7 @@ FleetMetrics::toJson(bool include_wall) const
        << obs::canonicalNumber(constraint_violation_time)
        << ",\"emergency_time\":" << obs::canonicalNumber(emergency_time)
        << ",\"backlog_gi\":" << obs::canonicalNumber(backlog_gi)
+       << ",\"faults\":" << faults.toJson()
        << ",\"latency\":" << latency.toJson()
        << ",\"board_bips\":" << board_bips.toJson()
        << ",\"board_power\":" << board_power.toJson();

@@ -11,8 +11,9 @@
  *
  * Execution alternates two phases per epoch:
  *
- *   serial coordinator -- generate arrivals (counter-hashed), route
- *     them through admission, and (on due epochs) recompute and pin
+ *   serial coordinator -- apply board-fault transitions (crashes and
+ *     cold reboots), generate arrivals (counter-hashed), route them
+ *     through admission, and (on due epochs) recompute and pin
  *     cluster targets; everything in board index order.
  *   parallel shards -- shared-nothing: each shard steps its boards
  *     one control period and drains their request queues at the rate
@@ -24,6 +25,29 @@
  * result is a pure function of the config: bit-identical for 1 vs N
  * pool workers (FleetMetrics::digest() makes that one integer
  * comparison).
+ *
+ * Fault tolerance. The config may carry a board-targeted FaultPlan
+ * (board<i> targets: crash, degrade, hang -- see fault/plan.h).
+ * Crashed boards go dark (their queue dropped or preserved per the
+ * window's magnitude) and cold-reboot through the supervisor ladder
+ * when the window ends. With fault_aware set, a watchdog guards the
+ * shard phase: each shard attempt runs against a wall-clock deadline,
+ * boards that did not step are retried with backoff, and a
+ * persistently hung board is marked lost for the rest of its window
+ * so admission and the cluster layer route around it. Fault-blind
+ * runs keep routing work to dark boards and silently lose hung
+ * epochs -- the baseline bench_fleet_faults compares against.
+ * Whether a board stepped is decided from per-board stepped flags
+ * written by the shards themselves, never from wall-clock task
+ * outcomes, so faulted runs stay bit-identical for any worker count.
+ *
+ * Checkpoint/resume. saveCheckpoint() serializes the entire fleet --
+ * every board's plant, controller, and supervisor state, request
+ * queues, admission/cluster counters, and the fault-domain flags --
+ * as a versioned, digest-stamped snapshot written atomically
+ * (tmp+rename). restoreCheckpoint() verifies the stamp and the
+ * config identity and resumes mid-run: run-to-T and
+ * run-to-T/2 + restore + run-to-T produce bit-identical digests.
  */
 
 #include <cstdint>
@@ -34,10 +58,13 @@
 
 #include "controllers/multilayer.h"
 #include "core/schemes.h"
+#include "fault/plan.h"
 #include "fleet/admission.h"
 #include "fleet/arrivals.h"
 #include "fleet/cluster.h"
 #include "obs/rollup.h"
+#include "obs/stateio.h"
+#include "platform/apps.h"
 
 namespace yukta::fleet {
 
@@ -73,6 +100,37 @@ struct FleetConfig
     ArrivalConfig arrivals;
     AdmissionConfig admission;
     ClusterConfig cluster;
+
+    /**
+     * Board-fault schedule; every window must use a board<i> target
+     * with an index inside the fleet (the constructor validates).
+     */
+    fault::FaultPlan faults;
+
+    /**
+     * True: watchdog-guarded shards, capacity-scaled admission, and
+     * cluster targets skip dark boards. False: the fault-blind
+     * baseline -- no watchdog, admission keeps filling dark boards,
+     * hung epochs are silently lost.
+     */
+    bool fault_aware = true;
+
+    /**
+     * Shard attempts per epoch before a hung board is declared lost
+     * (>= 1). Part of the run's identity; the wall-clock watchdog
+     * deadline/backoff below are not (they only bound real time).
+     */
+    int watchdog_attempts = 2;
+
+    double watchdog_timeout_s = 0.25;  ///< Wall deadline per attempt.
+    double watchdog_backoff_s = 0.25;  ///< Added per retry attempt.
+
+    /**
+     * @return a normalized string over every identity-bearing field
+     * (worker count and wall-clock watchdog knobs excluded).
+     * Checkpoints embed it; restore refuses a mismatch.
+     */
+    std::string canonical() const;
 };
 
 /** One board plus its fleet-side bookkeeping. */
@@ -99,6 +157,39 @@ struct FleetBoard
     long long completed = 0;
     double served_gi = 0.0;
     double slo_violation_time = 0.0;
+
+    // Fault-domain state.
+    bool down = false;        ///< Inside a crash window (board dark).
+    double lost_until = 0.0;  ///< Hung-lost until this sim time.
+    long long reboots = 0;    ///< Cold reboots survived.
+
+    // Plant accumulators carried across cold reboots (a fresh board
+    // restarts its own counters at zero).
+    double carried_energy = 0.0;
+    double carried_violation = 0.0;
+    double carried_emergency = 0.0;
+};
+
+/** Deterministic tally of fleet-level fault handling. */
+struct FaultDomainStats
+{
+    long long crashes = 0;           ///< Crash windows entered.
+    long long reboots = 0;           ///< Cold reboots completed.
+    long long dropped_requests = 0;  ///< Requests lost to crashes.
+    double dropped_gi = 0.0;         ///< Demand lost to crashes.
+    long long lost_epochs = 0;       ///< Board-epochs lost to hangs.
+    long long degraded_epochs = 0;   ///< Board-epochs at cut capacity.
+    long long watchdog_timeouts = 0; ///< Hung-board attempts detected.
+    long long shard_retries = 0;     ///< Watchdog retry rounds.
+
+    /** @return canonical JSON object for these counters. */
+    std::string toJson() const;
+
+    /** Appends the counters to @p w (fleet checkpointing). */
+    void save(obs::StateWriter& w) const;
+
+    /** Restores counters written by save. */
+    void load(obs::StateReader& r);
 };
 
 /** Deterministic result of one fleet run. */
@@ -120,6 +211,8 @@ struct FleetMetrics
     double emergency_time = 0.0;   ///< Board-seconds of TMU caps.
     double backlog_gi = 0.0;       ///< Demand still queued at the end.
 
+    FaultDomainStats faults;       ///< Fleet-level fault handling.
+
     obs::MergeableHistogram latency;  ///< Completed-request latency.
     obs::RunningStat board_bips;      ///< Per-board-epoch BIPS.
     obs::RunningStat board_power;     ///< Per-board-epoch power (W).
@@ -138,7 +231,25 @@ struct FleetMetrics
     std::uint64_t digest() const;
 };
 
-/** The fleet simulator. Construct once, run once. */
+/** Periodic-checkpoint knobs for FleetSim::run. */
+struct CheckpointConfig
+{
+    /** Write a checkpoint every this many epochs; <= 0 disables. */
+    int every_epochs = 0;
+
+    /**
+     * Directory receiving fleet-<epoch>.ckpt plus a fleet-latest.ckpt
+     * alias (both written atomically). Must exist and be non-empty
+     * when every_epochs > 0.
+     */
+    std::string dir;
+};
+
+/**
+ * The fleet simulator. Construct once; run() simulates forward from
+ * the current epoch (0 for a fresh instance, the checkpointed epoch
+ * after restoreCheckpoint), so a restored run continues mid-flight.
+ */
 class FleetSim
 {
   public:
@@ -146,15 +257,42 @@ class FleetSim
      * Builds @p cfg.boards board instances from @p artifacts. Board b
      * gets a counter-hashed seed derived from (cfg.seed, b), so the
      * fleet's sensor-noise streams are decorrelated but reproducible.
+     * @throws std::invalid_argument on bad knobs or a fault plan with
+     * non-board targets / board indices outside the fleet.
      */
     FleetSim(FleetConfig cfg, const core::Artifacts& artifacts);
 
     /**
-     * Runs the whole fleet for cfg.sim_seconds of simulated time on
-     * @p workers pool workers (0/1 = inline). The result is
-     * bit-identical for any worker count.
+     * Runs the fleet from the current epoch to cfg.sim_seconds of
+     * simulated time on @p workers pool workers (0/1 = inline),
+     * optionally dropping periodic checkpoints per @p ckpt. The
+     * result is bit-identical for any worker count, with or without
+     * scheduled faults, and across checkpoint/restore splits.
      */
-    FleetMetrics run(std::size_t workers);
+    FleetMetrics run(std::size_t workers,
+                     const CheckpointConfig& ckpt = {});
+
+    /**
+     * Serializes the full fleet state to @p path: a versioned header
+     * (format version, FleetConfig::canonical(), epoch), every
+     * subsystem's StateWriter snapshot, and a trailing FNV-1a digest
+     * stamp, written atomically via tmp+rename.
+     * @throws std::runtime_error when the file cannot be written.
+     */
+    void saveCheckpoint(const std::string& path) const;
+
+    /**
+     * Restores state written by saveCheckpoint. The snapshot must
+     * carry a matching format version and an identical
+     * FleetConfig::canonical() (same artifacts assumed); the digest
+     * stamp must verify. run() then resumes from the saved epoch.
+     * @throws std::runtime_error on read failure, digest mismatch,
+     * version/config mismatch, or malformed state.
+     */
+    void restoreCheckpoint(const std::string& path);
+
+    /** Next epoch run() will execute (0 fresh, N after restore). */
+    int epoch() const { return epoch_; }
 
     /** Board access (tests inspect queues and targets). */
     FleetBoard& board(int b) { return *boards_[static_cast<std::size_t>(b)]; }
@@ -165,14 +303,47 @@ class FleetSim
 
   private:
     FleetConfig cfg_;
+    core::Artifacts artifacts_;      ///< Kept for cold reboots.
+    platform::AppModel service_app_; ///< Kept for cold reboots.
     std::vector<std::unique_ptr<FleetBoard>> boards_;
     ArrivalGenerator arrivals_;
     AdmissionController admission_;
     ClusterController cluster_;
     bool cluster_supported_ = true;
+    int epoch_ = 0;  ///< Next epoch to execute.
+
+    // Per-crash-window transition flags (board went dark / rebooted).
+    std::vector<char> crash_entered_;
+    std::vector<char> crash_exited_;
+    FaultDomainStats fault_stats_;
+
+    /** @return the counter-hashed base seed for board @p b. */
+    std::uint32_t boardSeed(int b) const;
+
+    /** Applies crash entries and cold reboots due at @p t0. */
+    void applyCrashTransitions(int epoch, double t0);
+
+    /** Rebuilds board @p b fresh through the supervisor ladder. */
+    void rebootBoard(int b, int epoch, double t0);
+
+    /** Remaining drain capacity fraction for board @p b at @p t0. */
+    double drainScale(int b, double t0) const;
+
+    /**
+     * True when board @p b's shard worker stalls at @p t0 on attempt
+     * @p attempt (negative = fault-blind: any active hang stalls).
+     */
+    bool hangBlocks(int b, double t0, int attempt) const;
+
+    /** @return true when any hang window is active at @p t0. */
+    bool anyHangActive(double t0) const;
+
+    /** Per-board admission capacity scale at @p t0 (aware mode). */
+    std::vector<double> capacityScale(double t0) const;
 
     /** Steps one board one control period and drains its queue. */
-    void stepBoard(FleetBoard& fb, double epoch_end) const;
+    void stepBoard(FleetBoard& fb, double epoch_end,
+                   double drain_scale) const;
 };
 
 }  // namespace yukta::fleet

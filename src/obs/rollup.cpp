@@ -126,6 +126,32 @@ MergeableHistogram::toJson() const
 }
 
 void
+MergeableHistogram::save(StateWriter& w) const
+{
+    w.f64vec("hist.bounds", bounds_);
+    w.i64vec("hist.counts", counts_);
+    w.i64("hist.count", count_);
+    w.f64("hist.sum", sum_);
+    w.f64("hist.min", min_);
+    w.f64("hist.max", max_);
+}
+
+void
+MergeableHistogram::load(StateReader& r)
+{
+    bounds_ = r.f64vec("hist.bounds");
+    counts_ = r.i64vec("hist.counts");
+    if (counts_.size() != bounds_.size() + 1) {
+        throw std::runtime_error(
+            "MergeableHistogram::load: bucket count mismatch");
+    }
+    count_ = r.i64("hist.count");
+    sum_ = r.f64("hist.sum");
+    min_ = r.f64("hist.min");
+    max_ = r.f64("hist.max");
+}
+
+void
 RunningStat::add(double v)
 {
     if (count == 0) {
@@ -164,6 +190,24 @@ RunningStat::toJson() const
        << ",\"max\":" << canonicalNumber(count > 0 ? max : 0.0)
        << ",\"mean\":" << canonicalNumber(mean()) << "}";
     return os.str();
+}
+
+void
+RunningStat::save(StateWriter& w) const
+{
+    w.i64("stat.count", count);
+    w.f64("stat.sum", sum);
+    w.f64("stat.min", min);
+    w.f64("stat.max", max);
+}
+
+void
+RunningStat::load(StateReader& r)
+{
+    count = r.i64("stat.count");
+    sum = r.f64("stat.sum");
+    min = r.f64("stat.min");
+    max = r.f64("stat.max");
 }
 
 std::uint64_t

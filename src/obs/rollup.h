@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/stateio.h"
+
 namespace yukta::obs {
 
 /**
@@ -98,6 +100,12 @@ class MergeableHistogram
      */
     std::string toJson() const;
 
+    /** Appends the full histogram state to @p w. */
+    void save(StateWriter& w) const;
+
+    /** Restores state written by save (replaces bounds and counts). */
+    void load(StateReader& r);
+
   private:
     std::vector<double> bounds_;
     std::vector<long long> counts_;  ///< bounds_.size() + 1 entries.
@@ -129,6 +137,12 @@ struct RunningStat
 
     /** @return canonical JSON object for this stat. */
     std::string toJson() const;
+
+    /** Appends the stat's fields to @p w. */
+    void save(StateWriter& w) const;
+
+    /** Restores state written by save. */
+    void load(StateReader& r);
 };
 
 /**

@@ -194,6 +194,23 @@ class Board
      */
     void attachTraceSink(obs::TraceSink* sink) { event_trace_ = sink; }
 
+    // ------------------------------------------------------------
+    // Checkpointing.
+    // ------------------------------------------------------------
+
+    /**
+     * Appends the full mutable board state (physics, sensors, TMU,
+     * workload progress, actuation, OS bookkeeping) to @p w. Trace
+     * buffers are not serialized — fleet boards never trace.
+     */
+    void save(obs::StateWriter& w) const;
+
+    /**
+     * Restores state written by save into a board constructed from
+     * the same config, workload, and seed.
+     */
+    void load(obs::StateReader& r);
+
   private:
     obs::TraceSink* event_trace_ = nullptr;
     BoardConfig cfg_;

@@ -12,6 +12,7 @@
  * network (silicon hot spot over heatsink over ambient).
  */
 
+#include "obs/stateio.h"
 #include "platform/config.h"
 #include "platform/dvfs.h"
 
@@ -76,6 +77,20 @@ class ThermalModel
 
     /** @return the steady-state hotspot for constant power (C). */
     double steadyState(double weighted_power) const;
+
+    /** Appends both node temperatures to @p w. */
+    void save(obs::StateWriter& w) const
+    {
+        w.f64("thermal.t_silicon", t_silicon_);
+        w.f64("thermal.t_heatsink", t_heatsink_);
+    }
+
+    /** Restores state written by save. */
+    void load(obs::StateReader& r)
+    {
+        t_silicon_ = r.f64("thermal.t_silicon");
+        t_heatsink_ = r.f64("thermal.t_heatsink");
+    }
 
   private:
     ThermalConfig cfg_;

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <random>
 
+#include "obs/stateio.h"
 #include "platform/config.h"
 
 namespace yukta::platform {
@@ -85,6 +86,12 @@ class Sensors
 
     /** @return samples clamped for temperature below ambient. */
     std::size_t clampedTempCount() const { return clamped_temp_; }
+
+    /** Appends all mutable sensor state (incl. the RNG) to @p w. */
+    void save(obs::StateWriter& w) const;
+
+    /** Restores state written by save. */
+    void load(obs::StateReader& r);
 
   private:
     SensorConfig cfg_;

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 
+#include "obs/stateio.h"
 #include "platform/config.h"
 #include "platform/dvfs.h"
 
@@ -55,6 +56,12 @@ class Tmu
 
     /** @return number of emergency actions taken. */
     std::size_t actionCount() const { return actions_; }
+
+    /** Appends all mutable TMU state to @p w. */
+    void save(obs::StateWriter& w) const;
+
+    /** Restores state written by save. */
+    void load(obs::StateReader& r);
 
   private:
     TmuConfig cfg_;

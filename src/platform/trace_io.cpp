@@ -30,6 +30,9 @@ writeTraceCsv(std::ostream& os, const std::vector<TraceSample>& trace)
 bool
 saveTraceCsv(const std::string& path, const std::vector<TraceSample>& trace)
 {
+    // The platform layer sits below core's cache helpers, so it cannot
+    // publish through atomicWriteFile; callers gate on the returned
+    // bool instead. yukta-lint: allow(atomic-write)
     std::ofstream os(path);
     if (!os) {
         return false;

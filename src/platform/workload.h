@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/stateio.h"
+
 namespace yukta::platform {
 
 /** One phase of an application. */
@@ -103,6 +105,21 @@ class Workload
 
     /** @return name summary, e.g. "blackscholes" or "bl+mc". */
     std::string name() const;
+
+    /**
+     * Appends the mutable execution state (phase indices, per-thread
+     * progress, placement version) to @p w. The static app models are
+     * not serialized: load() requires a Workload built from the same
+     * apps.
+     */
+    void save(obs::StateWriter& w) const;
+
+    /**
+     * Restores state written by save into a Workload constructed from
+     * the same application models.
+     * @throws std::runtime_error when the instance count differs.
+     */
+    void load(obs::StateReader& r);
 
   private:
     struct ThreadState

@@ -425,12 +425,14 @@ runAll(const core::Artifacts& artifacts, const std::vector<RunSpec>& runs,
             base += '/';
             base += sinks[i]->runId();
             if (trace_jsonl) {
-                std::ofstream os(base + ".trace.jsonl");
+                std::ostringstream os;
                 sinks[i]->writeJsonl(os);
+                core::atomicWriteFile(base + ".trace.jsonl", os.str());
             }
             if (trace_chrome) {
-                std::ofstream os(base + ".chrome.json");
+                std::ostringstream os;
                 sinks[i]->writeChrome(os);
+                core::atomicWriteFile(base + ".chrome.json", os.str());
             }
         }
     }

@@ -451,5 +451,95 @@ TEST(FaultRunner, RobustnessMetricsSurviveTheCacheRoundTrip)
               m.supervisor.time_fallback);
 }
 
+/** @return the parse error text for @p spec ("" when it parses). */
+std::string
+parseError(const std::string& spec)
+{
+    try {
+        (void)FaultPlan::parse(spec);
+    } catch (const std::invalid_argument& e) {
+        return e.what();
+    }
+    return "";
+}
+
+TEST(FaultPlan, ParsesBoardMachineTargets)
+{
+    FaultPlan plan = FaultPlan::parse(
+        "seed=9;board3:crash@10+5;board0:degrade@2+8*0.25;"
+        "board12:hang@4+2*1");
+    EXPECT_EQ(plan.seed, 9u);
+    ASSERT_EQ(plan.windows.size(), 3u);
+    EXPECT_EQ(plan.windows[0].target, FaultTarget::kBoard);
+    EXPECT_EQ(plan.windows[0].kind, FaultKind::kBoardCrash);
+    EXPECT_EQ(plan.windows[0].board, 3);
+    EXPECT_EQ(plan.windows[0].magnitude, 0.0);  // queue dropped
+    EXPECT_EQ(plan.windows[1].kind, FaultKind::kBoardDegrade);
+    EXPECT_EQ(plan.windows[1].board, 0);
+    EXPECT_EQ(plan.windows[1].magnitude, 0.25);
+    EXPECT_EQ(plan.windows[2].kind, FaultKind::kShardHang);
+    EXPECT_EQ(plan.windows[2].board, 12);
+    EXPECT_EQ(plan.windows[2].magnitude, 1.0);  // persistent
+}
+
+TEST(FaultPlan, BoardCanonicalRoundTripIsStable)
+{
+    const std::string spec =
+        "seed=5;board2:crash@10+5*1;board0:hang@1+2";
+    FaultPlan plan = FaultPlan::parse(spec);
+    const std::string canon = plan.canonical();
+    // The board index survives the round trip.
+    EXPECT_NE(canon.find("board2:crash"), std::string::npos);
+    EXPECT_NE(canon.find("board0:hang"), std::string::npos);
+    EXPECT_EQ(FaultPlan::parse(canon).canonical(), canon);
+}
+
+TEST(FaultPlan, RejectsMalformedBoardClauses)
+{
+    // Bare namespace, malformed/oversized indices.
+    EXPECT_THROW(FaultPlan::parse("board:crash@0+1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("boardx:crash@0+1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("board1x:crash@0+1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("board1234567:crash@0+1"),
+                 std::invalid_argument);
+    // Machine kinds only apply to board targets and vice versa.
+    EXPECT_THROW(FaultPlan::parse("board1:nan@0+1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("p_big:crash@0+1"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultPlan::parse("act:hang@0+1"),
+                 std::invalid_argument);
+    // Degrade magnitude is the remaining capacity fraction.
+    EXPECT_THROW(FaultPlan::parse("board1:degrade@0+1*1.5"),
+                 std::invalid_argument);
+    // A positive crash/hang magnitude is a mode flag and stays legal.
+    EXPECT_EQ(FaultPlan::parse("board1:crash@0+1*2").windows[0].magnitude,
+              2.0);
+}
+
+TEST(FaultPlan, ErrorsNameByteOffsetAndClause)
+{
+    // "seed=3;" occupies bytes 0-6; the bad clause starts at byte 7.
+    const std::string err =
+        parseError("seed=3;board1:crash@5+-2;board0:hang@1+1");
+    EXPECT_NE(err.find("at byte 7"), std::string::npos) << err;
+    EXPECT_NE(err.find("clause 'board1:crash@5+-2'"), std::string::npos)
+        << err;
+
+    // First clause errors report byte 0.
+    EXPECT_NE(parseError("bogus:nan@0+1").find("at byte 0"),
+              std::string::npos);
+
+    // Offsets track clause starts, not error positions: the third
+    // clause of this spec begins at byte 21.
+    const std::string err2 =
+        parseError("seed=3;p_big:nan@0+1;boardx:crash@0+1");
+    EXPECT_NE(err2.find("at byte 21"), std::string::npos) << err2;
+    EXPECT_NE(err2.find("boardx"), std::string::npos) << err2;
+}
+
 }  // namespace
 }  // namespace yukta::fault

@@ -38,10 +38,17 @@ int main()
         return 1;
     }
 
-    // cache-bypass: writing to the result cache without the atomic
-    // helper tears files under concurrent sweep workers.
+    // cache-bypass + atomic-write: writing to the result cache without
+    // the atomic helper tears files under concurrent sweep workers.
     std::ofstream out(cachePath("k"));
     out << x;
+
+    // atomic-write (C shape): a truncating fopen can leave a torn
+    // file behind a crash mid-write.
+    std::FILE* raw = std::fopen("out.bin", "wb");
+    if (raw != nullptr) {
+        std::fclose(raw);
+    }
 
     for (int i = 0; i < 3; ++i) {
         std::cout << i << std::endl;  // endl-in-loop

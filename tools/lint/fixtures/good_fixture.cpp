@@ -2,6 +2,8 @@
 // nothing here, including for the suppressed exact comparison.
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <random>
 
@@ -48,6 +50,15 @@ int main()
     std::cout << std::endl;  // flush once, outside the loop: fine
     // Batched sweeps never trigger the rule, in or out of loops.
     x += freqResponseBatch(x);
+
+    // Append-mode streams and read-only fopen never truncate, so the
+    // atomic-write rule leaves both alone.
+    std::ofstream log("run.log", std::ios::app);
+    log << x << "\n";
+    std::FILE* in = std::fopen("data.bin", "rb");
+    if (in != nullptr) {
+        std::fclose(in);
+    }
 
     // Simulated timestamps and member accessors are not wall-clock
     // reads; a deliberate read outside src/obs is suppressible.

@@ -19,6 +19,13 @@ cannot express:
                         helper is the only way bytes may reach the
                         result cache (concurrent sweep workers would
                         otherwise tear files).
+  atomic-write          no truncating file writes (ofstream without
+                        ios::app, fopen "w") in src/: build the bytes
+                        in memory and publish with the tmp+rename
+                        core::atomicWriteFile helper, so a crash mid-
+                        write (or a concurrent reader) never sees a
+                        torn file. Benches/tests/examples stream
+                        freely; append-mode logs are exempt.
   endl-in-loop          no std::endl inside loops: one flush per
                         iteration serializes the hot reporting paths.
   sensor-construction   no SensorReadings construction outside the
@@ -69,6 +76,7 @@ RULES = (
     "banned-rand",
     "float-eq",
     "cache-bypass",
+    "atomic-write",
     "endl-in-loop",
     "sensor-construction",
     "freq-loop",
@@ -196,6 +204,24 @@ FLOAT_EQ_RE = re.compile(
 CACHE_BYPASS_RE = re.compile(
     r"(ofstream|fopen|freopen|FILE\s*\*)[^;\n]*(cachePath|cacheDir)\s*\(")
 
+# Truncating writes: any ofstream open that is not append-mode, and
+# fopen with a "w" mode (checked against the raw line, since string
+# literals are blanked in the code view). The rule is line-local; an
+# append flag on a continuation line needs a suppression marker.
+ATOMIC_OFSTREAM_RE = re.compile(r"\bofstream\b(?![^;\n]*\bapp\b)")
+ATOMIC_FOPEN_RE = re.compile(r"\bfopen\s*\(")
+ATOMIC_FOPEN_WRITE_MODE_RE = re.compile(r"\"w[b+]*\"")
+
+# Only the durable-artifact producers in src/ are held to the atomic
+# publish protocol; bench/test/example drivers stream freely, and the
+# helper's own implementation is the one place allowed to open the
+# temp file directly.
+ATOMIC_WRITE_EXEMPT_PREFIXES = (
+    "bench" + os.sep,
+    "tests" + os.sep,
+    "examples" + os.sep,
+)
+
 ENDL_RE = re.compile(r"std\s*::\s*endl")
 LOOP_KEYWORD_RE = re.compile(r"\b(for|while|do)\b")
 
@@ -264,6 +290,20 @@ def check_patterns(ctx, findings):
                 "direct write to a cache path; route bytes through "
                 "core::atomicWriteFile so concurrent sweeps never see "
                 "torn files"))
+        raw = ctx.raw_lines[idx - 1] if idx <= len(ctx.raw_lines) else ""
+        truncating = ATOMIC_OFSTREAM_RE.search(line) or (
+            ATOMIC_FOPEN_RE.search(line)
+            and ATOMIC_FOPEN_WRITE_MODE_RE.search(raw))
+        if truncating and \
+                ctx.rel != os.path.join("src", "core", "cache.cpp") and \
+                not ctx.rel.startswith(ATOMIC_WRITE_EXEMPT_PREFIXES) and \
+                not ctx.allowed("atomic-write", idx):
+            findings.append(Finding(
+                ctx.rel, idx, "atomic-write",
+                "truncating file write; build the contents in memory "
+                "and publish via core::atomicWriteFile (tmp+rename) so "
+                "a crash never leaves a torn file, or suppress a "
+                "deliberate streaming/append write"))
         if SENSOR_CONSTRUCTION_RE.search(line) and \
                 not ctx.rel.startswith(SENSOR_EXEMPT_PREFIXES) and \
                 not ctx.allowed("sensor-construction", idx):
@@ -598,8 +638,9 @@ def self_test(root, compiler):
     check_patterns(ctx, bad)
     check_endl_in_loop(ctx, bad)
     got = {f.rule for f in bad}
-    want = {"banned-rand", "float-eq", "cache-bypass", "endl-in-loop",
-            "sensor-construction", "freq-loop", "wall-clock"}
+    want = {"banned-rand", "float-eq", "cache-bypass", "atomic-write",
+            "endl-in-loop", "sensor-construction", "freq-loop",
+            "wall-clock"}
     for rule in sorted(want):
         status = "ok" if rule in got else "MISSING"
         print(f"self-test: bad_fixture triggers {rule:<18} {status}")
