@@ -1,0 +1,335 @@
+#include "controllers/batch_runtime.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/contracts.h"
+#include "linalg/gemm.h"
+
+namespace yukta::controllers {
+
+namespace batch_detail {
+
+std::uint64_t
+fnv1aBytes(const void* data, std::size_t len, std::uint64_t seed)
+{
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+namespace {
+
+std::uint64_t
+chainSize(std::uint64_t h, std::size_t v)
+{
+    const std::uint64_t w = static_cast<std::uint64_t>(v);
+    return fnv1aBytes(&w, sizeof(w), h);
+}
+
+std::uint64_t
+chainMatrix(std::uint64_t h, const linalg::Matrix& m)
+{
+    h = chainSize(h, m.rows());
+    h = chainSize(h, m.cols());
+    return fnv1aBytes(m.data(), m.rows() * m.cols() * sizeof(double), h);
+}
+
+}  // namespace
+
+std::uint64_t
+stateSpaceKey(const control::StateSpace& k)
+{
+    std::uint64_t h = fnv1aBytes("ss", 2);
+    h = chainMatrix(h, k.a);
+    h = chainMatrix(h, k.b);
+    h = chainMatrix(h, k.c);
+    return chainMatrix(h, k.d);
+}
+
+std::uint64_t
+fixedPointKey(std::size_t n, std::size_t m, std::size_t p,
+              const std::vector<std::int32_t>& a,
+              const std::vector<std::int32_t>& b,
+              const std::vector<std::int32_t>& c,
+              const std::vector<std::int32_t>& d)
+{
+    std::uint64_t h = fnv1aBytes("fx", 2);
+    h = chainSize(h, n);
+    h = chainSize(h, m);
+    h = chainSize(h, p);
+    h = fnv1aBytes(a.data(), a.size() * sizeof(std::int32_t), h);
+    h = fnv1aBytes(b.data(), b.size() * sizeof(std::int32_t), h);
+    h = fnv1aBytes(c.data(), c.size() * sizeof(std::int32_t), h);
+    return fnv1aBytes(d.data(), d.size() * sizeof(std::int32_t), h);
+}
+
+}  // namespace batch_detail
+
+namespace {
+
+bool
+sameSystem(const control::StateSpace& a, const control::StateSpace& b)
+{
+    auto eq = [](const linalg::Matrix& x, const linalg::Matrix& y) {
+        return x.rows() == y.rows() && x.cols() == y.cols() &&
+               (x.rows() * x.cols() == 0 ||
+                std::memcmp(x.data(), y.data(),
+                            x.rows() * x.cols() * sizeof(double)) == 0);
+    };
+    return eq(a.a, b.a) && eq(a.b, b.b) && eq(a.c, b.c) && eq(a.d, b.d);
+}
+
+}  // namespace
+
+void
+BatchRuntime::enqueueFloat(std::uint64_t key,
+                           const control::StateSpace& sys,
+                           FloatMember member)
+{
+    // Linear scan keeps group discovery deterministic (insertion
+    // order) and is trivially fast at fleet group counts (a handful).
+    for (FloatGroup& g : float_groups_) {
+        if (g.key == key && sameSystem(*g.sys, sys)) {
+            g.members.push_back(member);
+            return;
+        }
+    }
+    FloatGroup g;
+    g.key = key;
+    g.sys = &sys;
+    g.members.push_back(member);
+    float_groups_.push_back(std::move(g));
+}
+
+void
+BatchRuntime::enqueue(SsvRuntime& rt)
+{
+    if (!rt.has_pending_ || rt.linear_done_) {
+        throw std::logic_error(
+            "BatchRuntime::enqueue: SsvRuntime has no staged invocation");
+    }
+    rt.pending_u_ = linalg::Vector(rt.ctrl_.k.numOutputs());
+    enqueueFloat(rt.batch_key_, rt.ctrl_.k,
+                 FloatMember{&rt.x_, &rt.pending_dy_, &rt.pending_u_,
+                             &rt.linear_done_});
+}
+
+void
+BatchRuntime::enqueue(LqgRuntime& rt)
+{
+    if (!rt.has_pending_ || rt.linear_done_) {
+        throw std::logic_error(
+            "BatchRuntime::enqueue: LqgRuntime has no staged invocation");
+    }
+    rt.pending_u_ = linalg::Vector(rt.k_.numOutputs());
+    enqueueFloat(rt.batch_key_, rt.k_,
+                 FloatMember{&rt.x_, &rt.pending_dy_, &rt.pending_u_,
+                             &rt.linear_done_});
+}
+
+void
+BatchRuntime::enqueue(FixedPointSsv& fp)
+{
+    if (!fp.has_pending_ || fp.linear_done_) {
+        throw std::logic_error(
+            "BatchRuntime::enqueue: FixedPointSsv has no staged step");
+    }
+    fp.pending_u_.assign(fp.p_, 0);
+    for (FixedGroup& g : fixed_groups_) {
+        if (g.key == fp.batch_key_ && g.ref->n_ == fp.n_ &&
+            g.ref->m_ == fp.m_ && g.ref->p_ == fp.p_ &&
+            g.ref->a_ == fp.a_ && g.ref->b_ == fp.b_ &&
+            g.ref->c_ == fp.c_ && g.ref->d_ == fp.d_) {
+            g.members.push_back(FixedMember{&fp.x_, &fp.pending_dy_,
+                                            &fp.pending_u_,
+                                            &fp.linear_done_});
+            return;
+        }
+    }
+    FixedGroup g;
+    g.key = fp.batch_key_;
+    g.ref = &fp;
+    g.members.push_back(
+        FixedMember{&fp.x_, &fp.pending_dy_, &fp.pending_u_,
+                    &fp.linear_done_});
+    fixed_groups_.push_back(std::move(g));
+}
+
+std::size_t
+BatchRuntime::pendingCount() const
+{
+    std::size_t n = 0;
+    for (const FloatGroup& g : float_groups_) {
+        n += g.members.size();
+    }
+    for (const FixedGroup& g : fixed_groups_) {
+        n += g.members.size();
+    }
+    return n;
+}
+
+void
+BatchRuntime::tickFloatGroup(const FloatGroup& g)
+{
+    const control::StateSpace& sys = *g.sys;
+    const std::size_t n = sys.numStates();
+    const std::size_t m = sys.numInputs();
+    const std::size_t p = sys.numOutputs();
+    const std::size_t cols = g.members.size();
+
+    xpack_.resize(n * cols);
+    dypack_.resize(m * cols);
+    u_cx_.resize(p * cols);
+    u_ddy_.resize(p * cols);
+    xn_ax_.resize(n * cols);
+    xn_bdy_.resize(n * cols);
+
+    // Gather: member j becomes column j of X (n x cols) and DY
+    // (m x cols). Staged sizes were validated in beginInvoke.
+    for (std::size_t j = 0; j < cols; ++j) {
+        const FloatMember& mem = g.members[j];
+        YUKTA_REQUIRE(mem.x->size() == n && mem.dy->size() == m,
+                      "BatchRuntime: staged member shape drifted from "
+                      "its group");
+        for (std::size_t i = 0; i < n; ++i) {
+            xpack_[i * cols + j] = (*mem.x)[i];
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+            dypack_[i * cols + j] = (*mem.dy)[i];
+        }
+    }
+
+    // Four dense passes; each output element accumulates over k
+    // ascending with no skipped terms, exactly like Matrix*Vector.
+    linalg::gemmDense(sys.c.data(), p, n, xpack_.data(), cols,
+                      u_cx_.data());
+    linalg::gemmDense(sys.d.data(), p, m, dypack_.data(), cols,
+                      u_ddy_.data());
+    linalg::gemmDense(sys.a.data(), n, n, xpack_.data(), cols,
+                      xn_ax_.data());
+    linalg::gemmDense(sys.b.data(), n, m, dypack_.data(), cols,
+                      xn_bdy_.data());
+
+    // Scatter: one elementwise add per element, mirroring stepOnce's
+    // y = (C x) + (D dy) and x' = (A x) + (B dy). The state update
+    // used the packed OLD state, so ordering vs. the u pass is moot.
+    for (std::size_t j = 0; j < cols; ++j) {
+        const FloatMember& mem = g.members[j];
+        for (std::size_t i = 0; i < p; ++i) {
+            (*mem.u)[i] = u_cx_[i * cols + j] + u_ddy_[i * cols + j];
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            (*mem.x)[i] = xn_ax_[i * cols + j] + xn_bdy_[i * cols + j];
+        }
+        *mem.done = true;
+    }
+}
+
+void
+BatchRuntime::tickFixedGroup(const FixedGroup& g)
+{
+    const FixedPointSsv& ref = *g.ref;
+    const std::size_t n = ref.n_;
+    const std::size_t m = ref.m_;
+    const std::size_t p = ref.p_;
+    const std::size_t cols = g.members.size();
+
+    fxpack_.resize(n * cols);
+    fdypack_.resize(m * cols);
+    fu_.resize(p * cols);
+    fxn_.resize(n * cols);
+    facc_.resize(cols);
+
+    for (std::size_t j = 0; j < cols; ++j) {
+        const FixedMember& mem = g.members[j];
+        YUKTA_REQUIRE(mem.x->size() == n && mem.dy->size() == m,
+                      "BatchRuntime: staged fixed-point member shape "
+                      "drifted from its group");
+        for (std::size_t i = 0; i < n; ++i) {
+            fxpack_[i * cols + j] = (*mem.x)[i];
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+            fdypack_[i * cols + j] = (*mem.dy)[i];
+        }
+    }
+
+    // u = (C x + D dy) >> frac, row by row with 64-bit accumulators;
+    // integer addition is exact, so any order matches the scalar
+    // path -- this loop keeps the scalar term order anyway.
+    for (std::size_t i = 0; i < p; ++i) {
+        std::fill(facc_.begin(), facc_.end(), std::int64_t{0});
+        for (std::size_t kk = 0; kk < n; ++kk) {
+            const std::int64_t cv = ref.c_[i * n + kk];
+            const std::int32_t* row = fxpack_.data() + kk * cols;
+            for (std::size_t j = 0; j < cols; ++j) {
+                facc_[j] += cv * row[j];
+            }
+        }
+        for (std::size_t kk = 0; kk < m; ++kk) {
+            const std::int64_t dv = ref.d_[i * m + kk];
+            const std::int32_t* row = fdypack_.data() + kk * cols;
+            for (std::size_t j = 0; j < cols; ++j) {
+                facc_[j] += dv * row[j];
+            }
+        }
+        for (std::size_t j = 0; j < cols; ++j) {
+            fu_[i * cols + j] =
+                static_cast<std::int32_t>(facc_[j] >> FixedPointSsv::kFracBits);
+        }
+    }
+
+    // x' = (A x + B dy) >> frac from the packed OLD state.
+    for (std::size_t i = 0; i < n; ++i) {
+        std::fill(facc_.begin(), facc_.end(), std::int64_t{0});
+        for (std::size_t kk = 0; kk < n; ++kk) {
+            const std::int64_t av = ref.a_[i * n + kk];
+            const std::int32_t* row = fxpack_.data() + kk * cols;
+            for (std::size_t j = 0; j < cols; ++j) {
+                facc_[j] += av * row[j];
+            }
+        }
+        for (std::size_t kk = 0; kk < m; ++kk) {
+            const std::int64_t bv = ref.b_[i * m + kk];
+            const std::int32_t* row = fdypack_.data() + kk * cols;
+            for (std::size_t j = 0; j < cols; ++j) {
+                facc_[j] += bv * row[j];
+            }
+        }
+        for (std::size_t j = 0; j < cols; ++j) {
+            fxn_[i * cols + j] =
+                static_cast<std::int32_t>(facc_[j] >> FixedPointSsv::kFracBits);
+        }
+    }
+
+    for (std::size_t j = 0; j < cols; ++j) {
+        const FixedMember& mem = g.members[j];
+        for (std::size_t i = 0; i < p; ++i) {
+            (*mem.u)[i] = fu_[i * cols + j];
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            (*mem.x)[i] = fxn_[i * cols + j];
+        }
+        *mem.done = true;
+    }
+}
+
+void
+BatchRuntime::tick()
+{
+    for (const FloatGroup& g : float_groups_) {
+        tickFloatGroup(g);
+    }
+    for (const FixedGroup& g : fixed_groups_) {
+        tickFixedGroup(g);
+    }
+    float_groups_.clear();
+    fixed_groups_.clear();
+}
+
+}  // namespace yukta::controllers

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "controllers/batch_runtime.h"
 #include "obs/trace.h"
 
 namespace yukta::controllers {
@@ -103,8 +104,8 @@ SsvHwController::attachTrace(obs::TraceSink* sink)
     optimizer_.attachTrace(sink, "opt-hw");
 }
 
-HardwareInputs
-SsvHwController::invoke(const HwSignals& s)
+void
+SsvHwController::stage(const HwSignals& s)
 {
     Vector y{s.perf_bips, s.p_big, s.p_little, s.temp};
     Vector targets =
@@ -113,15 +114,31 @@ SsvHwController::invoke(const HwSignals& s)
                     exdMetric(s.p_big + s.p_little, s.perf_bips), y);
     Vector dev = targets - y;
     Vector ext{s.threads_big, s.tpc_big, s.tpc_little};
+    runtime_.beginInvoke(dev, ext);
+    pending_y_ = std::move(y);
+    pending_targets_ = std::move(targets);
+    pending_ext_ = std::move(ext);
+}
+
+bool
+SsvHwController::beginInvoke(const HwSignals& s, BatchRuntime& batch)
+{
+    stage(s);
+    batch.enqueue(runtime_);
+    return true;
+}
+
+HardwareInputs
+SsvHwController::finishInvoke()
+{
     SsvInvokeInfo info;
-    Vector u = runtime_.invoke(dev, ext,
-                               trace_ != nullptr ? &info : nullptr);
+    Vector u = runtime_.finishInvoke(trace_ != nullptr ? &info : nullptr);
     if (trace_ != nullptr) {
         obs::TraceEvent ev = trace_->makeEvent("hw", "ssv");
-        ev.vec("y", y.raw())
-            .vec("targets", targets.raw())
+        ev.vec("y", pending_y_.raw())
+            .vec("targets", pending_targets_.raw())
             .vec("dy", info.dy.raw())
-            .vec("ext", ext.raw())
+            .vec("ext", pending_ext_.raw())
             .vec("x", info.x.raw())
             .vec("u_raw", info.u_raw.raw())
             .vec("u", u.raw())
@@ -136,6 +153,13 @@ SsvHwController::invoke(const HwSignals& s)
     out.freq_big = u[2];
     out.freq_little = u[3];
     return out;
+}
+
+HardwareInputs
+SsvHwController::invoke(const HwSignals& s)
+{
+    stage(s);
+    return finishInvoke();
 }
 
 void
@@ -169,8 +193,8 @@ SsvOsController::attachTrace(obs::TraceSink* sink)
     optimizer_.attachTrace(sink, "opt-os");
 }
 
-PlacementPolicy
-SsvOsController::invoke(const OsSignals& s)
+void
+SsvOsController::stage(const OsSignals& s)
 {
     Vector y{s.perf_big, s.perf_little, s.d_spare};
     Vector targets =
@@ -180,15 +204,32 @@ SsvOsController::invoke(const OsSignals& s)
                     y);
     Vector dev = targets - y;
     Vector ext{s.big_cores, s.little_cores, s.freq_big, s.freq_little};
+    runtime_.beginInvoke(dev, ext);
+    pending_y_ = std::move(y);
+    pending_targets_ = std::move(targets);
+    pending_ext_ = std::move(ext);
+    pending_threads_ = s.num_threads;
+}
+
+bool
+SsvOsController::beginInvoke(const OsSignals& s, BatchRuntime& batch)
+{
+    stage(s);
+    batch.enqueue(runtime_);
+    return true;
+}
+
+PlacementPolicy
+SsvOsController::finishInvoke()
+{
     SsvInvokeInfo info;
-    Vector u = runtime_.invoke(dev, ext,
-                               trace_ != nullptr ? &info : nullptr);
+    Vector u = runtime_.finishInvoke(trace_ != nullptr ? &info : nullptr);
     if (trace_ != nullptr) {
         obs::TraceEvent ev = trace_->makeEvent("os", "ssv");
-        ev.vec("y", y.raw())
-            .vec("targets", targets.raw())
+        ev.vec("y", pending_y_.raw())
+            .vec("targets", pending_targets_.raw())
             .vec("dy", info.dy.raw())
-            .vec("ext", ext.raw())
+            .vec("ext", pending_ext_.raw())
             .vec("x", info.x.raw())
             .vec("u_raw", info.u_raw.raw())
             .vec("u", u.raw())
@@ -200,10 +241,17 @@ SsvOsController::invoke(const OsSignals& s)
     PlacementPolicy out;
     // Threads assigned to big cannot exceed the runnable threads.
     out.threads_big =
-        std::clamp(u[0], 0.0, static_cast<double>(s.num_threads));
+        std::clamp(u[0], 0.0, static_cast<double>(pending_threads_));
     out.tpc_big = std::max(1.0, u[1]);
     out.tpc_little = std::max(1.0, u[2]);
     return out;
+}
+
+PlacementPolicy
+SsvOsController::invoke(const OsSignals& s)
+{
+    stage(s);
+    return finishInvoke();
 }
 
 void
@@ -237,21 +285,36 @@ LqgHwController::holdTargets(const Vector& targets)
     return true;
 }
 
-HardwareInputs
-LqgHwController::invoke(const HwSignals& s)
+void
+LqgHwController::stage(const HwSignals& s)
 {
     Vector y{s.perf_bips, s.p_big, s.p_little, s.temp};
     Vector targets =
         hold_ ? held_targets_
               : optimizer_.update(
                     exdMetric(s.p_big + s.p_little, s.perf_bips), y);
+    runtime_.beginInvoke(targets - y);
+    pending_y_ = std::move(y);
+    pending_targets_ = std::move(targets);
+}
+
+bool
+LqgHwController::beginInvoke(const HwSignals& s, BatchRuntime& batch)
+{
+    stage(s);
+    batch.enqueue(runtime_);
+    return true;
+}
+
+HardwareInputs
+LqgHwController::finishInvoke()
+{
     LqgInvokeInfo info;
-    Vector u = runtime_.invoke(targets - y,
-                               trace_ != nullptr ? &info : nullptr);
+    Vector u = runtime_.finishInvoke(trace_ != nullptr ? &info : nullptr);
     if (trace_ != nullptr) {
         obs::TraceEvent ev = trace_->makeEvent("hw", "lqg");
-        ev.vec("y", y.raw())
-            .vec("targets", targets.raw())
+        ev.vec("y", pending_y_.raw())
+            .vec("targets", pending_targets_.raw())
             .vec("x", info.x.raw())
             .vec("u_raw", info.u_raw.raw())
             .vec("u", u.raw())
@@ -265,6 +328,13 @@ LqgHwController::invoke(const HwSignals& s)
     out.freq_big = u[2];
     out.freq_little = u[3];
     return out;
+}
+
+HardwareInputs
+LqgHwController::invoke(const HwSignals& s)
+{
+    stage(s);
+    return finishInvoke();
 }
 
 void
@@ -286,19 +356,35 @@ LqgOsController::attachTrace(obs::TraceSink* sink)
     optimizer_.attachTrace(sink, "opt-os");
 }
 
-PlacementPolicy
-LqgOsController::invoke(const OsSignals& s)
+void
+LqgOsController::stage(const OsSignals& s)
 {
     Vector y{s.perf_big, s.perf_little, s.d_spare};
     Vector targets = optimizer_.update(
         exdMetric(s.total_power, s.perf_big + s.perf_little), y);
+    runtime_.beginInvoke(targets - y);
+    pending_y_ = std::move(y);
+    pending_targets_ = std::move(targets);
+    pending_threads_ = s.num_threads;
+}
+
+bool
+LqgOsController::beginInvoke(const OsSignals& s, BatchRuntime& batch)
+{
+    stage(s);
+    batch.enqueue(runtime_);
+    return true;
+}
+
+PlacementPolicy
+LqgOsController::finishInvoke()
+{
     LqgInvokeInfo info;
-    Vector u = runtime_.invoke(targets - y,
-                               trace_ != nullptr ? &info : nullptr);
+    Vector u = runtime_.finishInvoke(trace_ != nullptr ? &info : nullptr);
     if (trace_ != nullptr) {
         obs::TraceEvent ev = trace_->makeEvent("os", "lqg");
-        ev.vec("y", y.raw())
-            .vec("targets", targets.raw())
+        ev.vec("y", pending_y_.raw())
+            .vec("targets", pending_targets_.raw())
             .vec("x", info.x.raw())
             .vec("u_raw", info.u_raw.raw())
             .vec("u", u.raw())
@@ -308,10 +394,17 @@ LqgOsController::invoke(const OsSignals& s)
 
     PlacementPolicy out;
     out.threads_big =
-        std::clamp(u[0], 0.0, static_cast<double>(s.num_threads));
+        std::clamp(u[0], 0.0, static_cast<double>(pending_threads_));
     out.tpc_big = std::max(1.0, u[1]);
     out.tpc_little = std::max(1.0, u[2]);
     return out;
+}
+
+PlacementPolicy
+LqgOsController::invoke(const OsSignals& s)
+{
+    stage(s);
+    return finishInvoke();
 }
 
 void

@@ -41,6 +41,10 @@ class SsvHwController : public HwController
     platform::HardwareInputs invoke(const HwSignals& s) override;
     void reset() override;
 
+    /** Batched-tick split (bit-identical to invoke()). */
+    bool beginInvoke(const HwSignals& s, BatchRuntime& batch) override;
+    platform::HardwareInputs finishInvoke() override;
+
     /** Emits per-tick "hw"/"ssv" events to @p sink (nullptr off). */
     void attachTrace(obs::TraceSink* sink) override;
 
@@ -69,11 +73,15 @@ class SsvHwController : public HwController
     }
 
   private:
+    /** Front half of invoke(): optimizer + staging the runtime. */
+    void stage(const HwSignals& s);
+
     SsvRuntime runtime_;
     ExdOptimizer optimizer_;
     linalg::Vector held_targets_;
     bool hold_ = false;
     obs::TraceSink* trace_ = nullptr;
+    linalg::Vector pending_y_, pending_targets_, pending_ext_;
 };
 
 /** SSV software controller (Sec. IV-B) + optimizer. */
@@ -86,6 +94,10 @@ class SsvOsController : public OsController
     /** OsController hooks: one control period; reset clears state. */
     platform::PlacementPolicy invoke(const OsSignals& s) override;
     void reset() override;
+
+    /** Batched-tick split (bit-identical to invoke()). */
+    bool beginInvoke(const OsSignals& s, BatchRuntime& batch) override;
+    platform::PlacementPolicy finishInvoke() override;
 
     /** Emits per-tick "os"/"ssv" events to @p sink (nullptr off). */
     void attachTrace(obs::TraceSink* sink) override;
@@ -115,11 +127,16 @@ class SsvOsController : public OsController
     }
 
   private:
+    /** Front half of invoke(): optimizer + staging the runtime. */
+    void stage(const OsSignals& s);
+
     SsvRuntime runtime_;
     ExdOptimizer optimizer_;
     linalg::Vector held_targets_;
     bool hold_ = false;
     obs::TraceSink* trace_ = nullptr;
+    linalg::Vector pending_y_, pending_targets_, pending_ext_;
+    std::size_t pending_threads_ = 0;
 };
 
 /** Decoupled-LQG hardware controller (no external signals). */
@@ -132,6 +149,10 @@ class LqgHwController : public HwController
     /** HwController hooks: one control period; reset clears state. */
     platform::HardwareInputs invoke(const HwSignals& s) override;
     void reset() override;
+
+    /** Batched-tick split (bit-identical to invoke()). */
+    bool beginInvoke(const HwSignals& s, BatchRuntime& batch) override;
+    platform::HardwareInputs finishInvoke() override;
 
     /** Emits per-tick "hw"/"lqg" events to @p sink (nullptr off). */
     void attachTrace(obs::TraceSink* sink) override;
@@ -161,11 +182,15 @@ class LqgHwController : public HwController
     }
 
   private:
+    /** Front half of invoke(): optimizer + staging the runtime. */
+    void stage(const HwSignals& s);
+
     LqgRuntime runtime_;
     ExdOptimizer optimizer_;
     linalg::Vector held_targets_;
     bool hold_ = false;
     obs::TraceSink* trace_ = nullptr;
+    linalg::Vector pending_y_, pending_targets_;
 };
 
 /** Decoupled-LQG software controller. */
@@ -178,6 +203,10 @@ class LqgOsController : public OsController
     /** OsController hooks: one control period; reset clears state. */
     platform::PlacementPolicy invoke(const OsSignals& s) override;
     void reset() override;
+
+    /** Batched-tick split (bit-identical to invoke()). */
+    bool beginInvoke(const OsSignals& s, BatchRuntime& batch) override;
+    platform::PlacementPolicy finishInvoke() override;
 
     /** Emits per-tick "os"/"lqg" events to @p sink (nullptr off). */
     void attachTrace(obs::TraceSink* sink) override;
@@ -199,9 +228,14 @@ class LqgOsController : public OsController
     }
 
   private:
+    /** Front half of invoke(): optimizer + staging the runtime. */
+    void stage(const OsSignals& s);
+
     LqgRuntime runtime_;
     ExdOptimizer optimizer_;
     obs::TraceSink* trace_ = nullptr;
+    linalg::Vector pending_y_, pending_targets_;
+    std::size_t pending_threads_ = 0;
 };
 
 /** Controller that manages both layers from one loop. */

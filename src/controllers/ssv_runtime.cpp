@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "controllers/batch_runtime.h"
 #include "core/contracts.h"
 
 namespace yukta::controllers {
@@ -38,11 +39,19 @@ SsvRuntime::SsvRuntime(robust::SsvController ctrl,
     }
     num_outputs_ = ndy - e_mean_.size();
     x_ = Vector::zeros(ctrl_.k.numStates());
+    batch_key_ = batch_detail::stateSpaceKey(ctrl_.k);
 }
 
 Vector
 SsvRuntime::invoke(const Vector& deviations, const Vector& external,
                    SsvInvokeInfo* info)
+{
+    beginInvoke(deviations, external);
+    return finishInvoke(info);
+}
+
+void
+SsvRuntime::beginInvoke(const Vector& deviations, const Vector& external)
 {
     if (deviations.size() != num_outputs_ ||
         external.size() != e_mean_.size()) {
@@ -65,15 +74,33 @@ SsvRuntime::invoke(const Vector& deviations, const Vector& external,
     for (std::size_t i = 0; i < e_mean_.size(); ++i) {
         dy[num_outputs_ + i] = external[i] - e_mean_[i];
     }
+    pending_dy_ = std::move(dy);
+    pending_dev_ = deviations;
+    has_pending_ = true;
+    linear_done_ = false;
+}
 
-    // Linear state machine (Eqs. 3-4).
-    Vector u = control::stepOnce(ctrl_.k, x_, dy);
+Vector
+SsvRuntime::finishInvoke(SsvInvokeInfo* info)
+{
+    if (!has_pending_) {
+        throw std::logic_error(
+            "SsvRuntime::finishInvoke: no staged invocation");
+    }
+    has_pending_ = false;
+    // Linear state machine (Eqs. 3-4), unless a BatchRuntime already
+    // advanced it (bit-identically) in a batched pass.
+    if (!linear_done_) {
+        pending_u_ = control::stepOnce(ctrl_.k, x_, pending_dy_);
+        linear_done_ = true;
+    }
+    const Vector& u = pending_u_;
     YUKTA_CHECK_FINITE(x_, "SsvRuntime: controller state poisoned after "
                        "x(T+1) = A x(T) + B dy(T)");
     YUKTA_CHECK_FINITE(u, "SsvRuntime: non-finite controller output");
 
     if (info != nullptr) {
-        info->dy = dy;
+        info->dy = pending_dy_;
         info->x = x_;
         info->u_raw = Vector(grids_.size());
         info->saturated.assign(grids_.size(), 0);
@@ -103,7 +130,7 @@ SsvRuntime::invoke(const Vector& deviations, const Vector& external,
     for (std::size_t i = 0; i < num_outputs_ &&
                             i < ctrl_.guaranteed_bounds.size();
          ++i) {
-        if (std::abs(deviations[i]) > ctrl_.guaranteed_bounds[i]) {
+        if (std::abs(pending_dev_[i]) > ctrl_.guaranteed_bounds[i]) {
             over = true;
             break;
         }

@@ -116,6 +116,16 @@ struct FleetConfig
     bool fault_aware = true;
 
     /**
+     * True: each shard ticks its boards' controller state machines
+     * through one batched matrix-matrix pass per epoch (BatchRuntime)
+     * instead of per-board matrix-vector passes. Bit-identical to the
+     * scalar path, so this is an execution knob, not part of the
+     * run's identity (excluded from canonical(); checkpoints
+     * interoperate across modes).
+     */
+    bool batch_tick = true;
+
+    /**
      * Shard attempts per epoch before a hung board is declared lost
      * (>= 1). Part of the run's identity; the wall-clock watchdog
      * deadline/backoff below are not (they only bound real time).
@@ -344,6 +354,13 @@ class FleetSim
     /** Steps one board one control period and drains its queue. */
     void stepBoard(FleetBoard& fb, double epoch_end,
                    double drain_scale) const;
+
+    /**
+     * Post-tick half of stepBoard: EMA/rollup bookkeeping and queue
+     * drain at the rate of work actually retired this period.
+     */
+    void drainBoard(FleetBoard& fb, double epoch_end,
+                    double drain_scale) const;
 };
 
 }  // namespace yukta::fleet

@@ -1,0 +1,66 @@
+#ifndef YUKTA_LINALG_GEMM_H_
+#define YUKTA_LINALG_GEMM_H_
+
+/**
+ * @file
+ * Cache-blocked general matrix-matrix kernels for the batched runtime
+ * tick engine (and anything else that multiplies one small matrix
+ * against a wide column-block panel).
+ *
+ * Two entry points with two deliberately different IEEE contracts:
+ *
+ *  - gemmDense: every output element is the plain left-to-right sum
+ *    over k of a(i,k) * b(k,j), starting from +0.0, with NO sparsity
+ *    skip. Column j of the result is bit-identical to the dense
+ *    matrix-vector product `Matrix * Vector` applied to column j of
+ *    b, which is exactly what control::stepOnce evaluates per
+ *    controller instance -- the batch == scalar bit-identity of the
+ *    tick engine rests on this contract. A non-finite column poisons
+ *    only itself: the kernel never mixes columns.
+ *
+ *  - gemmBlocked: bit-identical to the naive `Matrix * Matrix`
+ *    operator, including its finite-guarded sparsity skip (a zero
+ *    left entry is skipped only when the whole right factor is
+ *    finite, so 0 * NaN still propagates).
+ *
+ * Both kernels block over the output rows and columns only; the
+ * k accumulation order of every output element is untouched, which is
+ * what makes bit-identity to the reference loops provable rather than
+ * empirical. Inner loops run over contiguous row panels and
+ * vectorize.
+ */
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace yukta::linalg {
+
+/**
+ * Dense blocked kernel on raw row-major storage:
+ * out (m x n) = a (m x k) * b (k x n).
+ *
+ * Per-element contract (the batch-tick oracle): out(i,j) is
+ * accumulated from +0.0 over k ascending with no term skipped, the
+ * same operation sequence as the dense `Matrix * Vector` product on
+ * column j. @p out must not alias @p a or @p b.
+ */
+void gemmDense(const double* a, std::size_t m, std::size_t k,
+               const double* b, std::size_t n, double* out);
+
+/** Convenience wrapper over Matrix operands. */
+Matrix gemmDense(const Matrix& a, const Matrix& b);
+
+/**
+ * Blocked product bit-identical to the naive `Matrix * Matrix`
+ * operator: same finite-guarded sparsity skip, same k-ascending
+ * accumulation per element.
+ */
+Matrix gemmBlocked(const Matrix& a, const Matrix& b);
+
+/** Column-panel width both kernels block over (tests probe +-1). */
+inline constexpr std::size_t kGemmColBlock = 256;
+
+}  // namespace yukta::linalg
+
+#endif  // YUKTA_LINALG_GEMM_H_

@@ -1,0 +1,481 @@
+// Batched tick engine vs per-instance stepping: randomized
+// bit-identity over (order, batch size, seed) for the SSV, LQG, and
+// fixed-point runtimes, including batch size 1, widths that are not a
+// multiple of the GEMM column block, divergent member states, mixed
+// shape-class groups, and NaN-poisoning containment (a poisoned
+// member must never contaminate its neighbors' columns, and the
+// per-instance finite-state contracts keep firing under
+// -DYUKTA_CHECKS=ON).
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "controllers/batch_runtime.h"
+#include "controllers/fixed_point.h"
+#include "controllers/lqg_runtime.h"
+#include "controllers/ssv_runtime.h"
+#include "linalg/test_util.h"
+#include "obs/stateio.h"
+
+namespace yukta::controllers {
+namespace {
+
+using control::StateSpace;
+using linalg::Matrix;
+using linalg::Vector;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/** SplitMix64: cheap deterministic stream per (case, member, step). */
+std::uint64_t
+splitmix(std::uint64_t& s)
+{
+    s += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = s;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Uniform in [-1, 1). */
+double
+unitRand(std::uint64_t& s)
+{
+    return static_cast<double>(splitmix(s) >> 11) * 0x1.0p-52 - 1.0;
+}
+
+bool
+bitEqual(const Vector& a, const Vector& b)
+{
+    if (a.size() != b.size()) {
+        return false;
+    }
+    return a.size() == 0 ||
+           std::memcmp(a.raw().data(), b.raw().data(),
+                       a.size() * sizeof(double)) == 0;
+}
+
+/** A random SSV certificate with wide continuous grids. */
+robust::SsvController
+randomSsvController(std::size_t order, std::size_t n_out,
+                    std::size_t n_ext, std::size_t n_in, unsigned seed)
+{
+    robust::SsvController ctrl;
+    const std::size_t m = n_out + n_ext;
+    // 0.4 scaling keeps the iterates bounded over the short horizons
+    // the tests run; stability is irrelevant to bit-identity.
+    Matrix a = 0.4 * test::randomMatrix(order, order, seed);
+    Matrix b = test::randomMatrix(order, m, seed + 1);
+    Matrix c = test::randomMatrix(n_in, order, seed + 2);
+    Matrix d = test::randomMatrix(n_in, m, seed + 3);
+    ctrl.k = StateSpace(a, b, c, d, 0.5);
+    ctrl.mu_peak = 0.8;
+    ctrl.min_s = 1.25;
+    ctrl.design_bounds = std::vector<double>(n_out, 2.0);
+    ctrl.guaranteed_bounds = std::vector<double>(n_out, 2.0);
+    return ctrl;
+}
+
+std::vector<InputGrid>
+wideGrids(std::size_t n_in)
+{
+    return std::vector<InputGrid>(n_in, InputGrid{-50.0, 50.0, 0.0});
+}
+
+/**
+ * Drives @p batch_size identical-shape SSV runtimes for @p steps
+ * ticks, scalar vs batched, with per-member input streams (so the
+ * member states diverge immediately), and requires bitwise-equal
+ * commands and introspection records at every step.
+ */
+void
+checkSsvCase(std::size_t order, std::size_t batch_size, unsigned seed)
+{
+    const std::size_t n_out = 1 + seed % 3;
+    const std::size_t n_ext = seed % 2;
+    const std::size_t n_in = 1 + (seed / 3) % 3;
+    auto ctrl = randomSsvController(order, n_out, n_ext, n_in, seed);
+    auto grids = wideGrids(n_in);
+    Vector u_mean = Vector::zeros(n_in);
+    Vector e_mean = Vector::zeros(n_ext);
+
+    std::vector<std::unique_ptr<SsvRuntime>> scalar;
+    std::vector<std::unique_ptr<SsvRuntime>> batched;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+        scalar.push_back(std::make_unique<SsvRuntime>(ctrl, grids, u_mean,
+                                                      e_mean));
+        batched.push_back(std::make_unique<SsvRuntime>(ctrl, grids,
+                                                       u_mean, e_mean));
+    }
+
+    BatchRuntime batch;
+    for (int t = 0; t < 4; ++t) {
+        std::vector<Vector> devs;
+        std::vector<Vector> exts;
+        for (std::size_t i = 0; i < batch_size; ++i) {
+            std::uint64_t s = 1000003ULL * seed + 97ULL * i + t;
+            Vector dev(n_out);
+            for (std::size_t j = 0; j < n_out; ++j) {
+                dev[j] = 3.0 * unitRand(s);
+            }
+            Vector ext(n_ext);
+            for (std::size_t j = 0; j < n_ext; ++j) {
+                ext[j] = unitRand(s);
+            }
+            devs.push_back(dev);
+            exts.push_back(ext);
+            batched[i]->beginInvoke(dev, ext);
+            batch.enqueue(*batched[i]);
+        }
+        EXPECT_EQ(batch.pendingCount(), batch_size);
+        EXPECT_EQ(batch.groupCount(), 1u);
+        batch.tick();
+        EXPECT_EQ(batch.pendingCount(), 0u);
+        for (std::size_t i = 0; i < batch_size; ++i) {
+            SsvInvokeInfo ref_info;
+            SsvInvokeInfo got_info;
+            Vector want = scalar[i]->invoke(devs[i], exts[i], &ref_info);
+            Vector got = batched[i]->finishInvoke(&got_info);
+            ASSERT_TRUE(bitEqual(got, want))
+                << "order=" << order << " batch=" << batch_size
+                << " seed=" << seed << " member=" << i << " t=" << t;
+            ASSERT_TRUE(bitEqual(got_info.x, ref_info.x));
+            ASSERT_TRUE(bitEqual(got_info.u_raw, ref_info.u_raw));
+            ASSERT_TRUE(bitEqual(got_info.dy, ref_info.dy));
+        }
+    }
+}
+
+void
+checkLqgCase(std::size_t order, std::size_t batch_size, unsigned seed)
+{
+    const std::size_t n_out = 1 + seed % 3;
+    const std::size_t n_in = 1 + (seed / 3) % 3;
+    Matrix a = 0.4 * test::randomMatrix(order, order, seed + 11);
+    Matrix b = test::randomMatrix(order, n_out, seed + 12);
+    Matrix c = test::randomMatrix(n_in, order, seed + 13);
+    Matrix d = test::randomMatrix(n_in, n_out, seed + 14);
+    StateSpace k(a, b, c, d, 0.5);
+    auto grids = wideGrids(n_in);
+    Vector u_mean = Vector::zeros(n_in);
+
+    std::vector<std::unique_ptr<LqgRuntime>> scalar;
+    std::vector<std::unique_ptr<LqgRuntime>> batched;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+        scalar.push_back(std::make_unique<LqgRuntime>(k, grids, u_mean));
+        batched.push_back(std::make_unique<LqgRuntime>(k, grids, u_mean));
+    }
+
+    BatchRuntime batch;
+    for (int t = 0; t < 4; ++t) {
+        std::vector<Vector> devs;
+        for (std::size_t i = 0; i < batch_size; ++i) {
+            std::uint64_t s = 500009ULL * seed + 31ULL * i + t;
+            Vector dev(n_out);
+            for (std::size_t j = 0; j < n_out; ++j) {
+                dev[j] = 2.0 * unitRand(s);
+            }
+            devs.push_back(dev);
+            batched[i]->beginInvoke(dev);
+            batch.enqueue(*batched[i]);
+        }
+        batch.tick();
+        for (std::size_t i = 0; i < batch_size; ++i) {
+            LqgInvokeInfo ref_info;
+            LqgInvokeInfo got_info;
+            Vector want = scalar[i]->invoke(devs[i], &ref_info);
+            Vector got = batched[i]->finishInvoke(&got_info);
+            ASSERT_TRUE(bitEqual(got, want))
+                << "order=" << order << " batch=" << batch_size
+                << " seed=" << seed << " member=" << i << " t=" << t;
+            ASSERT_TRUE(bitEqual(got_info.x, ref_info.x));
+            ASSERT_TRUE(bitEqual(got_info.u_raw, ref_info.u_raw));
+            ASSERT_EQ(batched[i]->wastedMoves(), scalar[i]->wastedMoves());
+        }
+    }
+}
+
+void
+checkFixedCase(std::size_t order, std::size_t batch_size, unsigned seed)
+{
+    const std::size_t m = 2 + seed % 3;
+    const std::size_t p = 1 + seed % 2;
+    Matrix a = 0.4 * test::randomMatrix(order, order, seed + 21);
+    Matrix b = test::randomMatrix(order, m, seed + 22);
+    Matrix c = test::randomMatrix(p, order, seed + 23);
+    Matrix d = test::randomMatrix(p, m, seed + 24);
+    StateSpace k(a, b, c, d, 0.5);
+
+    std::vector<std::unique_ptr<FixedPointSsv>> scalar;
+    std::vector<std::unique_ptr<FixedPointSsv>> batched;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+        scalar.push_back(std::make_unique<FixedPointSsv>(k));
+        batched.push_back(std::make_unique<FixedPointSsv>(k));
+    }
+
+    BatchRuntime batch;
+    for (int t = 0; t < 4; ++t) {
+        std::vector<std::vector<std::int32_t>> dys;
+        for (std::size_t i = 0; i < batch_size; ++i) {
+            std::uint64_t s = 900007ULL * seed + 13ULL * i + t;
+            std::vector<std::int32_t> dy(m);
+            for (std::size_t j = 0; j < m; ++j) {
+                dy[j] = FixedPointSsv::toFixed(2.0 * unitRand(s));
+            }
+            dys.push_back(dy);
+            batched[i]->beginStep(dy);
+            batch.enqueue(*batched[i]);
+        }
+        batch.tick();
+        for (std::size_t i = 0; i < batch_size; ++i) {
+            std::vector<std::int32_t> want = scalar[i]->step(dys[i]);
+            std::vector<std::int32_t> got = batched[i]->finishStep();
+            ASSERT_EQ(got, want)
+                << "order=" << order << " batch=" << batch_size
+                << " seed=" << seed << " member=" << i << " t=" << t;
+        }
+    }
+}
+
+// The randomized sweeps: (order, batch size, seed) tuples chosen to
+// cover batch size 1, primes, and widths straddling nothing in
+// particular -- every width under kGemmColBlock already exercises the
+// partial-block path of the packed pass. 80 + 80 + 60 = 220 cases.
+
+TEST(BatchRuntime, SsvRandomizedBitIdentity)
+{
+    const std::size_t batches[] = {1, 2, 3, 5, 7, 13, 17, 33};
+    for (unsigned c = 0; c < 80; ++c) {
+        std::size_t order = 1 + c % 12;
+        std::size_t batch_size = batches[c % 8];
+        checkSsvCase(order, batch_size, 7000 + 17 * c);
+    }
+}
+
+TEST(BatchRuntime, LqgRandomizedBitIdentity)
+{
+    const std::size_t batches[] = {1, 2, 4, 6, 9, 11, 21, 40};
+    for (unsigned c = 0; c < 80; ++c) {
+        std::size_t order = 1 + c % 10;
+        std::size_t batch_size = batches[c % 8];
+        checkLqgCase(order, batch_size, 9000 + 13 * c);
+    }
+}
+
+TEST(BatchRuntime, FixedPointRandomizedIdentity)
+{
+    const std::size_t batches[] = {1, 2, 3, 5, 8, 19};
+    for (unsigned c = 0; c < 60; ++c) {
+        std::size_t order = 1 + c % 8;
+        std::size_t batch_size = batches[c % 6];
+        checkFixedCase(order, batch_size, 4000 + 19 * c);
+    }
+}
+
+TEST(BatchRuntime, MixedShapeClassesSplitIntoGroups)
+{
+    // Two distinct SSV shapes plus an LQG sharing one engine: three
+    // groups, each still bit-identical to its scalar twin.
+    auto ctrl_a = randomSsvController(4, 2, 1, 2, 51);
+    auto ctrl_b = randomSsvController(6, 1, 0, 3, 52);
+    auto grids_a = wideGrids(2);
+    auto grids_b = wideGrids(3);
+    SsvRuntime sa(ctrl_a, grids_a, Vector::zeros(2), Vector::zeros(1));
+    SsvRuntime sa_ref(ctrl_a, grids_a, Vector::zeros(2), Vector::zeros(1));
+    SsvRuntime sb(ctrl_b, grids_b, Vector::zeros(3), Vector{});
+    SsvRuntime sb_ref(ctrl_b, grids_b, Vector::zeros(3), Vector{});
+    StateSpace k = StateSpace::gain(Matrix{{-2.0}}, 0.5);
+    LqgRuntime lq(k, wideGrids(1), Vector::zeros(1));
+    LqgRuntime lq_ref(k, wideGrids(1), Vector::zeros(1));
+
+    EXPECT_NE(sa.batchKey(), sb.batchKey());
+
+    BatchRuntime batch;
+    sa.beginInvoke(Vector{0.5, -0.25}, Vector{0.125});
+    batch.enqueue(sa);
+    sb.beginInvoke(Vector{1.0}, Vector{});
+    batch.enqueue(sb);
+    lq.beginInvoke(Vector{0.75});
+    batch.enqueue(lq);
+    EXPECT_EQ(batch.pendingCount(), 3u);
+    EXPECT_EQ(batch.groupCount(), 3u);
+    batch.tick();
+
+    EXPECT_TRUE(bitEqual(sa.finishInvoke(),
+                         sa_ref.invoke(Vector{0.5, -0.25},
+                                       Vector{0.125})));
+    EXPECT_TRUE(bitEqual(sb.finishInvoke(),
+                         sb_ref.invoke(Vector{1.0}, Vector{})));
+    EXPECT_TRUE(bitEqual(lq.finishInvoke(), lq_ref.invoke(Vector{0.75})));
+}
+
+TEST(BatchRuntime, SameShapeDivergentStatesShareOneGroup)
+{
+    // Identical matrices but wildly divergent member states: one
+    // group, and the large-state member's column stays its own.
+    auto ctrl = randomSsvController(5, 2, 0, 2, 61);
+    auto grids = wideGrids(2);
+    SsvRuntime a(ctrl, grids, Vector::zeros(2), Vector{});
+    SsvRuntime a_ref(ctrl, grids, Vector::zeros(2), Vector{});
+    SsvRuntime b(ctrl, grids, Vector::zeros(2), Vector{});
+    SsvRuntime b_ref(ctrl, grids, Vector::zeros(2), Vector{});
+    EXPECT_EQ(a.batchKey(), b.batchKey());
+
+    // Wind member b (and its scalar twin) far away from the origin.
+    for (int t = 0; t < 6; ++t) {
+        Vector dev{4.0, -4.0};
+        b.invoke(dev, Vector{});
+        b_ref.invoke(dev, Vector{});
+    }
+
+    BatchRuntime batch;
+    Vector dev_a{0.5, 0.25};
+    Vector dev_b{-1.5, 2.0};
+    a.beginInvoke(dev_a, Vector{});
+    batch.enqueue(a);
+    b.beginInvoke(dev_b, Vector{});
+    batch.enqueue(b);
+    EXPECT_EQ(batch.groupCount(), 1u);
+    batch.tick();
+    EXPECT_TRUE(bitEqual(a.finishInvoke(), a_ref.invoke(dev_a, Vector{})));
+    EXPECT_TRUE(bitEqual(b.finishInvoke(), b_ref.invoke(dev_b, Vector{})));
+}
+
+TEST(BatchRuntime, EnqueueWithoutBeginThrows)
+{
+    auto ctrl = randomSsvController(3, 1, 0, 1, 71);
+    SsvRuntime rt(ctrl, wideGrids(1), Vector::zeros(1), Vector{});
+    BatchRuntime batch;
+    EXPECT_THROW(batch.enqueue(rt), std::logic_error);
+
+    StateSpace k = StateSpace::gain(Matrix{{-1.0}}, 0.5);
+    LqgRuntime lq(k, wideGrids(1), Vector::zeros(1));
+    EXPECT_THROW(batch.enqueue(lq), std::logic_error);
+
+    FixedPointSsv fx(StateSpace(Matrix{{0.5}}, Matrix{{0.25}},
+                                Matrix{{1.0}}, Matrix{{0.0}}, 0.5));
+    EXPECT_THROW(batch.enqueue(fx), std::logic_error);
+
+    // finishInvoke without beginInvoke is equally rejected.
+    EXPECT_THROW(rt.finishInvoke(), std::logic_error);
+    EXPECT_THROW(lq.finishInvoke(), std::logic_error);
+    EXPECT_THROW(fx.finishStep(), std::logic_error);
+}
+
+TEST(BatchRuntime, DoubleEnqueueRejected)
+{
+    // Once staged, a second enqueue before finishInvoke is a logic
+    // error only after the tick marked the linear pass done; staging
+    // the same runtime twice pre-tick would double-advance it.
+    auto ctrl = randomSsvController(3, 1, 0, 1, 72);
+    SsvRuntime rt(ctrl, wideGrids(1), Vector::zeros(1), Vector{});
+    BatchRuntime batch;
+    rt.beginInvoke(Vector{0.5}, Vector{});
+    batch.enqueue(rt);
+    batch.tick();
+    EXPECT_THROW(batch.enqueue(rt), std::logic_error);
+    rt.finishInvoke();
+}
+
+/** Poisons an SSV runtime's state vector with NaN via the bit-exact
+ * checkpoint path (the front door rejects NaN inputs under checks). */
+void
+poisonState(SsvRuntime& rt, std::size_t order)
+{
+    obs::StateWriter w;
+    w.f64vec("ssv.x", std::vector<double>(order, kNan));
+    w.i64("ssv.over_bound", 0);
+    w.boolean("ssv.exhausted", false);
+    obs::StateReader r(w.dump());
+    rt.load(r);
+}
+
+TEST(BatchRuntime, NanPoisonedMemberDoesNotContaminateNeighbors)
+{
+    const std::size_t order = 6;
+    auto ctrl = randomSsvController(order, 2, 1, 2, 81);
+    auto grids = wideGrids(2);
+    std::vector<std::unique_ptr<SsvRuntime>> batched;
+    std::vector<std::unique_ptr<SsvRuntime>> scalar;
+    for (int i = 0; i < 5; ++i) {
+        batched.push_back(std::make_unique<SsvRuntime>(
+            ctrl, grids, Vector::zeros(2), Vector::zeros(1)));
+        scalar.push_back(std::make_unique<SsvRuntime>(
+            ctrl, grids, Vector::zeros(2), Vector::zeros(1)));
+    }
+    // Poison the middle member (and its scalar twin for symmetry).
+    poisonState(*batched[2], order);
+    poisonState(*scalar[2], order);
+
+    BatchRuntime batch;
+    std::vector<Vector> devs;
+    for (int i = 0; i < 5; ++i) {
+        std::uint64_t s = 300 + i;
+        Vector dev{unitRand(s), unitRand(s)};
+        devs.push_back(dev);
+        batched[i]->beginInvoke(dev, Vector{0.25});
+        batch.enqueue(*batched[i]);
+    }
+    EXPECT_EQ(batch.groupCount(), 1u);
+    batch.tick();
+
+    for (int i = 0; i < 5; ++i) {
+        if (i == 2) {
+            continue;
+        }
+        // Clean neighbors: bit-identical to their scalar twins even
+        // with a NaN column in the middle of the packed block.
+        Vector want = scalar[i]->invoke(devs[i], Vector{0.25});
+        Vector got = batched[i]->finishInvoke();
+        ASSERT_TRUE(bitEqual(got, want)) << "member=" << i;
+        ASSERT_TRUE(std::isfinite(got[0]) && std::isfinite(got[1]));
+    }
+
+#ifdef YUKTA_CHECKS
+    // The per-instance finite-state contract still fires for the
+    // poisoned member alone (ContractViolation is an invalid_argument).
+    EXPECT_THROW(batched[2]->finishInvoke(), std::invalid_argument);
+#else
+    // Without checks the poison stays confined to its own outputs.
+    SsvInvokeInfo info;
+    batched[2]->finishInvoke(&info);
+    EXPECT_TRUE(std::isnan(info.u_raw[0]));
+    EXPECT_TRUE(std::isnan(info.x[0]));
+#endif
+}
+
+TEST(BatchRuntime, TickOnEmptyEngineIsANoOp)
+{
+    BatchRuntime batch;
+    EXPECT_EQ(batch.pendingCount(), 0u);
+    EXPECT_EQ(batch.groupCount(), 0u);
+    batch.tick();
+    EXPECT_EQ(batch.pendingCount(), 0u);
+}
+
+TEST(BatchRuntime, BatchKeyStableAcrossInstances)
+{
+    // Same matrices -> same key; any single-entry perturbation flips
+    // it (the fingerprint covers every matrix byte).
+    auto ctrl = randomSsvController(4, 2, 1, 2, 91);
+    SsvRuntime r1(ctrl, wideGrids(2), Vector::zeros(2), Vector::zeros(1));
+    SsvRuntime r2(ctrl, wideGrids(2), Vector::zeros(2), Vector::zeros(1));
+    EXPECT_EQ(r1.batchKey(), r2.batchKey());
+
+    auto ctrl2 = ctrl;
+    Matrix a2 = ctrl2.k.a;
+    a2(0, 0) += 0x1.0p-40;
+    ctrl2.k = StateSpace(a2, ctrl2.k.b, ctrl2.k.c, ctrl2.k.d, 0.5);
+    SsvRuntime r3(ctrl2, wideGrids(2), Vector::zeros(2),
+                  Vector::zeros(1));
+    EXPECT_NE(r1.batchKey(), r3.batchKey());
+}
+
+}  // namespace
+}  // namespace yukta::controllers

@@ -1,0 +1,132 @@
+// Batched shard ticking vs per-board scalar stepping: the fleet
+// digest is a pure function of the config, so flipping the batch_tick
+// execution knob (or the worker count, or resuming from a checkpoint
+// written under the other mode) must never move a single bit. This is
+// the PR 8 seed/worker/split harness with a batch axis threaded
+// through it.
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fault/plan.h"
+#include "fleet/artifacts.h"
+#include "fleet/fleet.h"
+
+namespace {
+
+using yukta::fleet::CheckpointConfig;
+using yukta::fleet::FleetConfig;
+using yukta::fleet::FleetSim;
+
+/** Small faulted fleet, mirroring the fault-domain test harness. */
+FleetConfig
+smallConfig(std::uint32_t seed, const std::string& faults)
+{
+    FleetConfig cfg;
+    cfg.boards = 3;
+    cfg.sim_seconds = 4.0;  // 8 epochs.
+    cfg.seed = seed;
+    cfg.arrivals.profile.base_rate = 6.0;
+    cfg.watchdog_timeout_s = 0.05;
+    cfg.watchdog_backoff_s = 0.02;
+    if (!faults.empty()) {
+        cfg.faults = yukta::fault::FaultPlan::parse(faults);
+    }
+    return cfg;
+}
+
+std::string
+checkpointDir(const std::string& tag)
+{
+    const std::string dir =
+        ::testing::TempDir() + "yukta_fleet_batch_" + tag;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+TEST(FleetBatch, BatchTickIsTheDefault)
+{
+    EXPECT_TRUE(FleetConfig{}.batch_tick);
+}
+
+// The headline identity: one faulted config, every worker count, both
+// tick modes -- six runs, one digest.
+TEST(FleetBatch, BatchMatchesScalarDigestForAllWorkerCounts)
+{
+    FleetConfig cfg = smallConfig(
+        9, "board0:crash@1+1;board1:hang@2+1;board2:degrade@0.5+2*0.4");
+    cfg.boards = 4;
+    const auto artifacts = yukta::fleet::fleetArtifacts();
+
+    std::uint64_t want = 0;
+    for (bool batch : {false, true}) {
+        for (std::size_t workers : {1u, 2u, 4u}) {
+            FleetConfig c = cfg;
+            c.batch_tick = batch;
+            FleetSim sim(c, artifacts);
+            const std::uint64_t got = sim.run(workers).digest();
+            if (want == 0) {
+                want = got;
+            }
+            EXPECT_EQ(got, want) << (batch ? "batch" : "scalar")
+                                 << " workers=" << workers;
+        }
+    }
+}
+
+// The PR 8 crash-restore sweep with a batch axis: the baseline leg
+// checkpoints under one tick mode and the resumed leg finishes under
+// the other (batch_tick is an execution knob outside the canonical
+// config, so snapshots interoperate), with different worker counts on
+// each side. 21 seeds x alternating mode pairs.
+TEST(FleetBatch, CrossModeCheckpointRestoreDigestIdentity)
+{
+    const auto artifacts = yukta::fleet::fleetArtifacts();
+    const std::size_t workers[] = {1, 2, 4};
+    const std::string fault_spec =
+        "board1:crash@1+1.5;board0:hang@2+1;board2:degrade@0.5+2*0.4";
+
+    for (std::uint32_t seed = 1; seed <= 21; ++seed) {
+        FleetConfig cfg =
+            smallConfig(seed, seed % 2 == 1 ? fault_spec : "");
+        const std::size_t w_base = workers[seed % 3];
+        const std::size_t w_resume = workers[(seed + 1) % 3];
+        const int split = 1 + static_cast<int>(seed % 7);
+        // Odd seeds checkpoint under batch and resume scalar; even
+        // seeds the other way around.
+        const bool base_batch = seed % 2 == 1;
+        const std::string dir =
+            checkpointDir("seed_" + std::to_string(seed));
+
+        std::uint64_t base = 0;
+        {
+            FleetConfig c = cfg;
+            c.batch_tick = base_batch;
+            FleetSim sim(c, artifacts);
+            CheckpointConfig ckpt;
+            ckpt.every_epochs = split;
+            ckpt.dir = dir;
+            base = sim.run(w_base, ckpt).digest();
+        }
+        std::uint64_t resumed = 0;
+        {
+            FleetConfig c = cfg;
+            c.batch_tick = !base_batch;
+            FleetSim sim(c, artifacts);
+            sim.restoreCheckpoint(dir + "/fleet-" +
+                                  std::to_string(split) + ".ckpt");
+            EXPECT_EQ(sim.epoch(), split);
+            resumed = sim.run(w_resume).digest();
+        }
+        EXPECT_EQ(base, resumed)
+            << "seed " << seed << " split " << split << " "
+            << (base_batch ? "batch->scalar" : "scalar->batch")
+            << " workers " << w_base << "->" << w_resume;
+        std::filesystem::remove_all(dir);
+    }
+}
+
+}  // namespace

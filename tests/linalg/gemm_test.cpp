@@ -1,0 +1,170 @@
+// Blocked GEMM vs the naive operator*: bit-identical products for
+// awkward shapes (1 x N, tall/skinny, sizes straddling the column
+// block), and the PR 5 0*NaN-propagation contract extended to the
+// blocked path. gemmDense additionally pins the no-skip accumulation
+// the batched tick engine's bit-identity argument rests on.
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "linalg/gemm.h"
+#include "linalg/matrix.h"
+#include "linalg/vector.h"
+#include "test_util.h"
+
+namespace yukta::linalg {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool
+bitIdentical(const Matrix& a, const Matrix& b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols()) {
+        return false;
+    }
+    return a.rows() * a.cols() == 0 ||
+           std::memcmp(a.data(), b.data(),
+                       a.rows() * a.cols() * sizeof(double)) == 0;
+}
+
+TEST(Gemm, BlockedMatchesNaiveBitwiseAwkwardShapes)
+{
+    // Shapes around the kGemmColBlock boundary and degenerate rows /
+    // columns. (m, k, n) triples.
+    const std::size_t shapes[][3] = {
+        {1, 1, 1},
+        {1, 3, kGemmColBlock},
+        {1, 7, kGemmColBlock - 1},
+        {2, 5, kGemmColBlock + 1},
+        {40, 2, 3},   // Tall and skinny.
+        {3, 2, 40},   // Short and wide.
+        {5, 5, 2 * kGemmColBlock + 1},
+        {17, 13, 29},
+    };
+    unsigned seed = 1;
+    for (const auto& s : shapes) {
+        Matrix a = test::randomMatrix(s[0], s[1], seed++);
+        Matrix b = test::randomMatrix(s[1], s[2], seed++);
+        EXPECT_TRUE(bitIdentical(gemmBlocked(a, b), a * b))
+            << s[0] << "x" << s[1] << " * " << s[1] << "x" << s[2];
+        EXPECT_TRUE(bitIdentical(gemmDense(a, b), a * b))
+            << "dense " << s[0] << "x" << s[1];
+    }
+}
+
+TEST(Gemm, BlockedMatchesNaiveWithZeroEntries)
+{
+    // Plenty of exact zeros so the sparsity skip actually fires, on
+    // both sides of the block boundary.
+    for (unsigned seed = 0; seed < 8; ++seed) {
+        Matrix a = test::randomMatrix(6, 9, 100 + seed);
+        Matrix b = test::randomMatrix(9, kGemmColBlock + 3, 200 + seed);
+        for (std::size_t i = 0; i < a.rows(); ++i) {
+            for (std::size_t j = 0; j < a.cols(); ++j) {
+                if ((i + j + seed) % 3 == 0) {
+                    a(i, j) = 0.0;
+                }
+            }
+        }
+        EXPECT_TRUE(bitIdentical(gemmBlocked(a, b), a * b));
+    }
+}
+
+TEST(Gemm, ShapeMismatchThrows)
+{
+    Matrix a(2, 3);
+    Matrix b(4, 2);
+    EXPECT_THROW(gemmBlocked(a, b), std::invalid_argument);
+    EXPECT_THROW(gemmDense(a, b), std::invalid_argument);
+}
+
+TEST(Gemm, EmptyDimensions)
+{
+    Matrix a(0, 0);
+    Matrix b(0, 0);
+    EXPECT_EQ(gemmBlocked(a, b).rows(), 0u);
+    EXPECT_EQ(gemmDense(a, b).rows(), 0u);
+}
+
+TEST(Gemm, BlockedZeroRowTimesNanPropagates)
+{
+    // The PR 5 regression, blocked flavor: a zero row against a
+    // NaN-poisoned column must yield NaN, not 0 -- the skip may only
+    // fire when the right operand is verified finite.
+    Matrix gain{{0.0, 0.0}, {1.0, 0.0}};
+    Matrix state{{kNan}, {2.0}};
+    Matrix out = gemmBlocked(gain, state);
+    EXPECT_TRUE(std::isnan(out(0, 0)));
+    EXPECT_TRUE(std::isnan(out(1, 0)));
+    EXPECT_FALSE(out.allFinite());
+}
+
+TEST(Gemm, BlockedZeroTimesInfPropagatesAsNan)
+{
+    Matrix lhs{{0.0}};
+    Matrix rhs{{kInf}};
+    EXPECT_TRUE(std::isnan(gemmBlocked(lhs, rhs)(0, 0)));
+}
+
+TEST(Gemm, BlockedFiniteProductsKeepExactBits)
+{
+    // With finite operands the skip fires and zero rows give exact
+    // +0.0, matching the naive product bit-for-bit.
+    Matrix lhs{{0.0, 0.0}, {1.5, -2.0}};
+    Matrix rhs{{4.0, -0.5}, {1.0, 8.0}};
+    Matrix out = gemmBlocked(lhs, rhs);
+    EXPECT_TRUE(bitIdentical(out, lhs * rhs));
+    EXPECT_EQ(out(0, 0), 0.0);
+    EXPECT_FALSE(std::signbit(out(0, 0)));
+}
+
+TEST(Gemm, DenseNeverSkips)
+{
+    // gemmDense mirrors Matrix*Vector (no sparsity skip): a zero
+    // coefficient against NaN must poison the output even though the
+    // blocked/naive matmul pair would also propagate it. This is the
+    // kernel the batched tick engine uses, so 0 * NaN containment
+    // cannot depend on a finiteness pre-scan.
+    Matrix lhs{{0.0}};
+    Matrix rhs{{kNan}};
+    EXPECT_TRUE(std::isnan(gemmDense(lhs, rhs)(0, 0)));
+}
+
+TEST(Gemm, DenseColumnsMatchMatrixVectorBitwise)
+{
+    // Column j of gemmDense(A, B) must equal A * B.col(j) exactly:
+    // the per-column bit-identity contract the batch engine relies
+    // on, checked across shapes and against the exact operator*
+    // (Matrix, Vector) implementation.
+    unsigned seed = 77;
+    for (std::size_t n : {1u, 2u, 5u, 20u}) {
+        for (std::size_t cols :
+             {1u, 3u, static_cast<unsigned>(kGemmColBlock + 2)}) {
+            Matrix a = test::randomMatrix(4, n, seed++);
+            Matrix b = test::randomMatrix(n, cols, seed++);
+            Matrix prod = gemmDense(a, b);
+            for (std::size_t j = 0; j < cols; ++j) {
+                Vector col(n);
+                for (std::size_t i = 0; i < n; ++i) {
+                    col[i] = b(i, j);
+                }
+                Vector want = a * col;
+                for (std::size_t i = 0; i < a.rows(); ++i) {
+                    double got = prod(i, j);
+                    EXPECT_EQ(std::memcmp(&got, &want[i],
+                                          sizeof(double)),
+                              0)
+                        << "n=" << n << " cols=" << cols << " (" << i
+                        << "," << j << ")";
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace yukta::linalg

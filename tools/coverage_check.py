@@ -6,8 +6,9 @@ suite must have run first), asks gcov for JSON intermediate records,
 merges them per source file (a line counts as covered when any
 translation unit executed it), and enforces a floor on the aggregate
 line coverage of the audited directories -- by default the controller
-and fault-injection layers, where an untested branch means an
-unverified degradation path.
+and fault-injection layers (including the batched tick engine), where
+an untested branch means an unverified degradation path, plus the
+linalg GEMM kernel the batch engine's bit-identity rests on.
 
 Usage:
   tools/coverage_check.py --build-dir build-cov [--floor 70]
@@ -23,7 +24,7 @@ import os
 import subprocess
 import sys
 
-DEFAULT_PREFIXES = ("src/controllers", "src/fault")
+DEFAULT_PREFIXES = ("src/controllers", "src/fault", "src/linalg/gemm.cpp")
 
 
 def find_gcda(build_dir):
