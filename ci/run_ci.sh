@@ -62,6 +62,14 @@ echo "=== fleet fault smoke: aware-vs-blind gates + resume identity ==="
 ./build/bench/bench_fleet_faults --quick \
     --out build/BENCH_fleet_faults.json
 
+echo "=== adaptation smoke: drift gates + no-drift/swap identity ==="
+# Fails unless online adaptation strictly cuts constraint-violation
+# time in every drifted scenario (with a real drift event and an
+# installed hot-swap), the armed loop is bit-identical to disarmed on
+# the shipped plant, and the 1-vs-N and checkpoint-across-the-swap
+# digests match.
+./build/bench/bench_adapt --quick --out build/BENCH_adapt.json
+
 echo "=== crash-resume smoke: checkpoint, resume, digest-compare ==="
 # Simulates an operator crash-recovery: one run checkpoints mid-flight,
 # a second process restores the snapshot with a different worker count

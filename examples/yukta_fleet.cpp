@@ -64,7 +64,10 @@ usage()
         "                      (repeatable; skewed-hotspot scenarios)\n"
         "  --faults=SPEC       board-fault schedule, e.g.\n"
         "                      'board2:crash@10+5;board0:hang@20+4'\n"
-        "                      (kinds: crash, degrade, hang)\n"
+        "                      (kinds: crash, degrade, hang, drift)\n"
+        "  --adapt             online adaptation: RLS sysid + drift\n"
+        "                      detection per board, with re-synthesis\n"
+        "                      and bumpless controller hot-swap\n"
         "  --fault-blind       disable the watchdog and fault-aware\n"
         "                      routing (the baseline the faults bench\n"
         "                      compares against)\n"
@@ -127,6 +130,8 @@ main(int argc, char** argv)
             cfg.fault_aware = false;
         } else if (std::strcmp(a, "--scalar-tick") == 0) {
             cfg.batch_tick = false;
+        } else if (std::strcmp(a, "--adapt") == 0) {
+            cfg.adapt = true;
         } else if (std::strcmp(a, "--digest") == 0) {
             digest_only = true;
         } else if (std::strcmp(a, "--quiet") == 0) {

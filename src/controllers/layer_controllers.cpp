@@ -169,6 +169,19 @@ SsvHwController::reset()
     optimizer_.reset();
 }
 
+void
+SsvHwController::swapRuntime(SsvRuntime runtime, const Vector& u_prev)
+{
+    runtime.armBumpless(u_prev);
+    runtime_ = std::move(runtime);
+}
+
+void
+SsvHwController::installRuntime(SsvRuntime runtime)
+{
+    runtime_ = std::move(runtime);
+}
+
 // ----------------------------------------------------------------
 // SSV software controller.
 // ----------------------------------------------------------------

@@ -55,6 +55,22 @@ class SsvHwController : public HwController
     /** Overrides the optimizer with fixed output targets. */
     bool holdTargets(const linalg::Vector& targets) override;
 
+    /**
+     * Replaces the wrapped runtime with a freshly synthesized one,
+     * arming bumpless transfer against @p u_prev -- the physical
+     * command in force at the swap tick. The optimizer and its walked
+     * targets persist: the operating point outlives the controller
+     * generation.
+     */
+    void swapRuntime(SsvRuntime runtime, const linalg::Vector& u_prev);
+
+    /**
+     * Raw runtime replacement for checkpoint restore: no bumpless
+     * arming (the restored state stream carries the exact post-swap
+     * runtime state, including any still-pending arm).
+     */
+    void installRuntime(SsvRuntime runtime);
+
     /** Checkpoint hooks: runtime + optimizer + hold state. */
     void save(obs::StateWriter& w) const override
     {

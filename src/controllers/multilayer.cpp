@@ -143,6 +143,39 @@ MultilayerSystem::holdHwTargets(const linalg::Vector& targets)
     return hw_ != nullptr && hw_->holdTargets(targets);
 }
 
+bool
+MultilayerSystem::hotSwapHwRuntime(SsvRuntime runtime)
+{
+    auto* ssv = dynamic_cast<SsvHwController*>(hw_.get());
+    if (ssv == nullptr) {
+        return false;
+    }
+    linalg::Vector u_prev{static_cast<double>(last_hw_.big_cores),
+                          static_cast<double>(last_hw_.little_cores),
+                          last_hw_.freq_big, last_hw_.freq_little};
+    ssv->swapRuntime(std::move(runtime), u_prev);
+    if (supervisor_ != nullptr) {
+        supervisor_->noteHotSwap(periods_, t_, "hw controller hot-swap");
+    }
+    if (sink_ != nullptr) {
+        obs::TraceEvent ev = sink_->makeEvent("adapt", "swap");
+        ev.integer("period", periods_).vec("u_prev", u_prev.raw());
+        sink_->record(std::move(ev));
+    }
+    return true;
+}
+
+bool
+MultilayerSystem::installHwRuntime(SsvRuntime runtime)
+{
+    auto* ssv = dynamic_cast<SsvHwController*>(hw_.get());
+    if (ssv == nullptr) {
+        return false;
+    }
+    ssv->installRuntime(std::move(runtime));
+    return true;
+}
+
 void
 MultilayerSystem::stepPeriodBegin(BatchRuntime* batch)
 {

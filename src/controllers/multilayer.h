@@ -77,6 +77,9 @@ class MultilayerSystem
      */
     void attachTraceSink(obs::TraceSink* sink);
 
+    /** @return the attached trace sink (nullptr when untraced). */
+    obs::TraceSink* traceSink() const { return sink_; }
+
     /**
      * Runs until the workload completes or @p max_seconds elapses.
      * Restarts the period clock, so repeated calls behave as before
@@ -126,6 +129,42 @@ class MultilayerSystem
      * joint loop, heuristics).
      */
     bool holdHwTargets(const linalg::Vector& targets);
+
+    /**
+     * Hot-swaps a freshly synthesized SSV hardware runtime into the
+     * running system with bumpless transfer: the incoming runtime is
+     * armed to repeat the hardware command currently in force, and
+     * when a supervisor is attached the ladder drops to kHold and
+     * re-earns kNominal tick by tick, so a fault landing mid-swap
+     * degrades like any other invalid streak. Emits an "adapt"/"swap"
+     * trace event when a sink is attached.
+     * @return false when the hardware layer is not an SsvHwController
+     * (LQG / heuristic / monolithic arrangements).
+     */
+    bool hotSwapHwRuntime(SsvRuntime runtime);
+
+    /**
+     * Raw hardware-runtime replacement for checkpoint restore:
+     * installs the runtime without bumpless arming or ladder routing
+     * (the restored state stream carries the exact post-swap state).
+     * Must be called before load() so the state sizes match.
+     */
+    bool installHwRuntime(SsvRuntime runtime);
+
+    /**
+     * The hardware command and placement policy currently in force
+     * (what applyIfChanged last pushed to the board). The fleet's
+     * adaptation loop samples these as the plant inputs.
+     */
+    const platform::HardwareInputs& lastHardware() const
+    {
+        return last_hw_;
+    }
+    /** @return the last placement policy applied to the board. */
+    const platform::PlacementPolicy& lastPolicy() const
+    {
+        return last_policy_;
+    }
 
     /** Access to the simulated board (inspection in tests/benches). */
     platform::Board& board() { return board_; }

@@ -6,6 +6,7 @@
 
 #include "controllers/batch_runtime.h"
 #include "core/contracts.h"
+#include "linalg/qr.h"
 
 namespace yukta::controllers {
 
@@ -73,6 +74,33 @@ SsvRuntime::beginInvoke(const Vector& deviations, const Vector& external)
     }
     for (std::size_t i = 0; i < e_mean_.size(); ++i) {
         dy[num_outputs_ + i] = external[i] - e_mean_[i];
+    }
+    if (bumpless_armed_) {
+        bumpless_armed_ = false;
+        // Solve C x + D dy = u_prev - u_mean for the smallest x: the
+        // output map C is wide (more states than tracked commands), so
+        // the system is underdetermined and a tiny ridge picks the
+        // minimum-norm solution. The incoming controller then repeats
+        // the outgoing controller's command at this tick and deviates
+        // only as its own dynamics take over.
+        const linalg::Matrix& c = ctrl_.k.c;
+        Vector target = ctrl_.k.d * dy;
+        for (std::size_t i = 0; i < target.size(); ++i) {
+            target[i] = bumpless_u_[i] - u_mean_[i] - target[i];
+        }
+        constexpr double kRidge = 1e-8;
+        linalg::Matrix m(c.rows() + c.cols(), c.cols());
+        m.setBlock(0, 0, c);
+        Vector rhs = Vector::zeros(c.rows() + c.cols());
+        for (std::size_t i = 0; i < c.rows(); ++i) {
+            rhs[i] = target[i];
+        }
+        for (std::size_t i = 0; i < c.cols(); ++i) {
+            m(c.rows() + i, i) = kRidge;
+        }
+        x_ = linalg::lstsq(m, rhs);
+        YUKTA_CHECK_FINITE(x_, "SsvRuntime: bumpless-transfer state "
+                           "solve produced non-finite x");
     }
     pending_dy_ = std::move(dy);
     pending_dev_ = deviations;
@@ -145,9 +173,23 @@ SsvRuntime::finishInvoke(SsvInvokeInfo* info)
 void
 SsvRuntime::reset()
 {
+    // Deliberately leaves an armed bumpless transfer in place: the
+    // supervised swap path resets the primaries on re-entering
+    // kNominal, right before the hand-over tick the arm exists for.
     x_ = Vector::zeros(ctrl_.k.numStates());
     over_bound_count_ = 0;
     exhausted_ = false;
+}
+
+void
+SsvRuntime::armBumpless(Vector u_prev)
+{
+    if (u_prev.size() != grids_.size()) {
+        throw std::invalid_argument(
+            "SsvRuntime::armBumpless: size mismatch");
+    }
+    bumpless_u_ = std::move(u_prev);
+    bumpless_armed_ = true;
 }
 
 }  // namespace yukta::controllers

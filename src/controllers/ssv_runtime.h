@@ -124,6 +124,24 @@ class SsvRuntime
     void reset();
 
     /**
+     * Arms bumpless transfer: at the next beginInvoke() the state x is
+     * solved (minimum-norm, regularized) from
+     *
+     *   C x + D dy = u_prev - u_mean
+     *
+     * so the command the incoming controller issues at the hand-over
+     * tick equals the outgoing controller's last command @p u_prev
+     * (physical units) before quantization. The arm survives reset():
+     * a supervised swap parks the ladder in kHold and reset_primaries
+     * fires when it re-earns kNominal, which must not lose the
+     * hand-over state.
+     */
+    void armBumpless(linalg::Vector u_prev);
+
+    /** @return true while an armed bumpless transfer is pending. */
+    bool bumplessArmed() const { return bumpless_armed_; }
+
+    /**
      * @return true when deviations have exceeded the guaranteed
      * bounds for several consecutive invocations: the runtime signal
      * that the uncertainty guardband was too small (Sec. II-B).
@@ -139,6 +157,8 @@ class SsvRuntime
         w.f64vec("ssv.x", x_.raw());
         w.i64("ssv.over_bound", over_bound_count_);
         w.boolean("ssv.exhausted", exhausted_);
+        w.boolean("ssv.bumpless", bumpless_armed_);
+        w.f64vec("ssv.bumpless_u", bumpless_u_.raw());
     }
 
     /** Restores state written by save. */
@@ -147,6 +167,8 @@ class SsvRuntime
         x_ = linalg::Vector(r.f64vec("ssv.x"));
         over_bound_count_ = static_cast<int>(r.i64("ssv.over_bound"));
         exhausted_ = r.boolean("ssv.exhausted");
+        bumpless_armed_ = r.boolean("ssv.bumpless");
+        bumpless_u_ = linalg::Vector(r.f64vec("ssv.bumpless_u"));
     }
 
   private:
@@ -161,6 +183,8 @@ class SsvRuntime
     int over_bound_count_ = 0;
     bool exhausted_ = false;
     std::uint64_t batch_key_ = 0;
+    bool bumpless_armed_ = false;
+    linalg::Vector bumpless_u_;  ///< Physical u to match at hand-over.
 
     // Staged invocation (beginInvoke -> [batch] -> finishInvoke).
     linalg::Vector pending_dy_;   ///< Clamped/centered dy.

@@ -49,6 +49,7 @@ Supervisor::reset()
     stuck_streak_p_big_ = 0;
     stuck_streak_p_little_ = 0;
     stuck_streak_temp_ = 0;
+    reset_grace_ = 0;
     have_prev_ = false;
     expect_big_activity_ = true;
     report_ = SupervisorReport{};
@@ -61,6 +62,29 @@ Supervisor::coldBoot(int period, double time, const std::string& reason)
 {
     reset();
     transition(period, time, SupervisorMode::kSafe, reason);
+    // A rebooted board restarts its controllers from scratch; the
+    // first post-boot ticks repeat the safe-state commands, which must
+    // not read as stuck sensors.
+    noteControllerReset();
+}
+
+void
+Supervisor::noteControllerReset()
+{
+    reset_grace_ = cfg_.reset_grace_ticks;
+    stuck_streak_p_big_ = 0;
+    stuck_streak_p_little_ = 0;
+    stuck_streak_temp_ = 0;
+}
+
+void
+Supervisor::noteHotSwap(int period, double time, const std::string& reason)
+{
+    noteControllerReset();
+    if (mode_ == SupervisorMode::kNominal) {
+        transition(period, time, SupervisorMode::kHold, reason);
+        consecutive_good_ = 0;
+    }
 }
 
 namespace {
@@ -103,6 +127,7 @@ Supervisor::save(obs::StateWriter& w) const
     w.i64("sup.stuck_p_big", stuck_streak_p_big_);
     w.i64("sup.stuck_p_little", stuck_streak_p_little_);
     w.i64("sup.stuck_temp", stuck_streak_temp_);
+    w.i64("sup.reset_grace", reset_grace_);
 
     w.u64("sup.events", report_.events.size());
     for (std::size_t i = 0; i < report_.events.size(); ++i) {
@@ -142,6 +167,7 @@ Supervisor::load(obs::StateReader& r)
     stuck_streak_p_little_ =
         static_cast<int>(r.i64("sup.stuck_p_little"));
     stuck_streak_temp_ = static_cast<int>(r.i64("sup.stuck_temp"));
+    reset_grace_ = static_cast<int>(r.i64("sup.reset_grace"));
 
     report_.events.resize(r.u64("sup.events"));
     for (std::size_t i = 0; i < report_.events.size(); ++i) {
@@ -195,7 +221,10 @@ Supervisor::validate(int period, const SensorReadings& obs,
     // window every 260 ms, new temperature sample every 100 ms), so a
     // bit-identical value across several ticks means the sensor is
     // stuck, even though each individual reading looks plausible.
-    if (have_prev_) {
+    // Inside the post-reset grace window repeats are legitimate (held
+    // or zeroed commands freeze the plant), so they are not evidence
+    // of a stuck sensor and the streaks stay cleared.
+    if (have_prev_ && reset_grace_ == 0) {
         stuck_streak_p_big_ = obs.p_big == prev_obs_.p_big
                                   ? stuck_streak_p_big_ + 1
                                   : 0;
@@ -204,6 +233,10 @@ Supervisor::validate(int period, const SensorReadings& obs,
                                      : 0;
         stuck_streak_temp_ =
             obs.temp == prev_obs_.temp ? stuck_streak_temp_ + 1 : 0;
+    } else if (reset_grace_ > 0) {
+        stuck_streak_p_big_ = 0;
+        stuck_streak_p_little_ = 0;
+        stuck_streak_temp_ = 0;
     }
     prev_obs_ = obs;
     have_prev_ = true;
@@ -266,6 +299,7 @@ Supervisor::validate(int period, const SensorReadings& obs,
         note(reasons, "instr_big", "counter-reset");
         repair(repaired->instr_big, last_good_.instr_big);
     } else if (warm && have_good_ && expect_big_activity_ &&
+               reset_grace_ == 0 &&
                obs.instr_big <= last_good_.instr_big) {
         note(reasons, "instr_big", "stale");
         repair(repaired->instr_big, last_good_.instr_big);
@@ -384,6 +418,10 @@ Supervisor::assess(int period, double time, const SensorReadings& obs)
       case SupervisorMode::kSafe:
         report_.time_safe += kControlPeriod;
         break;
+    }
+
+    if (reset_grace_ > 0) {
+        --reset_grace_;
     }
 
     decision.mode = mode_;

@@ -61,6 +61,11 @@ struct SupervisorConfig
                               ///< (power windows start empty).
     int stuck_ticks = 3;      ///< Bit-identical analog readings in a
                               ///< row before "stuck" is declared.
+    int reset_grace_ticks = 6; ///< Ticks after a controller reset
+                               ///< (hot-swap, crash reboot) during
+                               ///< which repeat/stale detectors are
+                               ///< suspended: held or zeroed outputs
+                               ///< legitimately freeze the telemetry.
 
     // Plausibility bounds; readings outside them are invalid even
     // when finite. Ceilings are the physical envelope of the cluster
@@ -174,6 +179,27 @@ class Supervisor
     void noteSkippedTick();
 
     /**
+     * Declares that the controller stack's state was just reset
+     * (hot-swap, crash reboot): for the next reset_grace_ticks the
+     * exact-repeat ("stuck") and stale-counter detectors stand down.
+     * A reset legitimately repeats or zeroes outputs for a few ticks,
+     * which freezes the quantized telemetry bit-identically -- exactly
+     * the signature those detectors exist to catch -- and without the
+     * grace window the ladder false-trips on its own recovery.
+     */
+    void noteControllerReset();
+
+    /**
+     * Routes a controller hot-swap through the ladder: from kNominal
+     * the mode drops to kHold (commands stay in force) and must earn
+     * its way back up through the usual recovery window, so a fault
+     * that lands mid-swap degrades exactly like any other invalid
+     * streak. Also opens the reset grace window. From a degraded mode
+     * only the grace window is opened.
+     */
+    void noteHotSwap(int period, double time, const std::string& reason);
+
+    /**
      * Emits "supervisor" events (invalid ticks, ladder transitions)
      * to @p sink; nullptr detaches.
      */
@@ -228,6 +254,7 @@ class Supervisor
     int stuck_streak_p_big_ = 0;
     int stuck_streak_p_little_ = 0;
     int stuck_streak_temp_ = 0;
+    int reset_grace_ = 0;
     SupervisorReport report_;
     obs::TraceSink* trace_ = nullptr;
 

@@ -1,0 +1,490 @@
+#include "core/adapt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/cache.h"
+#include "robust/ssv_design.h"
+
+namespace yukta::core {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+/** FNV-1a 64-bit over a byte string. */
+std::uint64_t
+fnv1a(const std::string& s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+void
+hashMatrix(std::ostream& os, const Matrix& m)
+{
+    os << m.rows() << "," << m.cols() << ";";
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        for (std::size_t c = 0; c < m.cols(); ++c) {
+            os << m(r, c) << ",";
+        }
+    }
+}
+
+void
+hashVector(std::ostream& os, const Vector& v)
+{
+    os << v.size() << ";";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        os << v[i] << ",";
+    }
+}
+
+/** The SsvSpec recipe of designSsvLayer, from an explicit model. */
+robust::SsvSpec
+specFromLayer(const LayerSpec& spec, const sysid::ArxModel& model,
+              std::size_t num_external, const robust::DkOptions& dk)
+{
+    robust::SsvSpec ssv;
+    ssv.model = model.toStateSpace();
+    ssv.num_inputs = spec.inputs.size();
+    ssv.num_external = num_external;
+    for (const SignalSpec& in : spec.inputs) {
+        ssv.in_min.push_back(in.min);
+        ssv.in_max.push_back(in.max);
+        ssv.in_step.push_back(in.step);
+        ssv.in_weight.push_back(in.weight);
+    }
+    ssv.perf_dc_boost = spec.perf_boost;
+    for (const OutputSpec& out : spec.outputs) {
+        ssv.out_bound.push_back(out.bound());
+        ssv.out_range.push_back(out.range);
+        ssv.out_boost.push_back(out.critical ? 1.0 : ssv.perf_dc_boost);
+    }
+    ssv.guardband = spec.guardband;
+    ssv.max_order = spec.max_order;
+    ssv.perf_corner = 1.2;
+    ssv.unc_corner = 3.0;
+    ssv.dk = dk;
+    return ssv;
+}
+
+std::vector<controllers::InputGrid>
+gridsFromSpecs(const std::vector<SignalSpec>& inputs)
+{
+    std::vector<controllers::InputGrid> grids;
+    grids.reserve(inputs.size());
+    for (const SignalSpec& in : inputs) {
+        grids.push_back({in.min, in.max, in.step});
+    }
+    return grids;
+}
+
+/** Per-channel standard deviation over @p samples (identifyArx's
+    normalization rule: dead channels keep unit scale). */
+Vector
+channelScales(const std::vector<Vector>& samples, std::size_t width)
+{
+    Vector mean = Vector::zeros(width);
+    for (const Vector& s : samples) {
+        for (std::size_t j = 0; j < width; ++j) {
+            mean[j] += s[j];
+        }
+    }
+    double n = static_cast<double>(samples.size());
+    for (std::size_t j = 0; j < width; ++j) {
+        mean[j] /= n;
+    }
+    Vector var = Vector::zeros(width);
+    for (const Vector& s : samples) {
+        for (std::size_t j = 0; j < width; ++j) {
+            double d = s[j] - mean[j];
+            var[j] += d * d;
+        }
+    }
+    Vector scale(width);
+    constexpr double kDeadChannel = 1e-9;
+    for (std::size_t j = 0; j < width; ++j) {
+        double sd = std::sqrt(var[j] / n);
+        scale[j] = sd <= kDeadChannel ? 1.0 : sd;
+    }
+    return scale;
+}
+
+void
+saveArx(obs::StateWriter& w, const std::string& prefix,
+        const sysid::ArxModel& m)
+{
+    w.u64(prefix + ".na", m.orderA());
+    w.u64(prefix + ".nb", m.orderB());
+    w.u64(prefix + ".lag0", m.bLag0());
+    w.u64(prefix + ".ny", m.numOutputs());
+    w.u64(prefix + ".nu", m.numInputs());
+    w.f64(prefix + ".ts", m.sampleTime());
+    for (std::size_t k = 0; k < m.orderA(); ++k) {
+        const Matrix& a = m.aCoeff(k);
+        std::vector<double> flat(a.data(), a.data() + a.rows() * a.cols());
+        w.f64vec(prefix + ".a", flat);
+    }
+    for (std::size_t k = 0; k < m.orderB(); ++k) {
+        const Matrix& b = m.bCoeff(k);
+        std::vector<double> flat(b.data(), b.data() + b.rows() * b.cols());
+        w.f64vec(prefix + ".b", flat);
+    }
+    w.f64vec(prefix + ".umean", m.uMean().raw());
+    w.f64vec(prefix + ".ymean", m.yMean().raw());
+    w.f64vec(prefix + ".icept", m.intercept().raw());
+}
+
+sysid::ArxModel
+loadArx(obs::StateReader& r, const std::string& prefix)
+{
+    std::size_t na = r.u64(prefix + ".na");
+    std::size_t nb = r.u64(prefix + ".nb");
+    std::size_t lag0 = r.u64(prefix + ".lag0");
+    std::size_t ny = r.u64(prefix + ".ny");
+    std::size_t nu = r.u64(prefix + ".nu");
+    double ts = r.f64(prefix + ".ts");
+    auto unflatten = [](const std::vector<double>& v, std::size_t rows,
+                        std::size_t cols) {
+        if (v.size() != rows * cols) {
+            throw std::runtime_error("OnlineAdapter: ARX block mismatch");
+        }
+        Matrix m(rows, cols);
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            m.data()[i] = v[i];
+        }
+        return m;
+    };
+    std::vector<Matrix> a_coeffs;
+    for (std::size_t k = 0; k < na; ++k) {
+        a_coeffs.push_back(unflatten(r.f64vec(prefix + ".a"), ny, ny));
+    }
+    std::vector<Matrix> b_coeffs;
+    for (std::size_t k = 0; k < nb; ++k) {
+        b_coeffs.push_back(unflatten(r.f64vec(prefix + ".b"), ny, nu));
+    }
+    Vector u_mean(r.f64vec(prefix + ".umean"));
+    Vector y_mean(r.f64vec(prefix + ".ymean"));
+    Vector icept(r.f64vec(prefix + ".icept"));
+    sysid::ArxModel m(std::move(a_coeffs), std::move(b_coeffs),
+                      std::move(u_mean), std::move(y_mean), ts, lag0);
+    m.setIntercept(std::move(icept));
+    return m;
+}
+
+}  // namespace
+
+std::string
+adaptCacheKey(const LayerSpec& spec, const sysid::ArxModel& model,
+              std::size_t num_external, const robust::DkOptions& dk)
+{
+    std::ostringstream os;
+    os << std::setprecision(17);
+    os << "adapt1|" << spec.layer_name << "|" << num_external << "|";
+    for (const SignalSpec& in : spec.inputs) {
+        os << in.name << "," << in.min << "," << in.max << "," << in.step
+           << "," << in.weight << ";";
+    }
+    os << "|";
+    for (const OutputSpec& out : spec.outputs) {
+        os << out.name << "," << out.bound_fraction << "," << out.range
+           << "," << out.critical << ";";
+    }
+    os << "|" << spec.guardband << "," << spec.max_order << ","
+       << spec.perf_boost;
+    os << "|" << dk.max_iterations << "," << dk.mu_grid << "," << dk.gamma_lo
+       << "," << dk.gamma_hi << "," << dk.bisection_steps;
+    os << "|" << model.orderA() << "," << model.orderB() << ","
+       << model.bLag0() << "," << model.sampleTime() << ";";
+    for (std::size_t k = 0; k < model.orderA(); ++k) {
+        hashMatrix(os, model.aCoeff(k));
+    }
+    for (std::size_t k = 0; k < model.orderB(); ++k) {
+        hashMatrix(os, model.bCoeff(k));
+    }
+    hashVector(os, model.uMean());
+    hashVector(os, model.yMean());
+    hashVector(os, model.intercept());
+
+    std::uint64_t h = fnv1a(os.str());
+    std::ostringstream key;
+    key << "adapt-" << std::hex << std::setw(16) << std::setfill('0') << h;
+    return key.str();
+}
+
+std::optional<Resynthesis>
+resynthesizeSsvLayer(const LayerSpec& spec, const sysid::ArxModel& model,
+                     std::size_t num_external, const robust::DkOptions& dk,
+                     const std::string& cache_key)
+{
+    if (!cache_key.empty()) {
+        auto cached = loadSsvController(cachePath(cache_key));
+        if (cached) {
+            // Round-tripping through text is a fixed point, so the
+            // hit serves byte-identical text to the original miss.
+            return Resynthesis{ssvControllerToText(*cached), true};
+        }
+    }
+    robust::SsvSpec ssv = specFromLayer(spec, model, num_external, dk);
+    auto ctrl = robust::ssvSynthesize(ssv);
+    if (!ctrl) {
+        return std::nullopt;
+    }
+    if (!cache_key.empty()) {
+        saveSsvController(cachePath(cache_key), *ctrl);
+    }
+    return Resynthesis{ssvControllerToText(*ctrl), false};
+}
+
+OnlineAdapter::OnlineAdapter(const LayerSpec& spec,
+                             std::size_t num_external,
+                             const sysid::ArxModel& shipped,
+                             const sysid::IoData& training,
+                             const AdaptOptions& options)
+    : spec_(spec), num_external_(num_external), opt_(options),
+      reference_(shipped),
+      rls_(shipped, channelScales(training.u, shipped.numInputs()),
+           channelScales(training.y, shipped.numOutputs()), options.rls),
+      cusum_(sysid::residualSigma(shipped, training), options.cusum),
+      sigma_(sysid::residualSigma(shipped, training)),
+      arm_tick_(static_cast<std::size_t>(
+          options.warmup_ticks > 0 ? options.warmup_ticks : 0)),
+      cal_sum_sq_(shipped.numOutputs(), 0.0),
+      cal_scale_(shipped.numOutputs(), 1.0)
+{
+    if (spec_.inputs.size() + num_external_ != shipped.numInputs()) {
+        throw std::invalid_argument(
+            "OnlineAdapter: spec inputs + external != model inputs");
+    }
+    if (spec_.outputs.size() != shipped.numOutputs()) {
+        throw std::invalid_argument(
+            "OnlineAdapter: spec outputs != model outputs");
+    }
+}
+
+void
+OnlineAdapter::observe(const Vector& u, const Vector& y)
+{
+    ++tick_;
+    // Predict with the lag history *before* this sample enters it:
+    // the CUSUM watches the reference model's one-step error.
+    if (phase_ == Phase::kMonitor && rls_.primed() && tick_ > arm_tick_) {
+        Vector e = y - rls_.predictWith(reference_, u);
+        const std::size_t cal = static_cast<std::size_t>(
+            opt_.calibration_ticks > 0 ? opt_.calibration_ticks : 0);
+        if (cal_count_ < cal) {
+            // Calibration window: measure the closed-loop nominal
+            // error level so slack/threshold apply in honest units.
+            for (std::size_t i = 0; i < e.size(); ++i) {
+                double n = e[i] / sigma_[i];
+                cal_sum_sq_[i] += n * n;
+            }
+            if (++cal_count_ == cal) {
+                for (std::size_t i = 0; i < cal_scale_.size(); ++i) {
+                    cal_scale_[i] = std::max(
+                        1.0, std::sqrt(cal_sum_sq_[i] /
+                                       static_cast<double>(cal_count_)));
+                }
+            }
+        } else {
+            Vector scaled(e.size());
+            for (std::size_t i = 0; i < e.size(); ++i) {
+                scaled[i] = e[i] / cal_scale_[i];
+            }
+            if (cusum_.update(scaled)) {
+                ++drift_events_;
+                drift_tick_ = tick_;
+                phase_ = Phase::kSettle;
+                if (sink_ != nullptr) {
+                    obs::TraceEvent ev = sink_->makeEvent("adapt", "drift");
+                    ev.integer("adapt_tick",
+                               static_cast<long long>(tick_))
+                        .num("cusum_stat", cusum_.maxStat());
+                    sink_->record(std::move(ev));
+                }
+            }
+        }
+    }
+    rls_.update(u, y);
+    if (phase_ == Phase::kSettle &&
+        tick_ >= drift_tick_ + static_cast<std::size_t>(
+                                   opt_.settle_ticks > 0 ? opt_.settle_ticks
+                                                         : 0)) {
+        snapshot_ = rls_.model();
+        phase_ = Phase::kSynthReady;
+    }
+}
+
+bool
+OnlineAdapter::synthesize()
+{
+    if (phase_ != Phase::kSynthReady || !snapshot_) {
+        return false;
+    }
+    ++syntheses_;
+    std::string key =
+        opt_.use_cache
+            ? adaptCacheKey(spec_, *snapshot_, num_external_, opt_.dk)
+            : std::string();
+    auto res = resynthesizeSsvLayer(spec_, *snapshot_, num_external_,
+                                    opt_.dk, key);
+    if (sink_ != nullptr) {
+        obs::TraceEvent ev = sink_->makeEvent("adapt", "synthesis");
+        ev.integer("adapt_tick", static_cast<long long>(tick_))
+            .integer("ok", res.has_value() ? 1 : 0)
+            .integer("cache_hit", res && res->cache_hit ? 1 : 0);
+        sink_->record(std::move(ev));
+    }
+    if (!res) {
+        phase_ = Phase::kDisabled;
+        return false;
+    }
+    if (res->cache_hit) {
+        ++cache_hits_;
+    }
+    pending_text_ = std::move(res->controller_text);
+    swap_due_ = tick_ + static_cast<std::size_t>(
+                            opt_.swap_delay_ticks > 0 ? opt_.swap_delay_ticks
+                                                      : 0);
+    phase_ = Phase::kSwapScheduled;
+    return true;
+}
+
+controllers::SsvRuntime
+OnlineAdapter::runtimeFromText(const std::string& text,
+                               const sysid::ArxModel& model) const
+{
+    auto ctrl = ssvControllerFromText(text);
+    if (!ctrl) {
+        throw std::runtime_error(
+            "OnlineAdapter: unparsable controller text");
+    }
+    std::size_t ni = spec_.inputs.size();
+    const Vector& mean = model.uMean();
+    Vector u_mean = mean.segment(0, ni);
+    Vector e_mean = mean.segment(ni, mean.size() - ni);
+    return controllers::SsvRuntime(*ctrl, gridsFromSpecs(spec_.inputs),
+                                   u_mean, e_mean);
+}
+
+controllers::SsvRuntime
+OnlineAdapter::makePendingRuntime() const
+{
+    if (phase_ != Phase::kSwapScheduled || !snapshot_) {
+        throw std::logic_error(
+            "OnlineAdapter::makePendingRuntime: no pending swap");
+    }
+    return runtimeFromText(pending_text_, *snapshot_);
+}
+
+controllers::SsvRuntime
+OnlineAdapter::makeInstalledRuntime() const
+{
+    if (installed_text_.empty()) {
+        throw std::logic_error(
+            "OnlineAdapter::makeInstalledRuntime: nothing installed");
+    }
+    // reference_ became the synthesis snapshot at install time, so its
+    // means are exactly the installed runtime's means.
+    return runtimeFromText(installed_text_, reference_);
+}
+
+void
+OnlineAdapter::noteSwapped()
+{
+    if (phase_ != Phase::kSwapScheduled || !snapshot_) {
+        throw std::logic_error("OnlineAdapter::noteSwapped: no swap due");
+    }
+    installed_text_ = std::move(pending_text_);
+    pending_text_.clear();
+    reference_ = *snapshot_;
+    snapshot_.reset();
+    cusum_.rearm();
+    // The reference changed, so the closed-loop error level must be
+    // re-measured before the detector re-arms.
+    std::fill(cal_sum_sq_.begin(), cal_sum_sq_.end(), 0.0);
+    std::fill(cal_scale_.begin(), cal_scale_.end(), 1.0);
+    cal_count_ = 0;
+    arm_tick_ = tick_ + static_cast<std::size_t>(
+                            opt_.cooldown_ticks > 0 ? opt_.cooldown_ticks
+                                                    : 0);
+    ++swaps_;
+    phase_ = Phase::kMonitor;
+}
+
+void
+OnlineAdapter::save(obs::StateWriter& w) const
+{
+    w.i64("adapt.phase", static_cast<long long>(phase_));
+    w.u64("adapt.tick", tick_);
+    w.u64("adapt.drift_tick", drift_tick_);
+    w.u64("adapt.swap_due", swap_due_);
+    w.u64("adapt.arm_tick", arm_tick_);
+    w.f64vec("adapt.cal_sum", cal_sum_sq_);
+    w.u64("adapt.cal_n", cal_count_);
+    w.f64vec("adapt.cal_scale", cal_scale_);
+    w.i64("adapt.drift_events", drift_events_);
+    w.i64("adapt.syntheses", syntheses_);
+    w.i64("adapt.cache_hits", cache_hits_);
+    w.i64("adapt.swaps", swaps_);
+    w.str("adapt.pending", pending_text_);
+    w.str("adapt.installed", installed_text_);
+    w.boolean("adapt.has_snapshot", snapshot_.has_value());
+    if (snapshot_) {
+        saveArx(w, "adapt.snap", *snapshot_);
+    }
+    saveArx(w, "adapt.ref", reference_);
+    rls_.save(w);
+    cusum_.save(w);
+}
+
+void
+OnlineAdapter::load(obs::StateReader& r)
+{
+    phase_ = static_cast<Phase>(r.i64("adapt.phase"));
+    tick_ = r.u64("adapt.tick");
+    drift_tick_ = r.u64("adapt.drift_tick");
+    swap_due_ = r.u64("adapt.swap_due");
+    arm_tick_ = r.u64("adapt.arm_tick");
+    cal_sum_sq_ = r.f64vec("adapt.cal_sum");
+    cal_count_ = r.u64("adapt.cal_n");
+    cal_scale_ = r.f64vec("adapt.cal_scale");
+    if (cal_sum_sq_.size() != reference_.numOutputs() ||
+        cal_scale_.size() != reference_.numOutputs()) {
+        throw std::runtime_error("OnlineAdapter: calibration size mismatch");
+    }
+    drift_events_ = static_cast<long>(r.i64("adapt.drift_events"));
+    syntheses_ = static_cast<long>(r.i64("adapt.syntheses"));
+    cache_hits_ = static_cast<long>(r.i64("adapt.cache_hits"));
+    swaps_ = static_cast<long>(r.i64("adapt.swaps"));
+    pending_text_ = r.str("adapt.pending");
+    installed_text_ = r.str("adapt.installed");
+    if (r.boolean("adapt.has_snapshot")) {
+        snapshot_ = loadArx(r, "adapt.snap");
+    } else {
+        snapshot_.reset();
+    }
+    reference_ = loadArx(r, "adapt.ref");
+    rls_.load(r);
+    cusum_.load(r);
+}
+
+std::unique_ptr<OnlineAdapter>
+makeHwAdapter(const Artifacts& artifacts, const AdaptOptions& options)
+{
+    const LayerSpec& spec = artifacts.hw_ssv.spec;
+    return std::make_unique<OnlineAdapter>(
+        spec, spec.external_names.size(), artifacts.hw_ssv.model,
+        artifacts.training.hw, options);
+}
+
+}  // namespace yukta::core

@@ -148,9 +148,8 @@ loadStateSpace(const std::string& path)
     }
 }
 
-bool
-saveSsvController(const std::string& path,
-                  const robust::SsvController& ctrl)
+std::string
+ssvControllerToText(const robust::SsvController& ctrl)
 {
     std::ostringstream os;
     os << "yukta-ssv " << kFormatVersion << "\n";
@@ -170,16 +169,20 @@ saveSsvController(const std::string& path,
     writeMatrix(os, ctrl.k.b);
     writeMatrix(os, ctrl.k.c);
     writeMatrix(os, ctrl.k.d);
-    return atomicWriteFile(path, os.str());
+    return os.str();
+}
+
+bool
+saveSsvController(const std::string& path,
+                  const robust::SsvController& ctrl)
+{
+    return atomicWriteFile(path, ssvControllerToText(ctrl));
 }
 
 std::optional<robust::SsvController>
-loadSsvController(const std::string& path)
+ssvControllerFromText(const std::string& text)
 {
-    std::ifstream is(path);
-    if (!is) {
-        return std::nullopt;
-    }
+    std::istringstream is(text);
     std::string magic;
     int version = 0;
     if (!(is >> magic >> version) || magic != "yukta-ssv" ||
@@ -227,6 +230,18 @@ loadSsvController(const std::string& path)
         return std::nullopt;
     }
     return ctrl;
+}
+
+std::optional<robust::SsvController>
+loadSsvController(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return ssvControllerFromText(buf.str());
 }
 
 }  // namespace yukta::core

@@ -44,6 +44,19 @@ bool saveSsvController(const std::string& path,
 std::optional<robust::SsvController>
 loadSsvController(const std::string& path);
 
+/**
+ * @return the cache-file text form of @p ctrl (the exact bytes
+ * saveSsvController writes). Doubles are printed at 17 significant
+ * digits, so text -> controller -> text is a fixed point and the
+ * parsed controller is bit-identical wherever the text travels --
+ * the property the adaptation loop's checkpoints rely on.
+ */
+std::string ssvControllerToText(const robust::SsvController& ctrl);
+
+/** Parses text produced by ssvControllerToText. */
+std::optional<robust::SsvController>
+ssvControllerFromText(const std::string& text);
+
 /** @return cacheDir() + "/" + key + ".txt". */
 std::string cachePath(const std::string& key);
 

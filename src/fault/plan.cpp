@@ -48,6 +48,7 @@ kindClass(FaultKind k)
       case FaultKind::kBoardCrash:
       case FaultKind::kBoardDegrade:
       case FaultKind::kShardHang:
+      case FaultKind::kBoardDrift:
         return Class::kMachine;
       default:
         return Class::kSensor;
@@ -92,6 +93,7 @@ constexpr KindName kKinds[] = {
     {"crash", FaultKind::kBoardCrash},
     {"degrade", FaultKind::kBoardDegrade},
     {"hang", FaultKind::kShardHang},
+    {"drift", FaultKind::kBoardDrift},
 };
 
 [[noreturn]] void

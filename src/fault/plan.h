@@ -44,6 +44,10 @@
  *   hang     the shard worker stepping the board stalls mid-epoch;
  *            transient (resolves on retry) when magnitude is absent,
  *            persistent for the whole window when positive
+ *   drift    the board's plant drifts: true cluster power scales by
+ *            magnitude (> 0, default 1.8) for the window -- silicon
+ *            aging / thermal-paste degradation, the scenario online
+ *            adaptation re-identifies and re-synthesizes for
  */
 
 #include <cstdint>
@@ -83,6 +87,7 @@ enum class FaultKind
     kBoardCrash,   ///< Machine: board dark, then cold reboot.
     kBoardDegrade, ///< Machine: capacity cut to magnitude.
     kShardHang,    ///< Machine: shard worker stalls mid-epoch.
+    kBoardDrift,   ///< Machine: plant power scales by magnitude.
 };
 
 /** @return the spec-string id of @p target (e.g. "p_big"). */

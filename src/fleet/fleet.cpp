@@ -27,8 +27,12 @@ constexpr double kEmaAlpha = 0.3;
 /** Capacity fraction a degrade window cuts to when magnitude is 0. */
 constexpr double kDefaultDegradeScale = 0.5;
 
-/** Bump when the checkpoint layout changes incompatibly. */
-constexpr std::uint64_t kCheckpointVersion = 1;
+/** True-power multiplier a drift window applies when magnitude is 0. */
+constexpr double kDefaultDriftScale = 1.8;
+
+/** Bump when the checkpoint layout changes incompatibly.
+    v2: per-board online-adaptation state + board drift fields. */
+constexpr std::uint64_t kCheckpointVersion = 2;
 
 /** All boards share these latency bucket bounds so rollups merge. */
 obs::MergeableHistogram
@@ -50,6 +54,40 @@ hex64(std::uint64_t v)
 }
 
 }  // namespace
+
+core::AdaptOptions
+defaultFleetAdaptOptions()
+{
+    core::AdaptOptions opt;
+    // Reduced synthesis recipe: one D-K pass over a coarse mu grid.
+    // An online re-synthesis must cost a background job, not the
+    // offline campaign's full budget.
+    opt.dk.max_iterations = 1;
+    opt.dk.mu_grid = 12;
+    opt.dk.bisection_steps = 8;
+    // Closed-loop drift detection: the controller actively rejects a
+    // plant shift, so the shipped model's prediction error shows up as
+    // repeated multi-sigma bursts rather than a sustained offset, and
+    // some channels run several training-sigma hot with no drift at
+    // all. The calibration window (below) rescales each channel to its
+    // measured closed-loop level, after which slack/threshold work in
+    // honest units: nominal statistic peaks < 9 over 10 minutes while
+    // a >=1.8x power shift crosses 20 within seconds to ~35 s.
+    opt.cusum.slack_sigma = 2.5;
+    opt.cusum.threshold = 20.0;
+    // Boards start from an idle state far from the training operating
+    // point; the first ~15 s of prediction error is startup transient,
+    // not drift, so arm the detector only after it has died out, then
+    // spend 30 s measuring the nominal closed-loop error level.
+    opt.warmup_ticks = 40;
+    opt.calibration_ticks = 60;
+    // Give the RLS a full minute on the drifted plant before the
+    // model is snapshotted: the re-synthesized controller is only as
+    // good as the snapshot, and the closed loop explores the drifted
+    // dynamics slowly.
+    opt.settle_ticks = 120;
+    return opt;
+}
 
 std::string
 FleetConfig::canonical() const
@@ -125,6 +163,17 @@ FaultDomainStats::load(obs::StateReader& r)
     shard_retries = r.i64("fd.shard_retries");
 }
 
+std::string
+AdaptStats::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"drift_events\":" << drift_events
+       << ",\"syntheses\":" << syntheses
+       << ",\"cache_hits\":" << cache_hits << ",\"swaps\":" << swaps
+       << "}";
+    return os.str();
+}
+
 FleetBoard::FleetBoard(controllers::MultilayerSystem sys)
     : system(std::move(sys)), latency(latencyHistogram())
 {
@@ -183,7 +232,13 @@ FleetSim::FleetSim(FleetConfig cfg, const core::Artifacts& artifacts)
         if (cfg_.supervised) {
             sys.enableSupervisor();
         }
-        boards_.push_back(std::make_unique<FleetBoard>(std::move(sys)));
+        auto fb = std::make_unique<FleetBoard>(std::move(sys));
+        if (cfg_.adapt) {
+            fb->adapter =
+                core::makeHwAdapter(artifacts_, cfg_.adapt_options);
+            fb->adapter->setTraceSink(fb->system.traceSink());
+        }
+        boards_.push_back(std::move(fb));
     }
 }
 
@@ -282,7 +337,85 @@ FleetSim::rebootBoard(int b, int epoch, double t0)
             nf.down = true;
         }
     }
+    if (cfg_.adapt) {
+        // The replacement is a fresh machine: its adaptation loop
+        // re-learns from the shipped model, like the controllers
+        // restart from the shipped design. The dead instance's
+        // counters are not carried (they describe a different board).
+        nf.adapter = core::makeHwAdapter(artifacts_, cfg_.adapt_options);
+        nf.adapter->setTraceSink(nf.system.traceSink());
+    }
     boards_[static_cast<std::size_t>(b)] = std::move(fresh);
+}
+
+void
+FleetSim::applyDriftWindows(double t0)
+{
+    bool any = false;
+    for (const fault::FaultWindow& w : cfg_.faults.windows) {
+        any = any || w.kind == fault::FaultKind::kBoardDrift;
+    }
+    if (!any) {
+        return;
+    }
+    for (int b = 0; b < cfg_.boards; ++b) {
+        double scale = 1.0;
+        for (const fault::FaultWindow& w : cfg_.faults.windows) {
+            if (w.kind != fault::FaultKind::kBoardDrift ||
+                w.board != b || !w.active(t0)) {
+                continue;
+            }
+            scale *= w.magnitude > 0.0 ? w.magnitude : kDefaultDriftScale;
+        }
+        boards_[static_cast<std::size_t>(b)]
+            ->system.board()
+            .setPowerDriftScale(scale);
+    }
+}
+
+void
+FleetSim::stepAdaptation(std::size_t workers, double t0)
+{
+    // Dispatch due re-syntheses as background jobs on the pool. Each
+    // task is board-local and deterministic, so the outcome is
+    // independent of worker count and scheduling; a failed synthesis
+    // disables that board's adapter (kDisabled), never the run.
+    std::vector<runner::Task> tasks;
+    for (const auto& fbp : boards_) {
+        FleetBoard& fb = *fbp;
+        if (fb.adapter == nullptr || fb.down ||
+            !fb.adapter->synthesisDue()) {
+            continue;
+        }
+        core::OnlineAdapter* adapter = fb.adapter.get();
+        tasks.push_back([adapter](const runner::CancelToken&) {
+            if (!adapter->synthesize()) {
+                throw std::runtime_error("adapt synthesis failed");
+            }
+        });
+    }
+    if (!tasks.empty()) {
+        runner::RetryPolicy retry;
+        retry.max_attempts = 2;
+        runner::runOnPool(tasks, workers, 0.0, {}, retry);
+    }
+
+    // Install due swaps serially in board index order, through the
+    // bumpless-transfer + supervisor-ladder path.
+    for (const auto& fbp : boards_) {
+        FleetBoard& fb = *fbp;
+        if (fb.adapter == nullptr || fb.down || t0 < fb.lost_until ||
+            !fb.adapter->swapDue()) {
+            continue;
+        }
+        if (fb.system.hotSwapHwRuntime(fb.adapter->makePendingRuntime())) {
+            fb.adapter->noteSwapped();
+        } else {
+            // The arrangement has no SSV hardware layer to swap
+            // (heuristic / LQG / monolithic): adaptation stands down.
+            fb.adapter.reset();
+        }
+    }
 }
 
 double
@@ -375,6 +508,31 @@ FleetSim::drainBoard(FleetBoard& fb, double epoch_end,
     fb.epoch_bips.add(bips);
     fb.epoch_power.add(power);
 
+    if (fb.adapter != nullptr) {
+        // Feed the adaptation loop the same signals the hardware
+        // layer was identified on (see the training campaign): the
+        // requested operating point + OS policy as inputs, the sensed
+        // plant response as outputs. Board-local and deterministic,
+        // so this runs inside the parallel shard phase.
+        const platform::Board& board = fb.system.board();
+        const platform::HardwareInputs& req = board.requestedHardware();
+        const platform::PlacementPolicy& pol = board.placementPolicy();
+        const double thr_big = std::min(
+            pol.threads_big,
+            static_cast<double>(board.threadsRunning()));
+        const linalg::Vector u{static_cast<double>(req.big_cores),
+                               static_cast<double>(req.little_cores),
+                               req.freq_big,
+                               req.freq_little,
+                               thr_big,
+                               pol.tpc_big,
+                               pol.tpc_little};
+        const linalg::Vector y{bips, board.sensedPowerBig(),
+                               board.sensedPowerLittle(),
+                               board.sensedTemperature()};
+        fb.adapter->observe(u, y);
+    }
+
     // Drain the queue at the rate of work actually retired, cut to
     // the degraded service fraction. Capacity beyond the backlog is
     // idle service (not banked).
@@ -428,6 +586,7 @@ FleetSim::run(std::size_t workers, const CheckpointConfig& ckpt)
 
         // --- Fault domain: crash entries and cold reboots. ---
         applyCrashTransitions(epoch, t0);
+        applyDriftWindows(t0);
 
         // --- Serial coordinator phase (board index order). ---
         std::vector<double> scale;
@@ -669,6 +828,11 @@ FleetSim::run(std::size_t workers, const CheckpointConfig& ckpt)
             }
         }
 
+        // --- Serial adaptation coordinator: syntheses + swaps. ---
+        if (cfg_.adapt) {
+            stepAdaptation(workers, t0);
+        }
+
         // --- Serial SLO accrual: dark and hung boards age too. ---
         for (int b = 0; b < num_boards; ++b) {
             FleetBoard& fb = *boards_[static_cast<std::size_t>(b)];
@@ -709,6 +873,12 @@ FleetSim::run(std::size_t workers, const CheckpointConfig& ckpt)
         m.emergency_time +=
             fb->carried_emergency + fb->system.board().emergencyTime();
         m.backlog_gi += fb->queued_gi;
+        if (fb->adapter != nullptr) {
+            m.adapt.drift_events += fb->adapter->driftEvents();
+            m.adapt.syntheses += fb->adapter->syntheses();
+            m.adapt.cache_hits += fb->adapter->cacheHits();
+            m.adapt.swaps += fb->adapter->swaps();
+        }
     }
     m.exd = m.energy * m.sim_seconds;
     m.admission = admission_.stats();
@@ -769,6 +939,13 @@ FleetSim::saveCheckpoint(const std::string& path) const
         w.f64("fb.carried_energy", fb.carried_energy);
         w.f64("fb.carried_violation", fb.carried_violation);
         w.f64("fb.carried_emergency", fb.carried_emergency);
+        // Adapter state precedes the system snapshot: restore must
+        // re-install any swapped hardware runtime *before* loading the
+        // system so the controller state sizes match the stream.
+        w.boolean("fb.adapt", fb.adapter != nullptr);
+        if (fb.adapter != nullptr) {
+            fb.adapter->save(w);
+        }
         fb.system.save(w);
     }
     std::string body = w.dump();
@@ -875,6 +1052,22 @@ FleetSim::restoreCheckpoint(const std::string& path)
         fb.carried_energy = r.f64("fb.carried_energy");
         fb.carried_violation = r.f64("fb.carried_violation");
         fb.carried_emergency = r.f64("fb.carried_emergency");
+        const bool had_adapter = r.boolean("fb.adapt");
+        if (had_adapter != (fb.adapter != nullptr)) {
+            throw std::runtime_error(
+                "FleetSim: checkpoint adaptation mismatch (restore "
+                "with the same --adapt setting it was saved with)");
+        }
+        if (fb.adapter != nullptr) {
+            fb.adapter->load(r);
+            if (fb.adapter->hasInstalledController() &&
+                !fb.system.installHwRuntime(
+                    fb.adapter->makeInstalledRuntime())) {
+                throw std::runtime_error(
+                    "FleetSim: checkpoint carries a swapped hardware "
+                    "controller but the scheme cannot install one");
+            }
+        }
         fb.system.load(r);
     }
     if (!r.atEnd()) {
@@ -908,7 +1101,8 @@ FleetMetrics::toJson(bool include_wall) const
     if (include_wall) {
         os << ",\"wall_seconds\":" << obs::canonicalNumber(wall_seconds)
            << ",\"board_ticks_per_sec\":"
-           << obs::canonicalNumber(board_ticks_per_sec);
+           << obs::canonicalNumber(board_ticks_per_sec)
+           << ",\"adapt\":" << adapt.toJson();
     }
     os << "}";
     return os.str();

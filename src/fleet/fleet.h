@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "controllers/multilayer.h"
+#include "core/adapt.h"
 #include "core/schemes.h"
 #include "fault/plan.h"
 #include "fleet/admission.h"
@@ -67,6 +68,13 @@
 #include "platform/apps.h"
 
 namespace yukta::fleet {
+
+/**
+ * @return the fleet's default online-adaptation options: a reduced
+ * D-K recipe (1 iteration, coarse mu grid) so a drift-triggered
+ * re-synthesis costs one background job, not an offline campaign.
+ */
+core::AdaptOptions defaultFleetAdaptOptions();
 
 /** Per-board service workload knobs. */
 struct ServiceConfig
@@ -126,6 +134,22 @@ struct FleetConfig
     bool batch_tick = true;
 
     /**
+     * True (--adapt): every board runs the online adaptation loop on
+     * its hardware layer -- RLS system identification alongside the
+     * shipped controller, CUSUM drift detection against the shipped
+     * model, drift-triggered re-synthesis on the shard pool, and
+     * bumpless hot-swap of the refreshed controller. On the plant the
+     * model was identified for, the CUSUM never fires and the run is
+     * bit-identical to adapt=false, so -- like batch_tick -- this is
+     * excluded from canonical(); checkpoints record per-board adapter
+     * presence and restore refuses a mismatch.
+     */
+    bool adapt = false;
+
+    /** Adaptation tuning (only read when adapt is set). */
+    core::AdaptOptions adapt_options = defaultFleetAdaptOptions();
+
+    /**
      * Shard attempts per epoch before a hung board is declared lost
      * (>= 1). Part of the run's identity; the wall-clock watchdog
      * deadline/backoff below are not (they only bound real time).
@@ -150,6 +174,10 @@ struct FleetBoard
     explicit FleetBoard(controllers::MultilayerSystem sys);
 
     controllers::MultilayerSystem system;
+
+    /** Online adaptation loop (null unless FleetConfig::adapt). */
+    std::unique_ptr<core::OnlineAdapter> adapter;
+
     std::deque<Request> queue;   ///< Oldest first.
     double queued_gi = 0.0;      ///< Sum of remaining demand.
     double last_instr = 0.0;     ///< Retired-GI mark (cumulative).
@@ -202,6 +230,24 @@ struct FaultDomainStats
     void load(obs::StateReader& r);
 };
 
+/**
+ * Fleet-wide adaptation tally, summed over the boards' adapters.
+ * Reported next to the wall-clock fields and -- deliberately -- kept
+ * out of toJson(false)/digest(): a cache hit vs. a recomputed (but
+ * bit-identical) synthesis may differ across worker counts and
+ * checkpoint splits, while the simulated trajectory does not.
+ */
+struct AdaptStats
+{
+    long long drift_events = 0;  ///< CUSUM trips.
+    long long syntheses = 0;     ///< Re-synthesis jobs run.
+    long long cache_hits = 0;    ///< Jobs served from the design cache.
+    long long swaps = 0;         ///< Hot-swaps installed.
+
+    /** @return canonical JSON object for these counters. */
+    std::string toJson() const;
+};
+
 /** Deterministic result of one fleet run. */
 struct FleetMetrics
 {
@@ -230,6 +276,10 @@ struct FleetMetrics
     // Wall-clock throughput; never part of the digest.
     double wall_seconds = 0.0;
     double board_ticks_per_sec = 0.0;
+
+    // Adaptation tally; reported with the wall fields, never part of
+    // the digest (see AdaptStats).
+    AdaptStats adapt;
 
     /**
      * @return the run result as canonical JSON. @p include_wall adds
@@ -332,6 +382,18 @@ class FleetSim
 
     /** Applies crash entries and cold reboots due at @p t0. */
     void applyCrashTransitions(int epoch, double t0);
+
+    /** Applies the plant-drift windows in force at @p t0 (serial;
+        an exact no-op when the plan schedules no drift). */
+    void applyDriftWindows(double t0);
+
+    /**
+     * The serial adaptation coordinator, after the shard phase: runs
+     * due re-synthesis jobs on @p workers pool workers (board index
+     * order, retried per the runner policy) and installs due hot-swaps
+     * through the bumpless-transfer path.
+     */
+    void stepAdaptation(std::size_t workers, double t0);
 
     /** Rebuilds board @p b fresh through the supervisor ladder. */
     void rebootBoard(int b, int epoch, double t0);

@@ -281,6 +281,14 @@ Board::stepOnce()
     double temp = thermal_.hotspot();
     true_p_big_ = power_big_.clusterPower(act_big, temp);
     true_p_little_ = power_little_.clusterPower(act_little, temp);
+    if (drift_active_) {
+        // Plant drift: the silicon draws more (or less) than the
+        // nominal model for the same operating point. Applied before
+        // energy/thermal/TMU/sensing so the whole physical chain --
+        // and only the physical chain -- sees it.
+        true_p_big_ *= drift_scale_;
+        true_p_little_ *= drift_scale_;
+    }
     energy_ += (true_p_big_ + true_p_little_) * dt;
 
     // --- Thermal. ---
@@ -361,6 +369,19 @@ std::vector<std::size_t> fromU64(const std::vector<std::uint64_t>& v)
 }  // namespace
 
 void
+Board::setPowerDriftScale(double scale)
+{
+    if (!(scale > 0.0)) {
+        throw std::invalid_argument(
+            "Board::setPowerDriftScale: scale must be positive");
+    }
+    // Exactly 1.0 means "no drift configured" -- a deliberate exact
+    // sentinel, not a numeric comparison.
+    drift_active_ = scale != 1.0;  // yukta-lint: allow(float-eq)
+    drift_scale_ = scale;
+}
+
+void
 Board::save(obs::StateWriter& w) const
 {
     thermal_.save(w);
@@ -401,6 +422,8 @@ Board::save(obs::StateWriter& w) const
     w.u64("board.rejected_inputs", rejected_inputs_);
     w.f64("board.instr_big", counters_.instr_big);
     w.f64("board.instr_little", counters_.instr_little);
+    w.boolean("board.drift_active", drift_active_);
+    w.f64("board.drift_scale", drift_scale_);
 }
 
 void
@@ -446,6 +469,8 @@ Board::load(obs::StateReader& r)
     rejected_inputs_ = r.u64("board.rejected_inputs");
     counters_.instr_big = r.f64("board.instr_big");
     counters_.instr_little = r.f64("board.instr_little");
+    drift_active_ = r.boolean("board.drift_active");
+    drift_scale_ = r.f64("board.drift_scale");
 }
 
 }  // namespace yukta::platform

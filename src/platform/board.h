@@ -178,6 +178,22 @@ class Board
     const BoardConfig& config() const { return cfg_; }
     const Workload& workload() const { return workload_; }
 
+    /**
+     * Scales the *true* cluster power by @p scale (> 0) from the next
+     * step on -- a plant-parameter drift (silicon aging, cooling
+     * degradation) that every downstream stage (energy, thermal, TMU,
+     * sensors, violation accounting) sees, while the controller's
+     * shipped model does not. Scale 1.0 restores the exact nominal
+     * path (guarded, not multiplied).
+     */
+    void setPowerDriftScale(double scale);
+
+    /** @return the active power drift scale (1.0 = nominal). */
+    double powerDriftScale() const
+    {
+        return drift_active_ ? drift_scale_ : 1.0;
+    }
+
     // ------------------------------------------------------------
     // Tracing.
     // ------------------------------------------------------------
@@ -235,6 +251,8 @@ class Board
     double true_p_little_ = 0.0;
     double migration_stall_left_ = 0.0;
     double violation_time_ = 0.0;
+    bool drift_active_ = false;   ///< Plant drift in force.
+    double drift_scale_ = 1.0;    ///< True-power multiplier.
     std::size_t rejected_inputs_ = 0;
     PerfCounters counters_;
 

@@ -166,13 +166,30 @@ identifyArx(const IoData& data, double ts, const ArxOptions& options)
                 y_var[j] += d * d;
             }
         }
+        // A channel whose std sits at the numerical floor is dead
+        // (constant data). Normalizing by the floor used to amplify
+        // the mean-subtraction round-off by ~1e9 and, worse, the
+        // de-normalization below multiplied that channel's
+        // coefficients back up by the same factor -- garbage in
+        // physical units. Dead channels keep unit scale instead, so
+        // the ridge pins their coefficients near zero (fail soft).
+        constexpr double kDeadChannel = 1e-9;
+        std::size_t live_u = 0;
+        std::size_t live_y = 0;
         for (std::size_t j = 0; j < nu; ++j) {
-            u_scale[j] = std::max(
-                std::sqrt(u_var[j] / static_cast<double>(nsamp)), 1e-9);
+            double sd = std::sqrt(u_var[j] / static_cast<double>(nsamp));
+            u_scale[j] = sd > kDeadChannel ? sd : 1.0;
+            live_u += sd > kDeadChannel ? 1 : 0;
         }
         for (std::size_t j = 0; j < ny; ++j) {
-            y_scale[j] = std::max(
-                std::sqrt(y_var[j] / static_cast<double>(nsamp)), 1e-9);
+            double sd = std::sqrt(y_var[j] / static_cast<double>(nsamp));
+            y_scale[j] = sd > kDeadChannel ? sd : 1.0;
+            live_y += sd > kDeadChannel ? 1 : 0;
+        }
+        if (live_u == 0 || live_y == 0) {
+            throw DegenerateExcitationError(
+                live_u == 0 ? "identifyArx: all input channels constant"
+                            : "identifyArx: all output channels constant");
         }
     }
 

@@ -16,6 +16,8 @@
  */
 
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "control/state_space.h"
@@ -23,6 +25,23 @@
 #include "linalg/vector.h"
 
 namespace yukta::sysid {
+
+/**
+ * Thrown when an identification window carries no usable excitation
+ * (every input -- or every output -- channel is constant), so any
+ * least-squares fit would be pure regularization artifact. Callers
+ * running online windows catch this and skip the window instead of
+ * shipping garbage coefficients.
+ */
+class DegenerateExcitationError : public std::runtime_error
+{
+  public:
+    /** @param what diagnostic naming the dead channel set. */
+    explicit DegenerateExcitationError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
 
 /** Input/output record from an identification experiment. */
 struct IoData

@@ -392,6 +392,8 @@ poisonState(SsvRuntime& rt, std::size_t order)
     w.f64vec("ssv.x", std::vector<double>(order, kNan));
     w.i64("ssv.over_bound", 0);
     w.boolean("ssv.exhausted", false);
+    w.boolean("ssv.bumpless", false);
+    w.f64vec("ssv.bumpless_u", {});
     obs::StateReader r(w.dump());
     rt.load(r);
 }

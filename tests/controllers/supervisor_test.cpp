@@ -302,6 +302,84 @@ TEST(Supervisor, ResetClearsTheLadderAndTheReport)
     EXPECT_EQ(sup.report().invalid_ticks, 0);
 }
 
+/** goodObs with the analog channels frozen at @p frozen_tick's values
+ * (counters keep advancing) -- the telemetry signature of a few held
+ * ticks after a controller reset. */
+SensorReadings
+frozenAnalogObs(int tick, int frozen_tick)
+{
+    SensorReadings obs = goodObs(tick);
+    SensorReadings at = goodObs(frozen_tick);
+    obs.p_big = at.p_big;
+    obs.p_little = at.p_little;
+    obs.temp = at.temp;
+    return obs;
+}
+
+TEST(Supervisor, ControllerResetDoesNotFalseTripStuckDetector)
+{
+    // Regression: a controller reset (hot-swap, crash reboot) holds or
+    // zeroes commands for a few ticks, so the quantized analog
+    // telemetry legitimately repeats bit-identically. Before
+    // noteControllerReset() the stuck-sensor streaks kept counting
+    // through the reset and the ladder false-tripped on its own
+    // recovery.
+    SupervisorConfig cfg;
+
+    // Reproduce the false positive: same frozen window, no reset
+    // declared.
+    {
+        Supervisor sup(boardCfg(), cfg);
+        for (int tick = 0; tick < 5; ++tick) {
+            sup.assess(tick, tickTime(tick), goodObs(tick));
+        }
+        for (int tick = 5; tick < 5 + cfg.stuck_ticks + 2; ++tick) {
+            sup.assess(tick, tickTime(tick), frozenAnalogObs(tick, 5));
+        }
+        ASSERT_NE(sup.mode(), SupervisorMode::kNominal);
+        ASSERT_GE(sup.report().events.size(), 1u);
+        EXPECT_NE(sup.report().events[0].reason.find(":stuck"),
+                  std::string::npos);
+    }
+
+    // With the reset declared, the identical frozen window is forgiven
+    // and the ladder never leaves nominal once telemetry resumes.
+    {
+        Supervisor sup(boardCfg(), cfg);
+        for (int tick = 0; tick < 5; ++tick) {
+            sup.assess(tick, tickTime(tick), goodObs(tick));
+        }
+        sup.noteControllerReset();
+        int tick = 5;
+        for (; tick < 5 + cfg.reset_grace_ticks; ++tick) {
+            auto d = sup.assess(tick, tickTime(tick),
+                                frozenAnalogObs(tick, 5));
+            EXPECT_EQ(d.mode, SupervisorMode::kNominal);
+        }
+        for (; tick < 5 + cfg.reset_grace_ticks + 10; ++tick) {
+            auto d = sup.assess(tick, tickTime(tick), goodObs(tick));
+            EXPECT_EQ(d.mode, SupervisorMode::kNominal);
+        }
+        EXPECT_EQ(sup.report().transitions(), 0);
+        EXPECT_EQ(sup.report().invalid_ticks, 0);
+    }
+
+    // The grace window is bounded: telemetry still frozen after it
+    // expires is a real stuck sensor and must trip.
+    {
+        Supervisor sup(boardCfg(), cfg);
+        for (int tick = 0; tick < 5; ++tick) {
+            sup.assess(tick, tickTime(tick), goodObs(tick));
+        }
+        sup.noteControllerReset();
+        int end = 5 + cfg.reset_grace_ticks + cfg.stuck_ticks + 2;
+        for (int tick = 5; tick < end; ++tick) {
+            sup.assess(tick, tickTime(tick), frozenAnalogObs(tick, 5));
+        }
+        EXPECT_NE(sup.mode(), SupervisorMode::kNominal);
+    }
+}
+
 TEST(Supervisor, ModeNames)
 {
     EXPECT_EQ(supervisorModeName(SupervisorMode::kNominal), "nominal");

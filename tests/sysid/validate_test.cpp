@@ -134,6 +134,51 @@ TEST(FrequencyFitTest, DetectsAWrongModel)
     EXPECT_GT(fit.worst, 0.3);
 }
 
+TEST(FrequencyFitTest, EndpointsWeighEquallyIntoWorst)
+{
+    // Pin the endpoint handling: both grid endpoints (1e-4/ts and the
+    // Nyquist cap) must carry the same unit weight as interior points,
+    // with the error at each matching the analytic per-point formula
+    // sigma_max(Gm - Gr) / max_j sigma_max(Gr).  A regression that
+    // dropped or down-weighted an endpoint breaks the exact pins.
+    const double ts = 0.5;
+    // First-order SISO pair H(z) = 1 / (z - a).
+    auto first_order = [&](double a) {
+        return control::StateSpace(linalg::Matrix{{a}},
+                                   linalg::Matrix{{1.0}},
+                                   linalg::Matrix{{1.0}},
+                                   linalg::Matrix(1, 1), ts);
+    };
+    control::StateSpace model = first_order(0.5);
+    control::StateSpace ref = first_order(0.4);
+
+    FrequencyFit fit = frequencyResponseFit(model, ref, 32);
+    ASSERT_EQ(fit.freqs.size(), 32u);
+    EXPECT_EQ(fit.freqs.front(), 1e-4 / ts);
+    EXPECT_EQ(fit.freqs.back(), M_PI / ts);
+
+    auto h = [&](double a, double w) {
+        std::complex<double> z = std::exp(std::complex<double>(0.0, w * ts));
+        return 1.0 / (z - a);
+    };
+    double ref_scale = 0.0;
+    for (double w : fit.freqs) {
+        ref_scale = std::max(ref_scale, std::abs(h(0.4, w)));
+    }
+    for (std::size_t i : {std::size_t{0}, fit.freqs.size() - 1}) {
+        double w = fit.freqs[i];
+        double expected = std::abs(h(0.5, w) - h(0.4, w)) / ref_scale;
+        EXPECT_NEAR(fit.error[i], expected, 1e-12);
+    }
+    // worst is exactly the max over the grid -- no extra weighting.
+    double max_err = *std::max_element(fit.error.begin(), fit.error.end());
+    EXPECT_EQ(fit.worst, max_err);
+    // For this pair the low-frequency endpoint is the worst point
+    // (|H1 - H2| peaks near DC where both poles sit closest to z = 1),
+    // so omitting or down-weighting it would change `worst`.
+    EXPECT_EQ(fit.worst, fit.error.front());
+}
+
 TEST(FrequencyFitTest, Validation)
 {
     const double ts = 0.5;

@@ -7,8 +7,10 @@ merges them per source file (a line counts as covered when any
 translation unit executed it), and enforces a floor on the aggregate
 line coverage of the audited directories -- by default the controller
 and fault-injection layers (including the batched tick engine), where
-an untested branch means an unverified degradation path, plus the
-linalg GEMM kernel the batch engine's bit-identity rests on.
+an untested branch means an unverified degradation path, the linalg
+GEMM kernel the batch engine's bit-identity rests on, and the system
+identification layer (RLS + drift detection) the online adaptation
+loop's no-false-swap guarantee rests on.
 
 Usage:
   tools/coverage_check.py --build-dir build-cov [--floor 70]
@@ -24,7 +26,8 @@ import os
 import subprocess
 import sys
 
-DEFAULT_PREFIXES = ("src/controllers", "src/fault", "src/linalg/gemm.cpp")
+DEFAULT_PREFIXES = ("src/controllers", "src/fault", "src/linalg/gemm.cpp",
+                    "src/sysid")
 
 
 def find_gcda(build_dir):
